@@ -1,0 +1,51 @@
+//! Criterion bench: compiler passes — fusion + tiling (compile), SRAM
+//! allocation, VLIW expansion, idleness analysis, and `setpm`
+//! instrumentation. The paper notes the added ReGate passes are linear in
+//! the number of instructions; this bench verifies they stay cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_arch::{NpuGeneration, NpuSpec, ParallelismConfig};
+use npu_compiler::instrument::{instrument_vu, SetPmPolicy};
+use npu_compiler::vliw::{expand_operator, ExpansionLimits};
+use npu_compiler::{Compiler, IdlenessReport, SramAllocation};
+use npu_models::{LlamaModel, LlmPhase, Workload};
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(10);
+    let spec = NpuSpec::generation(NpuGeneration::D);
+    let workload = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill);
+    let graph = workload.build_graph(&ParallelismConfig::single());
+    let compiler = Compiler::new(spec.clone());
+    let compiled = compiler.compile(&graph);
+
+    group.bench_function("compile/llama8b_prefill", |b| {
+        b.iter(|| std::hint::black_box(compiler.compile(&graph)));
+    });
+    group.bench_function("sram_alloc/llama8b_prefill", |b| {
+        b.iter(|| std::hint::black_box(SramAllocation::allocate(&compiled, spec.sram_geometry())));
+    });
+
+    let anchor = compiled
+        .anchors()
+        .find(|op| op.fused_vu_elements > 0)
+        .expect("fused anchor");
+    let (program, _) = expand_operator(anchor, &spec, ExpansionLimits::default());
+    group.bench_function("vliw_expand/matmul", |b| {
+        b.iter(|| {
+            std::hint::black_box(expand_operator(anchor, &spec, ExpansionLimits::default()))
+        });
+    });
+    group.bench_function("idleness_analysis/matmul", |b| {
+        b.iter(|| std::hint::black_box(IdlenessReport::analyze(&program)));
+    });
+    group.bench_function("setpm_instrumentation/matmul", |b| {
+        let policy = SetPmPolicy::new(32, 2);
+        b.iter(|| std::hint::black_box(instrument_vu(&program, policy)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: end-to-end figure regeneration cost (one full
+//! workload evaluation across all five design points) plus ablation points
+//! called out in DESIGN.md — PE-level vs component-level SA gating and
+//! software vs hardware VU/SRAM gating, measured as evaluation throughput
+//! under different gating parameter sets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_arch::NpuGeneration;
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use npu_power::GatingParams;
+use regate::Evaluator;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    for (name, workload, chips) in [
+        ("fig17_decode_8b", Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1usize),
+        ("fig17_dlrm_small", Workload::dlrm(DlrmSize::Small), 8),
+    ] {
+        group.bench_function(format!("evaluate_all_designs/{name}"), |b| {
+            let evaluator = Evaluator::new(NpuGeneration::D);
+            b.iter(|| std::hint::black_box(evaluator.evaluate(&workload, chips)));
+        });
+    }
+
+    // Ablation: default Table 3 delays vs 4x slower gating transistors.
+    let workload = Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode);
+    for (name, params) in [
+        ("delays_1x", GatingParams::default()),
+        ("delays_4x", GatingParams::default().with_delay_scale(4.0)),
+    ] {
+        group.bench_function(format!("ablation_delay/{name}"), |b| {
+            let evaluator = Evaluator::with_gating(NpuGeneration::D, params.clone());
+            b.iter(|| std::hint::black_box(evaluator.evaluate(&workload, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

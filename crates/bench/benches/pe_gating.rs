@@ -1,0 +1,35 @@
+//! Criterion bench: the PE-level SA gating logic — building gating plans
+//! from weight panels / matmul dims and simulating the diagonal wavefront.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use regate::pe_gating::{simulate_wavefront_on_pes, SaGatingPlan};
+
+fn bench_pe_gating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pe_gating");
+    group.sample_size(20);
+
+    group.bench_function("plan_from_dims/128x128", |b| {
+        b.iter(|| std::hint::black_box(SaGatingPlan::from_matmul_dims(128, 72, 1024)));
+    });
+
+    let weights: Vec<Vec<f32>> = (0..128)
+        .map(|r| (0..128).map(|col| if (r + col) % 3 == 0 { 0.0 } else { 1.0 }).collect())
+        .collect();
+    group.bench_function("plan_from_weights/128x128", |b| {
+        b.iter(|| std::hint::black_box(SaGatingPlan::from_weights(128, &weights)));
+    });
+
+    let plan = SaGatingPlan::from_matmul_dims(128, 72, 96);
+    group.bench_function("gated_fraction/128x128", |b| {
+        b.iter(|| std::hint::black_box(plan.gated_pe_cycle_fraction(256, 0.1)));
+    });
+
+    group.bench_function("wavefront_sim/64x64_m256", |b| {
+        b.iter(|| std::hint::black_box(simulate_wavefront_on_pes(64, 256)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pe_gating);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: cost of the tile-level performance simulator itself
+//! (graph build + compile + simulate) for representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_arch::{ChipConfig, NpuGeneration, ParallelismConfig};
+use npu_compiler::Compiler;
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use npu_sim::Simulator;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for (name, workload, chips) in [
+        ("llama8b_decode", Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1usize),
+        ("llama8b_prefill", Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1),
+        ("dlrm_medium", Workload::dlrm(DlrmSize::Medium), 8),
+    ] {
+        let chip = ChipConfig::new(NpuGeneration::D, chips);
+        let parallelism = workload
+            .default_parallelism(chip.spec(), chips)
+            .unwrap_or(ParallelismConfig::new(chips, 1, 1));
+        let graph = workload.build_graph(&parallelism);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        group.bench_function(format!("simulate/{name}"), |b| {
+            let simulator = Simulator::new(chip.clone());
+            b.iter(|| std::hint::black_box(simulator.run(&compiled)));
+        });
+        group.bench_function(format!("graph_build/{name}"), |b| {
+            b.iter(|| std::hint::black_box(workload.build_graph(&parallelism)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

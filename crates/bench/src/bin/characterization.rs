@@ -1,0 +1,106 @@
+//! Regenerates the characterization study of §3 (Figures 2–9): energy
+//! efficiency, static/dynamic breakdown, and per-component utilization of
+//! the benchmark workloads across NPU generations.
+//!
+//! Run with `cargo run --release -p regate-bench --bin characterization`.
+//! Pass `--full` to sweep all four deployed generations and all workloads
+//! (slower); the default sweeps NPU-C/D and a representative subset.
+
+use npu_arch::NpuGeneration;
+use npu_models::{DiffusionModel, DlrmSize, LlamaModel, LlmPhase, Workload};
+use regate::experiments::characterize;
+use regate_bench::{pct, section};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let generations: Vec<NpuGeneration> = if full {
+        NpuGeneration::DEPLOYED.to_vec()
+    } else {
+        vec![NpuGeneration::C, NpuGeneration::D]
+    };
+    let workloads: Vec<(Workload, usize)> = if full {
+        let mut v: Vec<(Workload, usize)> = Workload::benchmark_suite()
+            .into_iter()
+            .map(|w| (w, 8))
+            .collect();
+        for (w, _) in &mut v {
+            if let Workload::Diffusion(cfg) = w {
+                cfg.steps = 10;
+            }
+        }
+        v
+    } else {
+        let mut dit = Workload::diffusion(DiffusionModel::DitXl);
+        if let Workload::Diffusion(ref mut cfg) = dit {
+            cfg.steps = 5;
+        }
+        vec![
+            (Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Training), 4),
+            (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Prefill), 8),
+            (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode), 8),
+            (Workload::dlrm(DlrmSize::Medium), 8),
+            (Workload::dlrm(DlrmSize::Large), 8),
+            (dit, 8),
+        ]
+    };
+
+    section("Figure 2/3: energy efficiency and static energy share");
+    println!(
+        "{:<28} {:<7} {:>14} {:>10} {:>9}",
+        "workload", "NPU", "J per unit", "unit", "static"
+    );
+    let mut rows = Vec::new();
+    for (workload, chips) in &workloads {
+        for &generation in &generations {
+            let row = characterize(workload, generation, *chips);
+            println!(
+                "{:<28} {:<7} {:>14.4} {:>10} {:>9}",
+                row.workload,
+                generation.to_string(),
+                row.energy_per_work_j,
+                row.work_unit,
+                pct(row.static_fraction)
+            );
+            rows.push(row);
+        }
+    }
+
+    section("Figure 3: per-component energy breakdown (NPU-D, static/dynamic)");
+    for row in rows.iter().filter(|r| r.generation == NpuGeneration::D) {
+        println!("{}:", row.workload);
+        for (component, static_share, dynamic_share) in &row.component_energy_shares {
+            if static_share + dynamic_share > 0.001 {
+                println!(
+                    "  {:<6} static {:>6}  dynamic {:>6}",
+                    component,
+                    pct(*static_share),
+                    pct(*dynamic_share)
+                );
+            }
+        }
+    }
+
+    section("Figures 4-6, 8, 9: component temporal/spatial utilization (NPU-D)");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "SA temp", "SA spat", "VU temp", "ICI", "HBM"
+    );
+    for row in rows.iter().filter(|r| r.generation == NpuGeneration::D) {
+        println!(
+            "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            row.workload,
+            pct(row.sa_temporal_util),
+            pct(row.sa_spatial_util),
+            pct(row.vu_temporal_util),
+            pct(row.ici_temporal_util),
+            pct(row.hbm_temporal_util)
+        );
+    }
+
+    section("Figure 7: SRAM demand percentiles (NPU-D, MiB, time-weighted)");
+    println!("{:<28} {:>8} {:>8} {:>8}", "workload", "p50", "p90", "p99");
+    for row in rows.iter().filter(|r| r.generation == NpuGeneration::D) {
+        let (p50, p90, p99) = row.sram_demand_p50_p90_p99_mib;
+        println!("{:<28} {:>8.1} {:>8.1} {:>8.1}", row.workload, p50, p90, p99);
+    }
+}

@@ -1,0 +1,130 @@
+//! Regenerates the evaluation figures of §6.2–§6.4:
+//! * Figure 16 — simulator validation against the analytical roofline;
+//! * Figure 17 — energy savings per design;
+//! * Figure 18 — average/peak power per design;
+//! * Figure 19 — performance overhead per design;
+//! * Figure 20 — `setpm` instructions per 1,000 cycles.
+//!
+//! Run with `cargo run --release -p regate-bench --bin evaluation`.
+//! Pass `--full` to use the exact Table 4 chip counts (slower).
+
+use npu_arch::{ChipConfig, NpuGeneration, ParallelismConfig};
+use npu_compiler::Compiler;
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use npu_sim::{Simulator, ValidationReport};
+use regate::experiments::{evaluate_config, setpm_rate};
+use regate_bench::{pct, section};
+
+fn eval_set(full: bool) -> Vec<npu_models::EvalConfig> {
+    if full {
+        npu_models::EvalConfig::all()
+    } else {
+        // Representative subset with modest chip counts so the default run
+        // finishes quickly.
+        vec![
+            npu_models::EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Training),
+            npu_models::EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill),
+            npu_models::EvalConfig::llm(LlamaModel::Llama2_13B, LlmPhase::Decode),
+            npu_models::EvalConfig::llm(LlamaModel::Llama3_70B, LlmPhase::Training),
+            npu_models::EvalConfig::dlrm(DlrmSize::Small),
+            npu_models::EvalConfig::dlrm(DlrmSize::Large),
+        ]
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    section("Figure 16: simulator validation vs. analytical roofline");
+    for (workload, label) in [
+        (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill), "Llama2-13B Prefill"),
+        (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), "Llama2-13B Decode"),
+        (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Prefill), "Llama3-70B Prefill"),
+        (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode), "Llama3-70B Decode"),
+    ] {
+        let chip = ChipConfig::new(NpuGeneration::D, 8);
+        let parallelism = workload
+            .default_parallelism(chip.spec(), 8)
+            .unwrap_or(ParallelismConfig::new(8, 1, 1));
+        let graph = workload.build_graph(&parallelism);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let result = Simulator::new(chip.clone()).run(&compiled);
+        let report = ValidationReport::for_simulation(&result, chip.spec());
+        println!(
+            "{:<22} R^2 = {:.4}  (n = {} operators, mean sim/ref ratio {:.3})",
+            label,
+            report.r_squared,
+            report.points.len(),
+            report.mean_ratio
+        );
+    }
+
+    let configs = eval_set(full);
+
+    section("Figure 17: energy savings vs NoPG");
+    println!(
+        "{:<28} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "chips", "Base", "HW", "Full", "Ideal"
+    );
+    let mut rows = Vec::new();
+    for config in &configs {
+        let row = evaluate_config(config, NpuGeneration::D);
+        println!(
+            "{:<28} {:>6} {:>12} {:>12} {:>12} {:>12}",
+            row.workload,
+            row.num_chips,
+            pct(row.energy_savings[0].1),
+            pct(row.energy_savings[1].1),
+            pct(row.energy_savings[2].1),
+            pct(row.energy_savings[3].1),
+        );
+        rows.push(row);
+    }
+
+    section("Figure 17 (stacking): ReGate-Full savings by component");
+    for row in &rows {
+        let parts: Vec<String> = row
+            .full_savings_breakdown
+            .iter()
+            .filter(|(_, v)| v.abs() > 5e-4)
+            .map(|(k, v)| format!("{k} {}", pct(*v)))
+            .collect();
+        println!("{:<28} {}", row.workload, parts.join("  "));
+    }
+
+    section("Figure 18: average / peak power per chip (W)");
+    println!("{:<28} {:>16} {:>16}", "workload", "avg NoPG→Full", "peak NoPG→Full");
+    for row in &rows {
+        println!(
+            "{:<28} {:>7.1} → {:<7.1} {:>7.1} → {:<7.1}",
+            row.workload,
+            row.average_power_w[0].1,
+            row.average_power_w[3].1,
+            row.peak_power_w[0].1,
+            row.peak_power_w[3].1,
+        );
+    }
+
+    section("Figure 19: performance overhead");
+    println!("{:<28} {:>10} {:>10} {:>10}", "workload", "Base", "HW", "Full");
+    for row in &rows {
+        println!(
+            "{:<28} {:>10} {:>10} {:>10}",
+            row.workload,
+            pct(row.performance_overhead[0].1),
+            pct(row.performance_overhead[1].1),
+            pct(row.performance_overhead[2].1),
+        );
+    }
+
+    section("Figure 20: setpm instructions per 1,000 cycles (VU, ReGate-Full)");
+    for (workload, chips) in [
+        (Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Training), 4usize),
+        (Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1),
+        (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), 1),
+        (Workload::dlrm(DlrmSize::Medium), 8),
+    ] {
+        let rate = setpm_rate(&workload, NpuGeneration::D, chips, 32);
+        println!("{:<28} {:>8.2} setpm / 1k cycles", workload.label(), rate);
+    }
+}

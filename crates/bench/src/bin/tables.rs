@@ -1,0 +1,64 @@
+//! Regenerates the paper's tables:
+//! * Table 2 — NPU specifications per generation;
+//! * Table 3 — power-on/off delays and break-even times;
+//! * Table 4 — the evaluated SLO-compliant deployment configurations
+//!   (printed from `npu_models::EvalConfig`, plus a small SLO search demo).
+//!
+//! Run with `cargo run --release -p regate-bench --bin tables`.
+
+use npu_arch::{NpuGeneration, NpuSpec};
+use npu_models::{EvalConfig, LlamaModel, LlmPhase, Workload};
+use npu_power::GatingParams;
+use regate::experiments::best_config;
+use regate_bench::section;
+
+fn main() {
+    section("Table 2: NPU specifications");
+    println!(
+        "{:<8} {:>6} {:>10} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "NPU", "tech", "freq(MHz)", "SAs", "VUs", "SRAM(MB)", "HBM(GB)", "BW(GB/s)", "ICI"
+    );
+    for generation in NpuGeneration::ALL {
+        let s = NpuSpec::generation(generation);
+        println!(
+            "{:<8} {:>6} {:>10} {:>4}x{:<4} {:>9} {:>10} {:>10} {:>10} {:>4}x{:<6}",
+            generation.to_string(),
+            s.technology.to_string(),
+            s.frequency_mhz,
+            s.num_sa,
+            s.sa_width,
+            s.num_vu,
+            s.sram_mib,
+            s.hbm_gib,
+            s.hbm_bandwidth_gbps,
+            s.ici_links,
+            format!("{:.0}GB/s", s.ici_link_gbps),
+        );
+    }
+
+    section("Table 3: power on/off delays and break-even times (cycles)");
+    let g = GatingParams::default();
+    println!("{:<16} {:>8} {:>8}", "component", "delay", "BET");
+    println!("{:<16} {:>8} {:>8}", "SA (PE)", g.sa_pe_delay, g.sa_pe_bet);
+    println!("{:<16} {:>8} {:>8}", "SA (full)", g.sa_full_delay, g.sa_full_bet);
+    println!("{:<16} {:>8} {:>8}", "VU", g.vu_delay, g.vu_bet);
+    println!("{:<16} {:>8} {:>8}", "HBM", g.hbm_delay, g.hbm_bet);
+    println!("{:<16} {:>8} {:>8}", "ICI", g.ici_delay, g.ici_bet);
+    println!("{:<16} {:>8} {:>8}", "SRAM (sleep)", g.sram_sleep_delay, g.sram_sleep_bet);
+    println!("{:<16} {:>8} {:>8}", "SRAM (off)", g.sram_off_delay, g.sram_off_bet);
+
+    section("Table 4: evaluated NPU-D deployment configurations");
+    println!("{:<32} {:>8} {:>10}", "workload", "chips", "batch");
+    for config in EvalConfig::all() {
+        println!("{:<32} {:>8} {:>10}", config.workload.label(), config.num_chips, config.batch);
+    }
+
+    section("SLO-compliant configuration search (demo)");
+    let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+    if let Some((chips, energy)) = best_config(&wl, NpuGeneration::D, &[1, 2, 4, 8], 0.5) {
+        println!(
+            "{}: most energy-efficient config under a 500 ms step SLO: {chips} chips ({energy:.4} J/token)",
+            wl.label()
+        );
+    }
+}

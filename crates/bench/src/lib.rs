@@ -1,0 +1,37 @@
+//! # regate-bench — benchmark harness for the ReGate reproduction
+//!
+//! The `src/bin` binaries regenerate the data behind every table and figure
+//! of the paper (see `DESIGN.md` for the experiment index), the Criterion
+//! benches in `benches/` measure the cost of the simulator, the compiler
+//! passes, and the PE-gating logic, and the workspace-level examples and
+//! integration tests are wired through this package.
+
+#![warn(missing_docs)]
+
+/// Formats a fraction as a percentage with one decimal place.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Prints a section header in the style used by all harness binaries.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a key/value line with aligned columns.
+pub fn kv(key: &str, value: impl std::fmt::Display) {
+    println!("{key:<44} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_one_decimal() {
+        assert_eq!(pct(0.155), "15.5%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

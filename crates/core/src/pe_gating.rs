@@ -1,0 +1,330 @@
+//! Spatially power-gated systolic array (paper §4.1, Figures 10–13).
+//!
+//! Three mechanisms cooperate:
+//!
+//! 1. **Row/column-wise gating from zero-weight detection** (Figure 12):
+//!    as weights are pushed in, the hardware records which rows/columns of
+//!    the weight panel contain at least one non-zero value. A backwards
+//!    OR-prefix-sum turns the non-zero bitmaps into `row_on`/`col_on`
+//!    masks: a row/column may be switched off only if it *and every
+//!    row/column after it* contain only zeros (earlier rows must still pass
+//!    data through).
+//! 2. **Diagonal `PE_on` propagation** (Figure 13): when the `M` dimension
+//!    is underutilized, PEs wake up just-in-time as the input wavefront
+//!    reaches them and fall back to the weight-retaining `W_on` mode once
+//!    the per-row input queue drains, so the exposed wake-up latency is a
+//!    single PE's delay.
+//! 3. **PE power modes** (Figure 11): `Off` (everything gated), `W_on`
+//!    (only the weight register powered), `On` (fully active).
+
+use serde::{Deserialize, Serialize};
+
+/// Power mode of one processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeMode {
+    /// Completely power gated.
+    Off,
+    /// Only the weight register is powered (retains the loaded weight).
+    WOn,
+    /// Fully active (registers + ALU).
+    On,
+}
+
+/// Computes the backwards OR-prefix-sum used by the row/column gating logic:
+/// output bit `i` is 1 iff any input bit `j >= i` is 1.
+#[must_use]
+pub fn suffix_or(bits: &[bool]) -> Vec<bool> {
+    let mut out = vec![false; bits.len()];
+    let mut any = false;
+    for i in (0..bits.len()).rev() {
+        any |= bits[i];
+        out[i] = any;
+    }
+    out
+}
+
+/// Gating plan for one weight panel loaded into a systolic array.
+///
+/// The plan captures which rows/columns may be switched off for the entire
+/// operator (`N`/`K` underutilization) and how many PE-cycles the diagonal
+/// dataflow keeps gated when `M` is underutilized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaGatingPlan {
+    sa_width: usize,
+    row_on: Vec<bool>,
+    col_on: Vec<bool>,
+}
+
+impl SaGatingPlan {
+    /// Builds the plan from the loaded weight panel.
+    ///
+    /// `weights[r][c]` is the weight loaded into PE `(r, c)`; panels smaller
+    /// than the array are implicitly zero-padded (which is exactly what the
+    /// compiler does when `K` or `N` is smaller than the SA width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row of `weights` is longer than `sa_width` or if more
+    /// than `sa_width` rows are given.
+    #[must_use]
+    pub fn from_weights(sa_width: usize, weights: &[Vec<f32>]) -> Self {
+        assert!(weights.len() <= sa_width, "too many weight rows");
+        let mut row_nz = vec![false; sa_width];
+        let mut col_nz = vec![false; sa_width];
+        for (r, row) in weights.iter().enumerate() {
+            assert!(row.len() <= sa_width, "weight row {r} too long");
+            for (c, &w) in row.iter().enumerate() {
+                if w != 0.0 {
+                    row_nz[r] = true;
+                    col_nz[c] = true;
+                }
+            }
+        }
+        SaGatingPlan { sa_width, row_on: suffix_or(&row_nz), col_on: suffix_or(&col_nz) }
+    }
+
+    /// Builds the plan directly from a matmul shape `[M,K]×[K,N]` mapped to
+    /// a `sa_width`-wide array: rows `>= min(K, width)` and columns
+    /// `>= min(N, width)` hold only padded zero weights.
+    #[must_use]
+    pub fn from_matmul_dims(sa_width: usize, k: usize, n: usize) -> Self {
+        let k_used = k.min(sa_width);
+        let n_used = n.min(sa_width);
+        let row_nz: Vec<bool> = (0..sa_width).map(|r| r < k_used).collect();
+        let col_nz: Vec<bool> = (0..sa_width).map(|c| c < n_used).collect();
+        SaGatingPlan { sa_width, row_on: suffix_or(&row_nz), col_on: suffix_or(&col_nz) }
+    }
+
+    /// Width of the systolic array.
+    #[must_use]
+    pub fn sa_width(&self) -> usize {
+        self.sa_width
+    }
+
+    /// Whether row `r` must stay powered (it holds non-zero weights or must
+    /// pass data to a later row that does).
+    #[must_use]
+    pub fn row_on(&self, r: usize) -> bool {
+        self.row_on.get(r).copied().unwrap_or(false)
+    }
+
+    /// Whether column `c` must stay powered.
+    #[must_use]
+    pub fn col_on(&self, c: usize) -> bool {
+        self.col_on.get(c).copied().unwrap_or(false)
+    }
+
+    /// Number of rows kept on.
+    #[must_use]
+    pub fn rows_on(&self) -> usize {
+        self.row_on.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of columns kept on.
+    #[must_use]
+    pub fn cols_on(&self) -> usize {
+        self.col_on.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of PEs that can be switched completely off for the whole
+    /// operator thanks to row/column gating (the `N`/`K` underutilization
+    /// cases of Figure 10).
+    #[must_use]
+    pub fn fraction_fully_off(&self) -> f64 {
+        let total = (self.sa_width * self.sa_width) as f64;
+        let on = (self.rows_on() * self.cols_on()) as f64;
+        1.0 - on / total
+    }
+
+    /// Power mode of PE `(row, col)` while the wavefront covers it.
+    #[must_use]
+    pub fn steady_state_mode(&self, row: usize, col: usize) -> PeMode {
+        if self.row_on(row) && self.col_on(col) {
+            PeMode::On
+        } else {
+            PeMode::Off
+        }
+    }
+
+    /// Fraction of PE-cycles gated over the execution of one input tile of
+    /// `m` rows, combining row/column gating with the diagonal `PE_on`
+    /// wavefront of Figure 13.
+    ///
+    /// An active PE `(r, c)` inside the powered row/column region is `On`
+    /// only while the input wavefront passes through it — `m` cycles out of
+    /// the `m + 2·width` cycles the tile occupies the array — and sits in
+    /// the weight-retaining `W_on` mode otherwise, which gates everything
+    /// but the weight register (modelled as `w_on_residual` of a PE's
+    /// power, 10% by default in the evaluation).
+    #[must_use]
+    pub fn gated_pe_cycle_fraction(&self, m: u64, w_on_residual: f64) -> f64 {
+        let width = self.sa_width as u64;
+        let tile_cycles = (m + 2 * width) as f64;
+        let total_pe_cycles = (self.sa_width * self.sa_width) as f64 * tile_cycles;
+        // PEs outside the powered region: off for the whole tile.
+        let off_pes = (self.sa_width * self.sa_width - self.rows_on() * self.cols_on()) as f64;
+        let off_cycles = off_pes * tile_cycles;
+        // PEs inside the powered region: On for m cycles, W_on otherwise.
+        let on_pes = (self.rows_on() * self.cols_on()) as f64;
+        let won_cycles = on_pes * (tile_cycles - m as f64);
+        let gated = off_cycles + won_cycles * (1.0 - w_on_residual);
+        gated / total_pe_cycles
+    }
+}
+
+/// Cycle-level simulation of the diagonal `PE_on` wavefront for one tile of
+/// `m` input rows on a `width`-wide array (Figure 13). Returns, per cycle,
+/// the number of PEs in `On` mode; used to validate that the analytical
+/// [`SaGatingPlan::gated_pe_cycle_fraction`] matches the dataflow.
+#[must_use]
+pub fn simulate_wavefront_on_pes(width: usize, m: usize) -> Vec<usize> {
+    // The input of row r reaches column c at cycle r + c (diagonal skew);
+    // the PE at (r, c) is On while any of the m inputs is passing through,
+    // i.e. during cycles [r + c, r + c + m).
+    let total_cycles = m + 2 * width;
+    let mut on_per_cycle = vec![0usize; total_cycles];
+    for r in 0..width {
+        for c in 0..width {
+            let start = r + c;
+            let end = (r + c + m).min(total_cycles);
+            for cycle in start..end {
+                on_per_cycle[cycle] += 1;
+            }
+        }
+    }
+    on_per_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_or_basic() {
+        assert_eq!(suffix_or(&[false, true, false, false]), vec![true, true, false, false]);
+        assert_eq!(suffix_or(&[false, false]), vec![false, false]);
+        assert_eq!(suffix_or(&[true, false]), vec![true, false]);
+        assert_eq!(suffix_or(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn figure12_example() {
+        // col_nz = 0100 -> col_on = 1100: column 0 stays on despite zero
+        // weights because it passes data to column 1.
+        let plan = SaGatingPlan::from_weights(
+            4,
+            &[
+                vec![0.0, 4.0, 0.0, 0.0],
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0, 0.0],
+                vec![0.0, 0.0, 0.0, 0.0],
+            ],
+        );
+        assert!(plan.col_on(0) && plan.col_on(1));
+        assert!(!plan.col_on(2) && !plan.col_on(3));
+        // row_nz = 1010 -> row_on = 1110.
+        assert!(plan.row_on(0) && plan.row_on(1) && plan.row_on(2));
+        assert!(!plan.row_on(3));
+        assert_eq!(plan.rows_on(), 3);
+        assert_eq!(plan.cols_on(), 2);
+        assert!((plan.fraction_fully_off() - (1.0 - 6.0 / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_dims_padding() {
+        // DiT attention: K = 72 on a 128-wide SA leaves 56 rows gated.
+        let plan = SaGatingPlan::from_matmul_dims(128, 72, 1024);
+        assert_eq!(plan.rows_on(), 72);
+        assert_eq!(plan.cols_on(), 128);
+        assert!((plan.fraction_fully_off() - (1.0 - 72.0 / 128.0)).abs() < 1e-12);
+        // Full-size matmul gates nothing spatially.
+        let full = SaGatingPlan::from_matmul_dims(128, 4096, 4096);
+        assert_eq!(full.fraction_fully_off(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_modes() {
+        let plan = SaGatingPlan::from_matmul_dims(8, 4, 2);
+        assert_eq!(plan.steady_state_mode(0, 0), PeMode::On);
+        assert_eq!(plan.steady_state_mode(5, 0), PeMode::Off);
+        assert_eq!(plan.steady_state_mode(0, 5), PeMode::Off);
+    }
+
+    #[test]
+    fn small_m_increases_gated_fraction() {
+        let plan = SaGatingPlan::from_matmul_dims(128, 128, 128);
+        let small_m = plan.gated_pe_cycle_fraction(2, 0.1);
+        let large_m = plan.gated_pe_cycle_fraction(4096, 0.1);
+        assert!(small_m > 0.8, "tiny M leaves most PE-cycles gated: {small_m}");
+        assert!(large_m < 0.1, "large M keeps the array busy: {large_m}");
+        assert!(small_m > large_m);
+    }
+
+    #[test]
+    fn wavefront_matches_analytical_on_cycles() {
+        let width = 16;
+        let m = 8;
+        let per_cycle = simulate_wavefront_on_pes(width, m);
+        let total_on: usize = per_cycle.iter().sum();
+        // Every PE is On for exactly m cycles.
+        assert_eq!(total_on, width * width * m);
+        // The wavefront never switches on more PEs than exist.
+        assert!(per_cycle.iter().all(|&n| n <= width * width));
+        // Analytical W_on/On split from gated_pe_cycle_fraction with zero
+        // residual: gated fraction = 1 - m / (m + 2*width).
+        let plan = SaGatingPlan::from_matmul_dims(width, width, width);
+        let expected = 1.0 - m as f64 / (m as f64 + 2.0 * width as f64);
+        assert!((plan.gated_pe_cycle_fraction(m as u64, 0.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many weight rows")]
+    fn oversized_weight_panel_rejected() {
+        let _ = SaGatingPlan::from_weights(2, &[vec![1.0], vec![1.0], vec![1.0]]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn suffix_or_is_monotone_nonincreasing(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let out = suffix_or(&bits);
+            // Once false, it stays false for all later indices... i.e. the
+            // output is non-increasing when read left to right as 1s then 0s?
+            // Property: out[i] == bits[i..].iter().any(|&b| b)
+            for i in 0..bits.len() {
+                prop_assert_eq!(out[i], bits[i..].iter().any(|&b| b));
+            }
+        }
+
+        #[test]
+        fn gated_fraction_is_a_valid_fraction(
+            k in 1usize..512, n in 1usize..512, m in 1u64..4096, residual in 0.0f64..1.0
+        ) {
+            let plan = SaGatingPlan::from_matmul_dims(128, k, n);
+            let f = plan.gated_pe_cycle_fraction(m, residual);
+            prop_assert!((0.0..=1.0).contains(&f));
+            // More residual power in W_on mode means less gating benefit.
+            let f_low = plan.gated_pe_cycle_fraction(m, 0.0);
+            prop_assert!(f <= f_low + 1e-12);
+        }
+
+        #[test]
+        fn rows_cols_on_match_dims(k in 1usize..=128, n in 1usize..=128) {
+            let plan = SaGatingPlan::from_matmul_dims(128, k, n);
+            prop_assert_eq!(plan.rows_on(), k.min(128));
+            prop_assert_eq!(plan.cols_on(), n.min(128));
+        }
+
+        #[test]
+        fn wavefront_total_equals_pe_times_m(width in 1usize..32, m in 1usize..64) {
+            let per_cycle = simulate_wavefront_on_pes(width, m);
+            let total: usize = per_cycle.iter().sum();
+            prop_assert_eq!(total, width * width * m);
+        }
+    }
+}

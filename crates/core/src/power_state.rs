@@ -1,0 +1,200 @@
+//! Per-component power-state tracking in the NPU core pipeline (paper §4.1,
+//! "Power state management in NPU core pipeline").
+//!
+//! A power-gated component is treated as a structural hazard: its ready bit
+//! is cleared, an instruction that needs it stalls, and dispatching the
+//! instruction raises a wake-up that sets the ready bit again after the
+//! component's power-on delay. Components wake up and go down independently
+//! because each has its own ready bit.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::ComponentId;
+use npu_isa::PowerMode;
+
+/// Power/readiness state of one component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentPowerState {
+    /// Commanded power mode (`Auto` by default).
+    pub mode: PowerMode,
+    /// Whether the component is currently powered and ready to accept work.
+    pub ready: bool,
+    /// Cycle at which an in-progress wake-up completes (if any).
+    pub ready_at_cycle: Option<u64>,
+}
+
+impl Default for ComponentPowerState {
+    fn default() -> Self {
+        ComponentPowerState { mode: PowerMode::Auto, ready: true, ready_at_cycle: None }
+    }
+}
+
+/// Tracks the power state and ready bit of every component on a chip and
+/// accounts for the stall cycles exposed by wake-ups.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerStateManager {
+    states: BTreeMap<ComponentId, ComponentPowerState>,
+    exposed_stall_cycles: u64,
+    wakeups: u64,
+}
+
+impl PowerStateManager {
+    /// Creates a manager with every component powered on in `Auto` mode.
+    #[must_use]
+    pub fn new(components: impl IntoIterator<Item = ComponentId>) -> Self {
+        let states =
+            components.into_iter().map(|id| (id, ComponentPowerState::default())).collect();
+        PowerStateManager { states, exposed_stall_cycles: 0, wakeups: 0 }
+    }
+
+    /// Current state of a component (default if it was never registered).
+    #[must_use]
+    pub fn state(&self, id: ComponentId) -> ComponentPowerState {
+        self.states.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Applies a power-mode command (from a `setpm` or a hardware policy).
+    ///
+    /// Turning a component off clears its ready bit; turning it on starts a
+    /// wake-up that completes after `power_on_delay` cycles.
+    pub fn set_mode(&mut self, id: ComponentId, mode: PowerMode, now_cycle: u64, power_on_delay: u64) {
+        let entry = self.states.entry(id).or_default();
+        entry.mode = mode;
+        match mode {
+            PowerMode::Off | PowerMode::Sleep => {
+                entry.ready = false;
+                entry.ready_at_cycle = None;
+            }
+            PowerMode::On => {
+                if !entry.ready && entry.ready_at_cycle.is_none() {
+                    entry.ready_at_cycle = Some(now_cycle + power_on_delay);
+                }
+            }
+            PowerMode::Auto => {}
+        }
+    }
+
+    /// Dispatches an operation to a component at `now_cycle`.
+    ///
+    /// Returns the cycle at which the operation can actually start: if the
+    /// component is ready this is `now_cycle`; otherwise the wake-up delay
+    /// is exposed as a stall (and recorded).
+    pub fn dispatch(&mut self, id: ComponentId, now_cycle: u64, power_on_delay: u64) -> u64 {
+        let entry = self.states.entry(id).or_default();
+        if entry.ready {
+            return now_cycle;
+        }
+        self.wakeups += 1;
+        let ready_at = match entry.ready_at_cycle {
+            Some(at) if at <= now_cycle => now_cycle,
+            Some(at) => at,
+            None => now_cycle + power_on_delay,
+        };
+        let stall = ready_at.saturating_sub(now_cycle);
+        self.exposed_stall_cycles += stall;
+        entry.ready = true;
+        entry.ready_at_cycle = None;
+        ready_at
+    }
+
+    /// Marks a component as gated by a hardware idle-detection policy.
+    pub fn gate(&mut self, id: ComponentId) {
+        let entry = self.states.entry(id).or_default();
+        entry.ready = false;
+        entry.ready_at_cycle = None;
+    }
+
+    /// Total stall cycles exposed by wake-ups so far.
+    #[must_use]
+    pub fn exposed_stall_cycles(&self) -> u64 {
+        self.exposed_stall_cycles
+    }
+
+    /// Number of wake-ups triggered by dispatches to gated components.
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Number of components currently not ready (gated or waking up).
+    #[must_use]
+    pub fn gated_count(&self) -> usize {
+        self.states.values().filter(|s| !s.ready).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::ComponentKind;
+
+    fn ids() -> Vec<ComponentId> {
+        vec![ComponentId::sa(0), ComponentId::sa(1), ComponentId::vu(0), ComponentId::hbm()]
+    }
+
+    #[test]
+    fn components_start_ready_in_auto() {
+        let mgr = PowerStateManager::new(ids());
+        for id in ids() {
+            let s = mgr.state(id);
+            assert!(s.ready);
+            assert_eq!(s.mode, PowerMode::Auto);
+        }
+        assert_eq!(mgr.gated_count(), 0);
+    }
+
+    #[test]
+    fn dispatch_to_ready_component_does_not_stall() {
+        let mut mgr = PowerStateManager::new(ids());
+        assert_eq!(mgr.dispatch(ComponentId::sa(0), 100, 10), 100);
+        assert_eq!(mgr.exposed_stall_cycles(), 0);
+        assert_eq!(mgr.wakeups(), 0);
+    }
+
+    #[test]
+    fn gated_component_exposes_wakeup_delay() {
+        let mut mgr = PowerStateManager::new(ids());
+        mgr.gate(ComponentId::vu(0));
+        assert_eq!(mgr.gated_count(), 1);
+        let start = mgr.dispatch(ComponentId::vu(0), 50, 2);
+        assert_eq!(start, 52);
+        assert_eq!(mgr.exposed_stall_cycles(), 2);
+        assert_eq!(mgr.wakeups(), 1);
+        // Once woken it stays ready.
+        assert_eq!(mgr.dispatch(ComponentId::vu(0), 60, 2), 60);
+    }
+
+    #[test]
+    fn software_prewake_hides_the_delay() {
+        let mut mgr = PowerStateManager::new(ids());
+        mgr.set_mode(ComponentId::vu(0), PowerMode::Off, 0, 2);
+        assert!(!mgr.state(ComponentId::vu(0)).ready);
+        // The compiler wakes the VU 10 cycles before it is needed.
+        mgr.set_mode(ComponentId::vu(0), PowerMode::On, 40, 2);
+        let start = mgr.dispatch(ComponentId::vu(0), 50, 2);
+        assert_eq!(start, 50, "the wake-up finished at cycle 42, before the use");
+        assert_eq!(mgr.exposed_stall_cycles(), 0);
+    }
+
+    #[test]
+    fn late_prewake_exposes_partial_delay() {
+        let mut mgr = PowerStateManager::new(ids());
+        mgr.set_mode(ComponentId::hbm(), PowerMode::Off, 0, 60);
+        mgr.set_mode(ComponentId::hbm(), PowerMode::On, 100, 60);
+        let start = mgr.dispatch(ComponentId::hbm(), 120, 60);
+        assert_eq!(start, 160, "wake-up completes at 160");
+        assert_eq!(mgr.exposed_stall_cycles(), 40);
+    }
+
+    #[test]
+    fn independent_ready_bits() {
+        let mut mgr = PowerStateManager::new(ids());
+        mgr.gate(ComponentId::sa(0));
+        assert!(mgr.state(ComponentId::sa(1)).ready, "other SA is unaffected");
+        assert!(!mgr.state(ComponentId::sa(0)).ready);
+        assert_eq!(mgr.state(ComponentId::sa(0)).mode, PowerMode::Auto);
+        let _ = ComponentKind::Sa; // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,164 @@
+//! Chip-level configuration: which generation, how many chips, and how the
+//! chip's component instances are enumerated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::{ComponentId, ComponentKind};
+use crate::spec::{NpuGeneration, NpuSpec};
+use crate::topology::PodTopology;
+
+/// A concrete deployment configuration: an NPU generation plus the number of
+/// chips the workload runs on (forming a pod slice).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    spec: NpuSpec,
+    num_chips: usize,
+}
+
+impl ChipConfig {
+    /// Creates a configuration of `num_chips` chips of the given generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips` is zero.
+    #[must_use]
+    pub fn new(generation: NpuGeneration, num_chips: usize) -> Self {
+        assert!(num_chips > 0, "need at least one chip");
+        ChipConfig { spec: NpuSpec::generation(generation), num_chips }
+    }
+
+    /// Creates a single-chip configuration.
+    #[must_use]
+    pub fn single(generation: NpuGeneration) -> Self {
+        Self::new(generation, 1)
+    }
+
+    /// The chip's architectural specification.
+    #[must_use]
+    pub fn spec(&self) -> &NpuSpec {
+        &self.spec
+    }
+
+    /// NPU generation of the chips.
+    #[must_use]
+    pub fn generation(&self) -> NpuGeneration {
+        self.spec.generation
+    }
+
+    /// Number of chips in the deployment.
+    #[must_use]
+    pub fn num_chips(&self) -> usize {
+        self.num_chips
+    }
+
+    /// The pod topology connecting the chips.
+    #[must_use]
+    pub fn topology(&self) -> PodTopology {
+        PodTopology::for_chips(self.spec.ici_topology, self.num_chips)
+    }
+
+    /// Aggregate HBM capacity across all chips, in bytes.
+    #[must_use]
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.spec.hbm_bytes() * self.num_chips as u64
+    }
+
+    /// Aggregate peak compute across all chips, in FLOP/s.
+    #[must_use]
+    pub fn total_peak_flops(&self) -> f64 {
+        self.spec.peak_flops() * self.num_chips as f64
+    }
+
+    /// Enumerates every component instance on one chip.
+    ///
+    /// Returns one [`ComponentId`] per SA, per VU, and singletons for SRAM,
+    /// HBM controller, ICI controller, DMA engine, and peripheral logic.
+    #[must_use]
+    pub fn components(&self) -> Vec<ComponentId> {
+        let mut out = Vec::with_capacity(self.spec.num_sa + self.spec.num_vu + 5);
+        for i in 0..self.spec.num_sa {
+            out.push(ComponentId::sa(i));
+        }
+        for i in 0..self.spec.num_vu {
+            out.push(ComponentId::vu(i));
+        }
+        out.push(ComponentId::sram());
+        out.push(ComponentId::hbm());
+        out.push(ComponentId::ici());
+        out.push(ComponentId::dma());
+        out.push(ComponentId::other());
+        out
+    }
+
+    /// Number of component instances of a given kind on one chip.
+    #[must_use]
+    pub fn instance_count(&self, kind: ComponentKind) -> usize {
+        match kind {
+            ComponentKind::Sa => self.spec.num_sa,
+            ComponentKind::Vu => self.spec.num_vu,
+            ComponentKind::Sram
+            | ComponentKind::Hbm
+            | ComponentKind::Ici
+            | ComponentKind::Dma
+            | ComponentKind::Other => 1,
+        }
+    }
+
+    /// Returns a copy of this configuration with a different chip count.
+    #[must_use]
+    pub fn with_chips(&self, num_chips: usize) -> Self {
+        assert!(num_chips > 0, "need at least one chip");
+        ChipConfig { spec: self.spec.clone(), num_chips }
+    }
+}
+
+impl std::fmt::Display for ChipConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} x{}", self.spec.generation, self.num_chips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_enumeration_counts() {
+        let cfg = ChipConfig::single(NpuGeneration::D);
+        let comps = cfg.components();
+        let sas = comps.iter().filter(|c| c.kind == ComponentKind::Sa).count();
+        let vus = comps.iter().filter(|c| c.kind == ComponentKind::Vu).count();
+        assert_eq!(sas, 8);
+        assert_eq!(vus, 6);
+        assert_eq!(comps.len(), 8 + 6 + 5);
+    }
+
+    #[test]
+    fn instance_counts_match_spec() {
+        let cfg = ChipConfig::single(NpuGeneration::A);
+        assert_eq!(cfg.instance_count(ComponentKind::Sa), 2);
+        assert_eq!(cfg.instance_count(ComponentKind::Vu), 4);
+        assert_eq!(cfg.instance_count(ComponentKind::Sram), 1);
+        assert_eq!(cfg.instance_count(ComponentKind::Other), 1);
+    }
+
+    #[test]
+    fn totals_scale_with_chip_count() {
+        let one = ChipConfig::single(NpuGeneration::C);
+        let eight = one.with_chips(8);
+        assert_eq!(eight.total_hbm_bytes(), 8 * one.total_hbm_bytes());
+        assert!((eight.total_peak_flops() / one.total_peak_flops() - 8.0).abs() < 1e-12);
+        assert_eq!(eight.topology().num_chips(), 8);
+    }
+
+    #[test]
+    fn display_includes_generation_and_count() {
+        assert_eq!(ChipConfig::new(NpuGeneration::B, 4).to_string(), "NPU-B x4");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chips_rejected() {
+        let _ = ChipConfig::new(NpuGeneration::A, 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Chip component taxonomy and power-domain identifiers.
+//!
+//! ReGate manages power gating per component instance (a specific systolic
+//! array, a specific vector unit, an SRAM segment, the HBM controller & PHY,
+//! the ICI controller & PHY). [`ComponentKind`] enumerates the kinds studied
+//! in the paper; [`ComponentId`] names a concrete instance inside a chip;
+//! [`PowerDomain`] names a gateable region (which can be finer than an
+//! instance, e.g. one PE row or one SRAM segment).
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of hardware component on an NPU chip (paper §2.1 and Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// Systolic array (matrix unit).
+    Sa,
+    /// SIMD vector unit.
+    Vu,
+    /// On-chip SRAM scratchpad.
+    Sram,
+    /// HBM controller & PHY (the off-chip DRAM itself is modelled separately).
+    Hbm,
+    /// Inter-chip interconnect controller & PHY.
+    Ici,
+    /// DMA engine that moves data between HBM/ICI and SRAM.
+    Dma,
+    /// Peripheral logic (chip management, control, PCIe, misc. datapaths);
+    /// never power gated by ReGate.
+    Other,
+}
+
+impl ComponentKind {
+    /// All component kinds, in the order used by the paper's breakdown plots.
+    pub const ALL: [ComponentKind; 7] = [
+        ComponentKind::Sa,
+        ComponentKind::Vu,
+        ComponentKind::Sram,
+        ComponentKind::Ici,
+        ComponentKind::Hbm,
+        ComponentKind::Dma,
+        ComponentKind::Other,
+    ];
+
+    /// The components ReGate considers for power gating (everything except
+    /// the peripheral "other" logic, §3 "Other components").
+    pub const GATEABLE: [ComponentKind; 6] = [
+        ComponentKind::Sa,
+        ComponentKind::Vu,
+        ComponentKind::Sram,
+        ComponentKind::Ici,
+        ComponentKind::Hbm,
+        ComponentKind::Dma,
+    ];
+
+    /// Short label used in reports and figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentKind::Sa => "SA",
+            ComponentKind::Vu => "VU",
+            ComponentKind::Sram => "SRAM",
+            ComponentKind::Hbm => "HBM",
+            ComponentKind::Ici => "ICI",
+            ComponentKind::Dma => "DMA",
+            ComponentKind::Other => "Other",
+        }
+    }
+
+    /// Whether ReGate ever power gates this kind of component.
+    #[must_use]
+    pub fn is_gateable(self) -> bool {
+        !matches!(self, ComponentKind::Other)
+    }
+
+    /// Whether the component retains architectural state that must survive
+    /// power gating (only the SRAM does; execution units are stateless
+    /// between operators).
+    #[must_use]
+    pub fn retains_state(self) -> bool {
+        matches!(self, ComponentKind::Sram)
+    }
+}
+
+impl std::fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Identifier of a concrete component instance inside one chip.
+///
+/// The `index` distinguishes multiple instances of the same kind (e.g. SA 0
+/// through SA 7 on NPU-D); singleton components use index 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComponentId {
+    /// Kind of the component.
+    pub kind: ComponentKind,
+    /// Instance index within the chip.
+    pub index: usize,
+}
+
+impl ComponentId {
+    /// Creates a component identifier.
+    #[must_use]
+    pub fn new(kind: ComponentKind, index: usize) -> Self {
+        ComponentId { kind, index }
+    }
+
+    /// Convenience constructor for systolic array `index`.
+    #[must_use]
+    pub fn sa(index: usize) -> Self {
+        Self::new(ComponentKind::Sa, index)
+    }
+
+    /// Convenience constructor for vector unit `index`.
+    #[must_use]
+    pub fn vu(index: usize) -> Self {
+        Self::new(ComponentKind::Vu, index)
+    }
+
+    /// The (single) SRAM scratchpad.
+    #[must_use]
+    pub fn sram() -> Self {
+        Self::new(ComponentKind::Sram, 0)
+    }
+
+    /// The (single) HBM controller & PHY.
+    #[must_use]
+    pub fn hbm() -> Self {
+        Self::new(ComponentKind::Hbm, 0)
+    }
+
+    /// The (single) ICI controller & PHY.
+    #[must_use]
+    pub fn ici() -> Self {
+        Self::new(ComponentKind::Ici, 0)
+    }
+
+    /// The (single) DMA engine.
+    #[must_use]
+    pub fn dma() -> Self {
+        Self::new(ComponentKind::Dma, 0)
+    }
+
+    /// The aggregated peripheral logic.
+    #[must_use]
+    pub fn other() -> Self {
+        Self::new(ComponentKind::Other, 0)
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.kind.label(), self.index)
+    }
+}
+
+/// A gateable power domain, possibly finer-grained than a component.
+///
+/// ReGate power gates systolic arrays at processing-element granularity and
+/// SRAM at 4 KiB-segment granularity; the remaining components are gated as
+/// whole units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerDomain {
+    /// An entire component instance.
+    Component(ComponentId),
+    /// One processing element of a systolic array (`sa`, `row`, `col`).
+    ProcessingElement {
+        /// Systolic array instance index.
+        sa: usize,
+        /// PE row (0-based, top to bottom in the weight-stationary layout).
+        row: usize,
+        /// PE column (0-based, left to right).
+        col: usize,
+    },
+    /// One row of PEs in a systolic array.
+    SaRow {
+        /// Systolic array instance index.
+        sa: usize,
+        /// Row index.
+        row: usize,
+    },
+    /// One column of PEs in a systolic array.
+    SaColumn {
+        /// Systolic array instance index.
+        sa: usize,
+        /// Column index.
+        col: usize,
+    },
+    /// One SRAM segment (`segment_bytes`-sized slice of the scratchpad).
+    SramSegment {
+        /// Segment index within the scratchpad.
+        segment: usize,
+    },
+}
+
+impl PowerDomain {
+    /// The component kind this power domain belongs to.
+    #[must_use]
+    pub fn kind(&self) -> ComponentKind {
+        match self {
+            PowerDomain::Component(id) => id.kind,
+            PowerDomain::ProcessingElement { .. }
+            | PowerDomain::SaRow { .. }
+            | PowerDomain::SaColumn { .. } => ComponentKind::Sa,
+            PowerDomain::SramSegment { .. } => ComponentKind::Sram,
+        }
+    }
+}
+
+impl std::fmt::Display for PowerDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerDomain::Component(id) => write!(f, "{id}"),
+            PowerDomain::ProcessingElement { sa, row, col } => {
+                write!(f, "SA{sa}.PE[{row},{col}]")
+            }
+            PowerDomain::SaRow { sa, row } => write!(f, "SA{sa}.row{row}"),
+            PowerDomain::SaColumn { sa, col } => write!(f, "SA{sa}.col{col}"),
+            PowerDomain::SramSegment { segment } => write!(f, "SRAM.seg{segment}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_are_labelled() {
+        for kind in ComponentKind::ALL {
+            assert!(!kind.label().is_empty());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+
+    #[test]
+    fn gateable_excludes_other() {
+        assert!(!ComponentKind::Other.is_gateable());
+        for kind in ComponentKind::GATEABLE {
+            assert!(kind.is_gateable());
+        }
+        assert_eq!(ComponentKind::GATEABLE.len(), ComponentKind::ALL.len() - 1);
+    }
+
+    #[test]
+    fn only_sram_retains_state() {
+        for kind in ComponentKind::ALL {
+            assert_eq!(kind.retains_state(), kind == ComponentKind::Sram);
+        }
+    }
+
+    #[test]
+    fn component_id_display() {
+        assert_eq!(ComponentId::sa(3).to_string(), "SA3");
+        assert_eq!(ComponentId::vu(1).to_string(), "VU1");
+        assert_eq!(ComponentId::sram().to_string(), "SRAM0");
+        assert_eq!(ComponentId::hbm().to_string(), "HBM0");
+    }
+
+    #[test]
+    fn power_domain_kind() {
+        assert_eq!(
+            PowerDomain::ProcessingElement { sa: 0, row: 1, col: 2 }.kind(),
+            ComponentKind::Sa
+        );
+        assert_eq!(PowerDomain::SramSegment { segment: 7 }.kind(), ComponentKind::Sram);
+        assert_eq!(
+            PowerDomain::Component(ComponentId::ici()).kind(),
+            ComponentKind::Ici
+        );
+    }
+
+    #[test]
+    fn power_domain_display() {
+        assert_eq!(
+            PowerDomain::ProcessingElement { sa: 2, row: 0, col: 5 }.to_string(),
+            "SA2.PE[0,5]"
+        );
+        assert_eq!(PowerDomain::SramSegment { segment: 12 }.to_string(), "SRAM.seg12");
+        assert_eq!(PowerDomain::SaRow { sa: 1, row: 3 }.to_string(), "SA1.row3");
+    }
+
+    #[test]
+    fn component_ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ComponentId::sa(0));
+        set.insert(ComponentId::sa(1));
+        set.insert(ComponentId::sa(0));
+        assert_eq!(set.len(), 2);
+        assert!(ComponentId::sa(0) < ComponentId::sa(1));
+    }
+}

@@ -1,0 +1,202 @@
+//! Memory-system description: HBM kinds and SRAM scratchpad geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Generation of high-bandwidth memory attached to an NPU chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HbmKind {
+    /// HBM2 (NPU-A/B/C).
+    Hbm2,
+    /// HBM2e (NPU-D).
+    Hbm2e,
+    /// HBM3e (projected NPU-E).
+    Hbm3e,
+}
+
+impl HbmKind {
+    /// Typical random-access latency of the HBM stack in nanoseconds.
+    ///
+    /// The simulator charges this latency once per DMA transfer (DMA
+    /// requests in NPUs are large, so latency is amortized, §4.1).
+    #[must_use]
+    pub fn access_latency_ns(self) -> f64 {
+        match self {
+            HbmKind::Hbm2 => 120.0,
+            HbmKind::Hbm2e => 110.0,
+            HbmKind::Hbm3e => 100.0,
+        }
+    }
+
+    /// Interval between mandatory DRAM refreshes in microseconds.
+    ///
+    /// Even a power-gated HBM controller must wake up this often to issue
+    /// auto-refresh (the paper cites 3.9 µs).
+    #[must_use]
+    pub fn refresh_interval_us(self) -> f64 {
+        3.9
+    }
+
+    /// Energy per byte transferred, in picojoules (dynamic HBM energy).
+    #[must_use]
+    pub fn energy_pj_per_byte(self) -> f64 {
+        match self {
+            HbmKind::Hbm2 => 7.0,
+            HbmKind::Hbm2e => 6.0,
+            HbmKind::Hbm3e => 4.5,
+        }
+    }
+}
+
+impl std::fmt::Display for HbmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HbmKind::Hbm2 => write!(f, "HBM2"),
+            HbmKind::Hbm2e => write!(f, "HBM2e"),
+            HbmKind::Hbm3e => write!(f, "HBM3e"),
+        }
+    }
+}
+
+/// Geometry of the on-chip SRAM scratchpad: total capacity and the size of
+/// one power-gateable segment.
+///
+/// ReGate divides the SRAM into equally sized segments (4 KiB by default,
+/// the vector-register size) and gates each segment independently (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SramGeometry {
+    total_bytes: u64,
+    segment_bytes: u64,
+}
+
+impl SramGeometry {
+    /// Creates a geometry with the given total capacity and segment size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_bytes` is zero or does not divide `total_bytes`.
+    #[must_use]
+    pub fn new(total_bytes: u64, segment_bytes: u64) -> Self {
+        assert!(segment_bytes > 0, "segment size must be non-zero");
+        assert!(
+            total_bytes % segment_bytes == 0,
+            "segment size {segment_bytes} must divide total capacity {total_bytes}"
+        );
+        SramGeometry { total_bytes, segment_bytes }
+    }
+
+    /// Total scratchpad capacity in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Size of one power-gateable segment in bytes.
+    #[must_use]
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Number of segments in the scratchpad.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        (self.total_bytes / self.segment_bytes) as usize
+    }
+
+    /// Segment index containing byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the scratchpad.
+    #[must_use]
+    pub fn segment_of(&self, addr: u64) -> usize {
+        assert!(addr < self.total_bytes, "address {addr:#x} out of range");
+        (addr / self.segment_bytes) as usize
+    }
+
+    /// Inclusive range of segment indices covering `[start, start + len)`.
+    ///
+    /// Returns `None` for an empty range. Panics if the range exceeds the
+    /// scratchpad capacity.
+    #[must_use]
+    pub fn segments_for_range(&self, start: u64, len: u64) -> Option<(usize, usize)> {
+        if len == 0 {
+            return None;
+        }
+        let end = start.checked_add(len).expect("range overflow");
+        assert!(end <= self.total_bytes, "range [{start:#x},{end:#x}) out of capacity");
+        Some((self.segment_of(start), self.segment_of(end - 1)))
+    }
+
+    /// Number of segments needed to hold `bytes` of data (rounded up).
+    #[must_use]
+    pub fn segments_for_bytes(&self, bytes: u64) -> usize {
+        (bytes.div_ceil(self.segment_bytes)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_kinds_have_sensible_latency() {
+        assert!(HbmKind::Hbm3e.access_latency_ns() < HbmKind::Hbm2.access_latency_ns());
+        assert!(HbmKind::Hbm2.refresh_interval_us() > 0.0);
+        assert_eq!(HbmKind::Hbm2e.to_string(), "HBM2e");
+    }
+
+    #[test]
+    fn energy_per_byte_improves_with_generation() {
+        assert!(HbmKind::Hbm3e.energy_pj_per_byte() < HbmKind::Hbm2e.energy_pj_per_byte());
+        assert!(HbmKind::Hbm2e.energy_pj_per_byte() < HbmKind::Hbm2.energy_pj_per_byte());
+    }
+
+    #[test]
+    fn geometry_segment_count() {
+        let g = SramGeometry::new(128 * 1024 * 1024, 4096);
+        assert_eq!(g.num_segments(), 32768);
+        assert_eq!(g.segment_bytes(), 4096);
+        assert_eq!(g.total_bytes(), 128 * 1024 * 1024);
+    }
+
+    #[test]
+    fn segment_of_addresses() {
+        let g = SramGeometry::new(64 * 1024, 4096);
+        assert_eq!(g.segment_of(0), 0);
+        assert_eq!(g.segment_of(4095), 0);
+        assert_eq!(g.segment_of(4096), 1);
+        assert_eq!(g.segment_of(64 * 1024 - 1), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_of_out_of_range_panics() {
+        let g = SramGeometry::new(64 * 1024, 4096);
+        let _ = g.segment_of(64 * 1024);
+    }
+
+    #[test]
+    fn segments_for_range_spans() {
+        let g = SramGeometry::new(64 * 1024, 4096);
+        assert_eq!(g.segments_for_range(0, 1), Some((0, 0)));
+        assert_eq!(g.segments_for_range(0, 4097), Some((0, 1)));
+        assert_eq!(g.segments_for_range(4000, 200), Some((0, 1)));
+        assert_eq!(g.segments_for_range(8192, 8192), Some((2, 3)));
+        assert_eq!(g.segments_for_range(100, 0), None);
+    }
+
+    #[test]
+    fn segments_for_bytes_rounds_up() {
+        let g = SramGeometry::new(64 * 1024, 4096);
+        assert_eq!(g.segments_for_bytes(0), 0);
+        assert_eq!(g.segments_for_bytes(1), 1);
+        assert_eq!(g.segments_for_bytes(4096), 1);
+        assert_eq!(g.segments_for_bytes(4097), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn geometry_rejects_non_dividing_segment() {
+        let _ = SramGeometry::new(10_000, 4096);
+    }
+}

@@ -1,0 +1,167 @@
+//! Multi-chip parallelism configuration: data, tensor, and pipeline
+//! parallelism degrees, plus enumeration of all valid factorizations for a
+//! given chip count (used by the SLO-compliant configuration search).
+
+use serde::{Deserialize, Serialize};
+
+/// Axis along which an operator or model is sharded across chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShardingAxis {
+    /// Sharded across the batch dimension (data parallelism).
+    Data,
+    /// Sharded across hidden/head dimensions (tensor parallelism).
+    Tensor,
+    /// Sharded across layers (pipeline parallelism).
+    Pipeline,
+}
+
+/// Degrees of data, tensor, and pipeline parallelism.
+///
+/// The product of the three degrees is the total number of chips used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelismConfig {
+    /// Data-parallel replicas.
+    pub data: usize,
+    /// Tensor-parallel shards within a replica.
+    pub tensor: usize,
+    /// Pipeline stages within a replica.
+    pub pipeline: usize,
+}
+
+impl ParallelismConfig {
+    /// A single-chip (no parallelism) configuration.
+    #[must_use]
+    pub fn single() -> Self {
+        ParallelismConfig { data: 1, tensor: 1, pipeline: 1 }
+    }
+
+    /// Creates a configuration; every degree must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any degree is zero.
+    #[must_use]
+    pub fn new(data: usize, tensor: usize, pipeline: usize) -> Self {
+        assert!(data >= 1 && tensor >= 1 && pipeline >= 1, "degrees must be >= 1");
+        ParallelismConfig { data, tensor, pipeline }
+    }
+
+    /// Total number of chips used by this configuration.
+    #[must_use]
+    pub fn num_chips(&self) -> usize {
+        self.data * self.tensor * self.pipeline
+    }
+
+    /// Degree along a given sharding axis.
+    #[must_use]
+    pub fn degree(&self, axis: ShardingAxis) -> usize {
+        match axis {
+            ShardingAxis::Data => self.data,
+            ShardingAxis::Tensor => self.tensor,
+            ShardingAxis::Pipeline => self.pipeline,
+        }
+    }
+
+    /// Whether the configuration involves any cross-chip communication.
+    #[must_use]
+    pub fn is_distributed(&self) -> bool {
+        self.num_chips() > 1
+    }
+
+    /// Enumerates every factorization `data × tensor × pipeline = num_chips`
+    /// with degrees restricted to powers of two (the standard practice for
+    /// torus-mapped shardings), subject to `max_pipeline` stages.
+    #[must_use]
+    pub fn enumerate(num_chips: usize, max_pipeline: usize) -> Vec<ParallelismConfig> {
+        let mut out = Vec::new();
+        if num_chips == 0 {
+            return out;
+        }
+        let mut tensor = 1;
+        while tensor <= num_chips {
+            if num_chips % tensor == 0 {
+                let rest = num_chips / tensor;
+                let mut pipeline = 1;
+                while pipeline <= rest && pipeline <= max_pipeline {
+                    if rest % pipeline == 0 {
+                        let data = rest / pipeline;
+                        out.push(ParallelismConfig { data, tensor, pipeline });
+                    }
+                    pipeline *= 2;
+                }
+            }
+            tensor *= 2;
+        }
+        out
+    }
+}
+
+impl Default for ParallelismConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl std::fmt::Display for ParallelismConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DP{}xTP{}xPP{}", self.data, self.tensor, self.pipeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_count_is_product_of_degrees() {
+        let p = ParallelismConfig::new(2, 4, 2);
+        assert_eq!(p.num_chips(), 16);
+        assert!(p.is_distributed());
+        assert!(!ParallelismConfig::single().is_distributed());
+    }
+
+    #[test]
+    fn degree_lookup() {
+        let p = ParallelismConfig::new(2, 4, 8);
+        assert_eq!(p.degree(ShardingAxis::Data), 2);
+        assert_eq!(p.degree(ShardingAxis::Tensor), 4);
+        assert_eq!(p.degree(ShardingAxis::Pipeline), 8);
+    }
+
+    #[test]
+    fn enumerate_covers_all_power_of_two_factorizations() {
+        let configs = ParallelismConfig::enumerate(8, 8);
+        // tensor in {1,2,4,8}, pipeline power of two dividing the rest.
+        assert!(configs.contains(&ParallelismConfig::new(8, 1, 1)));
+        assert!(configs.contains(&ParallelismConfig::new(1, 8, 1)));
+        assert!(configs.contains(&ParallelismConfig::new(1, 1, 8)));
+        assert!(configs.contains(&ParallelismConfig::new(2, 2, 2)));
+        for c in &configs {
+            assert_eq!(c.num_chips(), 8);
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_max_pipeline() {
+        let configs = ParallelismConfig::enumerate(16, 2);
+        assert!(configs.iter().all(|c| c.pipeline <= 2));
+        assert!(configs.iter().any(|c| c.pipeline == 2));
+    }
+
+    #[test]
+    fn enumerate_single_chip() {
+        let configs = ParallelismConfig::enumerate(1, 8);
+        assert_eq!(configs, vec![ParallelismConfig::single()]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ParallelismConfig::new(4, 2, 1).to_string(), "DP4xTP2xPP1");
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees must be >= 1")]
+    fn zero_degree_rejected() {
+        let _ = ParallelismConfig::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Service-level-objective (SLO) model.
+//!
+//! The paper compares NPU generations at equal service levels: for each
+//! workload, the performance achieved on the minimum number of NPU-D chips
+//! with the default batch size defines the baseline, and 1/5 of that
+//! performance is the "1× SLO" (5× the latency for inference, 1/5 of the
+//! throughput for training). Each generation is then evaluated with its most
+//! energy-efficient SLO-compliant configuration; generations that cannot
+//! meet the 1× SLO report the best relaxed SLO they can achieve (§3).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a workload is latency-bound (inference) or throughput-bound
+/// (training), which determines how the SLO is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SloTarget {
+    /// Maximum acceptable latency in seconds per request/iteration.
+    LatencySeconds(f64),
+    /// Minimum acceptable throughput in work-units per second
+    /// (tokens/s, requests/s, images/s, or iterations/s).
+    Throughput(f64),
+}
+
+impl SloTarget {
+    /// Checks whether an achieved latency/throughput satisfies the target.
+    #[must_use]
+    pub fn is_met(&self, achieved_latency_s: f64, achieved_throughput: f64) -> bool {
+        match *self {
+            SloTarget::LatencySeconds(limit) => achieved_latency_s <= limit,
+            SloTarget::Throughput(min) => achieved_throughput >= min,
+        }
+    }
+
+    /// Returns the target relaxed by `factor` (≥ 1.0): latency limits grow,
+    /// throughput floors shrink.
+    #[must_use]
+    pub fn relaxed(&self, factor: f64) -> SloTarget {
+        assert!(factor >= 1.0, "relaxation factor must be >= 1");
+        match *self {
+            SloTarget::LatencySeconds(limit) => SloTarget::LatencySeconds(limit * factor),
+            SloTarget::Throughput(min) => SloTarget::Throughput(min / factor),
+        }
+    }
+}
+
+/// An SLO specification derived from a baseline measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    target: SloTarget,
+    /// The multiple of the 1× SLO this spec represents (1.0 = 1× SLO).
+    relaxation: f64,
+}
+
+impl SloSpec {
+    /// SLO slack factor applied to the baseline performance (the paper uses
+    /// 1/5 of the NPU-D baseline performance as the 1× SLO).
+    pub const BASELINE_SLACK: f64 = 5.0;
+
+    /// Builds the 1× SLO for a latency-bound workload from the baseline
+    /// latency measured on the reference configuration.
+    #[must_use]
+    pub fn from_baseline_latency(baseline_latency_s: f64) -> Self {
+        SloSpec {
+            target: SloTarget::LatencySeconds(baseline_latency_s * Self::BASELINE_SLACK),
+            relaxation: 1.0,
+        }
+    }
+
+    /// Builds the 1× SLO for a throughput-bound workload from the baseline
+    /// throughput measured on the reference configuration.
+    #[must_use]
+    pub fn from_baseline_throughput(baseline_throughput: f64) -> Self {
+        SloSpec {
+            target: SloTarget::Throughput(baseline_throughput / Self::BASELINE_SLACK),
+            relaxation: 1.0,
+        }
+    }
+
+    /// The underlying latency/throughput target.
+    #[must_use]
+    pub fn target(&self) -> SloTarget {
+        self.target
+    }
+
+    /// The SLO multiple (1.0 = 1× SLO, 2.0 = 2× relaxed, …).
+    #[must_use]
+    pub fn relaxation(&self) -> f64 {
+        self.relaxation
+    }
+
+    /// Whether an achieved latency/throughput meets this SLO.
+    #[must_use]
+    pub fn is_met(&self, achieved_latency_s: f64, achieved_throughput: f64) -> bool {
+        self.target.is_met(achieved_latency_s, achieved_throughput)
+    }
+
+    /// Returns this SLO relaxed by an additional integer factor (2×, 4×, …).
+    #[must_use]
+    pub fn relaxed(&self, factor: f64) -> SloSpec {
+        SloSpec { target: self.target.relaxed(factor), relaxation: self.relaxation * factor }
+    }
+
+    /// Finds the smallest relaxation factor from `candidates` (sorted
+    /// ascending) under which the achieved performance meets the SLO.
+    /// Returns `None` if even the largest candidate fails.
+    #[must_use]
+    pub fn smallest_feasible_relaxation(
+        &self,
+        achieved_latency_s: f64,
+        achieved_throughput: f64,
+        candidates: &[f64],
+    ) -> Option<f64> {
+        candidates
+            .iter()
+            .copied()
+            .find(|&f| self.relaxed(f).is_met(achieved_latency_s, achieved_throughput))
+    }
+
+    /// Label used in figures, e.g. `"1x"` or `"2x"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if (self.relaxation - self.relaxation.round()).abs() < 1e-9 {
+            format!("{}x", self.relaxation.round() as u64)
+        } else {
+            format!("{:.1}x", self.relaxation)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_slo_from_baseline() {
+        let slo = SloSpec::from_baseline_latency(0.1);
+        // 1x SLO is 5x the baseline latency.
+        assert!(slo.is_met(0.5, 0.0));
+        assert!(slo.is_met(0.49, 0.0));
+        assert!(!slo.is_met(0.51, 0.0));
+        assert_eq!(slo.label(), "1x");
+    }
+
+    #[test]
+    fn throughput_slo_from_baseline() {
+        let slo = SloSpec::from_baseline_throughput(100.0);
+        assert!(slo.is_met(0.0, 20.0));
+        assert!(!slo.is_met(0.0, 19.9));
+    }
+
+    #[test]
+    fn relaxation_scales_targets() {
+        let slo = SloSpec::from_baseline_latency(0.1);
+        let relaxed = slo.relaxed(2.0);
+        assert!(relaxed.is_met(0.9, 0.0));
+        assert!(!slo.is_met(0.9, 0.0));
+        assert_eq!(relaxed.label(), "2x");
+        assert_eq!(relaxed.relaxation(), 2.0);
+    }
+
+    #[test]
+    fn smallest_feasible_relaxation_picks_first_passing() {
+        let slo = SloSpec::from_baseline_latency(0.1); // 1x limit = 0.5 s
+        let candidates = [1.0, 2.0, 4.0, 8.0];
+        assert_eq!(slo.smallest_feasible_relaxation(0.4, 0.0, &candidates), Some(1.0));
+        assert_eq!(slo.smallest_feasible_relaxation(0.9, 0.0, &candidates), Some(2.0));
+        assert_eq!(slo.smallest_feasible_relaxation(1.9, 0.0, &candidates), Some(4.0));
+        assert_eq!(slo.smallest_feasible_relaxation(10.0, 0.0, &candidates), None);
+    }
+
+    #[test]
+    fn fractional_relaxation_label() {
+        let slo = SloSpec::from_baseline_throughput(10.0).relaxed(1.5);
+        assert_eq!(slo.label(), "1.5x");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn tightening_is_rejected() {
+        let _ = SloTarget::LatencySeconds(1.0).relaxed(0.5);
+    }
+}

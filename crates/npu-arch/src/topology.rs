@@ -1,0 +1,312 @@
+//! NPU pod topology: 2D/3D torus formed by inter-chip interconnect links.
+//!
+//! The paper's pods are arranged as 2D or 3D tori optimized for all-reduce
+//! bandwidth (§2.1). This module provides the topology geometry and the
+//! analytic collective-communication cost model used by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of torus formed by the ICI links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TorusKind {
+    /// 2D torus (4 links per chip): NPU-A/B/C.
+    Torus2D,
+    /// 3D torus (6 links per chip): NPU-D/E.
+    Torus3D,
+}
+
+impl TorusKind {
+    /// Number of torus dimensions.
+    #[must_use]
+    pub fn dims(self) -> usize {
+        match self {
+            TorusKind::Torus2D => 2,
+            TorusKind::Torus3D => 3,
+        }
+    }
+
+    /// Number of ICI links per chip implied by the torus (two per dimension).
+    #[must_use]
+    pub fn links_per_chip(self) -> usize {
+        self.dims() * 2
+    }
+}
+
+impl std::fmt::Display for TorusKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.dims() {
+            2 => write!(f, "2D Torus"),
+            _ => write!(f, "3D Torus"),
+        }
+    }
+}
+
+/// A pod of NPU chips connected by ICI links in a torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PodTopology {
+    kind: TorusKind,
+    shape: [usize; 3],
+}
+
+impl PodTopology {
+    /// Builds the most cube-like torus of `num_chips` chips for the given
+    /// torus kind. A single chip yields a degenerate 1×1(×1) pod.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips` is zero.
+    #[must_use]
+    pub fn for_chips(kind: TorusKind, num_chips: usize) -> Self {
+        assert!(num_chips > 0, "a pod needs at least one chip");
+        let shape = match kind.dims() {
+            2 => {
+                let (x, y) = balanced_factor2(num_chips);
+                [x, y, 1]
+            }
+            _ => {
+                let (x, y, z) = balanced_factor3(num_chips);
+                [x, y, z]
+            }
+        };
+        PodTopology { kind, shape }
+    }
+
+    /// Torus kind of the pod.
+    #[must_use]
+    pub fn kind(&self) -> TorusKind {
+        self.kind
+    }
+
+    /// Shape of the torus as `[x, y, z]` (z = 1 for a 2D torus).
+    #[must_use]
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Total number of chips in the pod.
+    #[must_use]
+    pub fn num_chips(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Number of usable ICI links per chip (links to distinct neighbours).
+    ///
+    /// In a dimension of size 1 there is no neighbour; in a dimension of
+    /// size 2 both directions reach the same neighbour, so only one link's
+    /// worth of distinct connectivity exists per such dimension.
+    #[must_use]
+    pub fn usable_links_per_chip(&self) -> usize {
+        self.shape
+            .iter()
+            .map(|&extent| match extent {
+                0 | 1 => 0,
+                2 => 1,
+                _ => 2,
+            })
+            .sum()
+    }
+
+    /// Bisection bandwidth of the pod in units of link bandwidth.
+    ///
+    /// For a torus, cutting the largest dimension in half severs
+    /// `2 * (num_chips / largest_dim)` links (wrap-around counts).
+    #[must_use]
+    pub fn bisection_links(&self) -> usize {
+        let largest = *self.shape.iter().max().expect("non-empty shape");
+        if largest <= 1 {
+            return 0;
+        }
+        2 * self.num_chips() / largest
+    }
+
+    /// Longest shortest-path hop count between any two chips in the torus.
+    #[must_use]
+    pub fn diameter_hops(&self) -> usize {
+        self.shape.iter().map(|&extent| extent / 2).sum()
+    }
+
+    /// Time in seconds for a bandwidth-optimal ring/torus all-reduce of
+    /// `bytes` bytes per chip, given per-link bandwidth `link_gbps` (GB/s).
+    ///
+    /// The standard cost model is `2 * (n-1)/n * bytes` traversing the
+    /// slowest link, spread over the links usable by the collective.
+    /// Latency per hop is charged via `hop_latency_s`.
+    #[must_use]
+    pub fn allreduce_seconds(&self, bytes: f64, link_gbps: f64, hop_latency_s: f64) -> f64 {
+        let n = self.num_chips() as f64;
+        if n <= 1.0 || bytes <= 0.0 {
+            return 0.0;
+        }
+        let links = self.usable_links_per_chip().max(1) as f64;
+        let wire = 2.0 * (n - 1.0) / n * bytes / (link_gbps * 1.0e9 * links);
+        let latency = 2.0 * (n - 1.0) * hop_latency_s / links;
+        wire + latency
+    }
+
+    /// Time in seconds for a reduce-scatter (or all-gather) of `bytes` bytes
+    /// per chip: half the all-reduce traffic.
+    #[must_use]
+    pub fn reduce_scatter_seconds(&self, bytes: f64, link_gbps: f64, hop_latency_s: f64) -> f64 {
+        let n = self.num_chips() as f64;
+        if n <= 1.0 || bytes <= 0.0 {
+            return 0.0;
+        }
+        let links = self.usable_links_per_chip().max(1) as f64;
+        let wire = (n - 1.0) / n * bytes / (link_gbps * 1.0e9 * links);
+        let latency = (n - 1.0) * hop_latency_s / links;
+        wire + latency
+    }
+
+    /// Time in seconds for an all-to-all exchanging `bytes` bytes per chip.
+    ///
+    /// All-to-all stresses bisection bandwidth: each half of the machine
+    /// sends half of its data across the bisection.
+    #[must_use]
+    pub fn alltoall_seconds(&self, bytes: f64, link_gbps: f64, hop_latency_s: f64) -> f64 {
+        let n = self.num_chips() as f64;
+        if n <= 1.0 || bytes <= 0.0 {
+            return 0.0;
+        }
+        let bisection = self.bisection_links().max(1) as f64;
+        let cross_bytes = bytes * n / 2.0 / 2.0; // half the chips send half their data across
+        let wire = cross_bytes / (bisection * link_gbps * 1.0e9);
+        let latency = self.diameter_hops() as f64 * hop_latency_s;
+        wire + latency
+    }
+
+    /// Time in seconds for a point-to-point send of `bytes` bytes between
+    /// neighbouring chips (used by pipeline parallelism).
+    #[must_use]
+    pub fn p2p_seconds(&self, bytes: f64, link_gbps: f64, hop_latency_s: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        bytes / (link_gbps * 1.0e9) + hop_latency_s
+    }
+}
+
+impl std::fmt::Display for PodTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.kind.dims() == 2 {
+            write!(f, "{}x{} {}", self.shape[0], self.shape[1], self.kind)
+        } else {
+            write!(f, "{}x{}x{} {}", self.shape[0], self.shape[1], self.shape[2], self.kind)
+        }
+    }
+}
+
+/// Factors `n` into two dimensions as close to square as possible.
+fn balanced_factor2(n: usize) -> (usize, usize) {
+    let mut best = (1, n);
+    let mut x = 1;
+    while x * x <= n {
+        if n % x == 0 {
+            best = (x, n / x);
+        }
+        x += 1;
+    }
+    best
+}
+
+/// Factors `n` into three dimensions as close to a cube as possible.
+fn balanced_factor3(n: usize) -> (usize, usize, usize) {
+    let mut best = (1, 1, n);
+    let mut best_score = usize::MAX;
+    let mut x = 1;
+    while x * x * x <= n {
+        if n % x == 0 {
+            let (y, z) = balanced_factor2(n / x);
+            let dims = [x, y, z];
+            let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+            if score < best_score {
+                best_score = score;
+                best = (x, y, z);
+            }
+        }
+        x += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_kind_links() {
+        assert_eq!(TorusKind::Torus2D.links_per_chip(), 4);
+        assert_eq!(TorusKind::Torus3D.links_per_chip(), 6);
+        assert_eq!(TorusKind::Torus2D.to_string(), "2D Torus");
+    }
+
+    #[test]
+    fn balanced_factorizations() {
+        assert_eq!(balanced_factor2(16), (4, 4));
+        assert_eq!(balanced_factor2(8), (2, 4));
+        assert_eq!(balanced_factor2(7), (1, 7));
+        assert_eq!(balanced_factor3(64), (4, 4, 4));
+        assert_eq!(balanced_factor3(8), (2, 2, 2));
+        assert_eq!(balanced_factor3(16), (2, 2, 4));
+    }
+
+    #[test]
+    fn pod_shapes() {
+        let p = PodTopology::for_chips(TorusKind::Torus2D, 16);
+        assert_eq!(p.shape(), [4, 4, 1]);
+        assert_eq!(p.num_chips(), 16);
+        let p3 = PodTopology::for_chips(TorusKind::Torus3D, 64);
+        assert_eq!(p3.shape(), [4, 4, 4]);
+        assert_eq!(p3.to_string(), "4x4x4 3D Torus");
+    }
+
+    #[test]
+    fn single_chip_pod_has_no_links() {
+        let p = PodTopology::for_chips(TorusKind::Torus3D, 1);
+        assert_eq!(p.usable_links_per_chip(), 0);
+        assert_eq!(p.bisection_links(), 0);
+        assert_eq!(p.allreduce_seconds(1e9, 100.0, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes_and_links() {
+        let p = PodTopology::for_chips(TorusKind::Torus2D, 16);
+        let t1 = p.allreduce_seconds(1e9, 100.0, 1e-6);
+        let t2 = p.allreduce_seconds(2e9, 100.0, 1e-6);
+        assert!(t2 > 1.8 * t1, "all-reduce should scale roughly linearly in bytes");
+        // A larger pod with the same per-chip link count moves slightly more
+        // data over the slowest link ((n-1)/n grows towards 1).
+        let p_large = PodTopology::for_chips(TorusKind::Torus2D, 64);
+        let t_large = p_large.allreduce_seconds(1e9, 100.0, 1e-6);
+        assert!(t_large >= t1, "larger pods cannot be faster per byte");
+    }
+
+    #[test]
+    fn reduce_scatter_is_half_allreduce_wire_time() {
+        let p = PodTopology::for_chips(TorusKind::Torus2D, 16);
+        let ar = p.allreduce_seconds(1e9, 100.0, 0.0);
+        let rs = p.reduce_scatter_seconds(1e9, 100.0, 0.0);
+        assert!((ar / rs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alltoall_uses_bisection() {
+        let p = PodTopology::for_chips(TorusKind::Torus3D, 64);
+        assert_eq!(p.bisection_links(), 2 * 64 / 4);
+        let t = p.alltoall_seconds(1e8, 100.0, 1e-6);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn p2p_time_includes_latency() {
+        let p = PodTopology::for_chips(TorusKind::Torus3D, 8);
+        let t = p.p2p_seconds(1e9, 100.0, 2e-6);
+        assert!((t - (0.01 + 2e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_grows_with_pod_size() {
+        let small = PodTopology::for_chips(TorusKind::Torus2D, 4);
+        let large = PodTopology::for_chips(TorusKind::Torus2D, 64);
+        assert!(large.diameter_hops() > small.diameter_hops());
+    }
+}

@@ -1,0 +1,229 @@
+//! Operator fusion: vector post-processing (activations, residual adds,
+//! normalization) that immediately follows a matrix operator is fused into
+//! it, so the vector unit consumes systolic-array outputs as they are popped
+//! instead of round-tripping through HBM.
+//!
+//! The paper's simulator frontend "applies common ML compiler optimizations
+//! used in production, such as tiling, operator fusion, and operator
+//! reordering" (§4.4); fusion is also what creates the VU activity pattern
+//! of Figure 15 (the VU is busy a couple of cycles per SA pop).
+
+use serde::{Deserialize, Serialize};
+
+use npu_models::{ExecutionUnit, OperatorGraph};
+
+/// Fusion decision for a whole graph: for every operator, which fusion
+/// group it belongs to and whether it is the group's anchor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionPlan {
+    /// `group[i]` is the fusion-group id of operator `i`.
+    group: Vec<usize>,
+    /// `anchor[g]` is the operator id that anchors group `g` (the operator
+    /// the fused work is attached to).
+    anchors: Vec<usize>,
+}
+
+impl FusionPlan {
+    /// Builds the fusion plan for a graph.
+    ///
+    /// A *pure* vector operator (elementwise, softmax, layer normalization)
+    /// is fused into the immediately preceding operator's group when that
+    /// group is anchored by a compute operator (post-processing fusion,
+    /// e.g. MatMul→ReLU or Conv→GeLU), and chains of such vector operators
+    /// fuse together. Matrix multiplications and convolutions always anchor
+    /// their own group — even when they are small enough to execute on the
+    /// vector unit — and collectives and embedding lookups always break a
+    /// chain.
+    #[must_use]
+    pub fn for_graph(graph: &OperatorGraph) -> Self {
+        let mut group = Vec::with_capacity(graph.len());
+        let mut anchors = Vec::new();
+        let mut current_group: Option<usize> = None;
+        let mut current_anchor_unit: Option<ExecutionUnit> = None;
+
+        for op in graph.iter() {
+            let unit = op.execution_unit();
+            let pure_vector = matches!(
+                op.kind,
+                npu_models::OpKind::Elementwise { .. }
+                    | npu_models::OpKind::Softmax { .. }
+                    | npu_models::OpKind::LayerNorm { .. }
+            );
+            let fuse = pure_vector
+                && matches!(
+                    current_anchor_unit,
+                    Some(ExecutionUnit::Sa) | Some(ExecutionUnit::Vu)
+                );
+            if fuse {
+                group.push(current_group.expect("fusing requires an open group"));
+            } else {
+                let g = anchors.len();
+                anchors.push(op.id);
+                group.push(g);
+                current_group = Some(g);
+                current_anchor_unit = Some(unit);
+            }
+        }
+        FusionPlan { group, anchors }
+    }
+
+    /// Number of fusion groups.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Number of operators covered by the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Whether the plan covers no operators.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.group.is_empty()
+    }
+
+    /// Fusion-group id of operator `op_id`.
+    #[must_use]
+    pub fn group_of(&self, op_id: usize) -> usize {
+        self.group[op_id]
+    }
+
+    /// Anchor operator id of group `group_id`.
+    #[must_use]
+    pub fn anchor_of(&self, group_id: usize) -> usize {
+        self.anchors[group_id]
+    }
+
+    /// Whether operator `op_id` is fused into an earlier anchor (i.e. it is
+    /// not itself a group anchor).
+    #[must_use]
+    pub fn is_fused(&self, op_id: usize) -> bool {
+        self.anchors[self.group[op_id]] != op_id
+    }
+
+    /// Operator ids fused into the group anchored at `anchor_id`
+    /// (excluding the anchor itself).
+    #[must_use]
+    pub fn fused_into(&self, anchor_id: usize) -> Vec<usize> {
+        let g = self.group[anchor_id];
+        if self.anchors[g] != anchor_id {
+            return Vec::new();
+        }
+        self.group
+            .iter()
+            .enumerate()
+            .filter(|&(id, &grp)| grp == g && id != anchor_id)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Fraction of operators that were fused away (not anchors).
+    #[must_use]
+    pub fn fusion_rate(&self) -> f64 {
+        if self.group.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.anchors.len() as f64 / self.group.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::ParallelismConfig;
+    use npu_models::{DataType, LlamaModel, LlmPhase, OpKind, Operator, Workload};
+
+    fn graph_mm_relu_mm() -> OperatorGraph {
+        let mut g = OperatorGraph::new("t");
+        g.push(Operator::new(
+            "mm1",
+            OpKind::MatMul { batch: 1, m: 512, k: 512, n: 512, weights_resident: true },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "relu",
+            OpKind::Elementwise { elements: 512 * 512, flops_per_element: 1, num_inputs: 1 },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "add",
+            OpKind::Elementwise { elements: 512 * 512, flops_per_element: 1, num_inputs: 2 },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "mm2",
+            OpKind::MatMul { batch: 1, m: 512, k: 512, n: 512, weights_resident: true },
+            DataType::Bf16,
+        ));
+        g
+    }
+
+    #[test]
+    fn vector_postprocessing_fuses_into_matmul() {
+        let g = graph_mm_relu_mm();
+        let plan = FusionPlan::for_graph(&g);
+        assert_eq!(plan.num_groups(), 2);
+        assert_eq!(plan.group_of(0), plan.group_of(1));
+        assert_eq!(plan.group_of(1), plan.group_of(2));
+        assert_ne!(plan.group_of(0), plan.group_of(3));
+        assert!(plan.is_fused(1));
+        assert!(plan.is_fused(2));
+        assert!(!plan.is_fused(0));
+        assert_eq!(plan.fused_into(0), vec![1, 2]);
+        assert!(plan.fused_into(1).is_empty());
+        assert!((plan.fusion_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collectives_break_fusion_chains() {
+        let mut g = OperatorGraph::new("t");
+        g.push(Operator::new(
+            "mm",
+            OpKind::MatMul { batch: 1, m: 512, k: 512, n: 512, weights_resident: true },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "ar",
+            OpKind::Collective {
+                kind: npu_models::CollectiveKind::AllReduce,
+                bytes_per_chip: 1 << 20,
+            },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "relu",
+            OpKind::Elementwise { elements: 512, flops_per_element: 1, num_inputs: 1 },
+            DataType::Bf16,
+        ));
+        let plan = FusionPlan::for_graph(&g);
+        // relu follows the collective, so it cannot fuse into the matmul.
+        assert_eq!(plan.num_groups(), 3);
+        assert!(!plan.is_fused(2));
+    }
+
+    #[test]
+    fn llm_prefill_has_substantial_fusion() {
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill);
+        let g = wl.build_graph(&ParallelismConfig::single());
+        let plan = FusionPlan::for_graph(&g);
+        assert_eq!(plan.len(), g.len());
+        assert!(plan.fusion_rate() > 0.3, "fusion rate {}", plan.fusion_rate());
+        // Every fused operator is a VU operator.
+        for op in g.iter() {
+            if plan.is_fused(op.id) {
+                assert_eq!(op.execution_unit(), npu_models::ExecutionUnit::Vu);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_plan() {
+        let plan = FusionPlan::for_graph(&OperatorGraph::new("empty"));
+        assert!(plan.is_empty());
+        assert_eq!(plan.num_groups(), 0);
+        assert_eq!(plan.fusion_rate(), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Component idleness analysis (paper §4.3).
+//!
+//! The compiler walks the statically scheduled VLIW program and, for every
+//! functional-unit slot, computes the distance in cycles between consecutive
+//! instructions issued to that slot. If a DMA operation separates two
+//! vector-unit instructions, the distance is treated as unbounded — the DMA
+//! takes at least the HBM latency, which is far longer than the VU's
+//! break-even time.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_isa::bundle::{Slot, SlotOp};
+use npu_isa::Program;
+
+/// One idle interval of a functional-unit slot, in issue cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleInterval {
+    /// First idle cycle (the cycle after the previous instruction finished).
+    pub start_cycle: u64,
+    /// First busy cycle after the interval (the next instruction's issue
+    /// cycle), or the end of the program for the trailing interval.
+    pub end_cycle: u64,
+    /// Whether the interval is known to be effectively unbounded because a
+    /// DMA (HBM access) occurs inside it.
+    pub unbounded: bool,
+    /// Index of the bundle that ends the interval (where a wake-up would
+    /// need to complete), if any.
+    pub ending_bundle: Option<usize>,
+    /// Index of the bundle after which the interval starts.
+    pub starting_bundle: usize,
+}
+
+impl IdleInterval {
+    /// Length of the interval in cycles.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+
+    /// Whether the interval has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Idle intervals per functional-unit slot of one program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IdlenessReport {
+    intervals: BTreeMap<Slot, Vec<IdleInterval>>,
+    busy_cycles: BTreeMap<Slot, u64>,
+    total_cycles: u64,
+}
+
+impl IdlenessReport {
+    /// Analyzes a program.
+    #[must_use]
+    pub fn analyze(program: &Program) -> Self {
+        let mut last_busy_end: BTreeMap<Slot, (u64, usize)> = BTreeMap::new();
+        let mut dma_since: BTreeMap<Slot, bool> = BTreeMap::new();
+        let mut intervals: BTreeMap<Slot, Vec<IdleInterval>> = BTreeMap::new();
+        let mut busy_cycles: BTreeMap<Slot, u64> = BTreeMap::new();
+
+        let mut cycle: u64 = 0;
+        for (index, bundle) in program.iter() {
+            let issue_cycle = cycle;
+            let bundle_cycles = 1 + u64::from(bundle.extra_issue_cycles());
+            let dma_in_bundle = bundle
+                .iter()
+                .any(|(_, op)| matches!(op, SlotOp::Dma { .. }));
+            if dma_in_bundle {
+                for flag in dma_since.values_mut() {
+                    *flag = true;
+                }
+            }
+            for (slot, op) in bundle.iter() {
+                let duration = slot_busy_cycles(slot, op);
+                if duration == 0 {
+                    continue;
+                }
+                // Close the idle interval that this instruction terminates.
+                if let Some(&(prev_end, prev_bundle)) = last_busy_end.get(&slot) {
+                    if issue_cycle > prev_end {
+                        intervals.entry(slot).or_default().push(IdleInterval {
+                            start_cycle: prev_end,
+                            end_cycle: issue_cycle,
+                            unbounded: *dma_since.get(&slot).unwrap_or(&false),
+                            ending_bundle: Some(index),
+                            starting_bundle: prev_bundle,
+                        });
+                    }
+                } else if issue_cycle > 0 {
+                    intervals.entry(slot).or_default().push(IdleInterval {
+                        start_cycle: 0,
+                        end_cycle: issue_cycle,
+                        unbounded: *dma_since.get(&slot).unwrap_or(&false),
+                        ending_bundle: Some(index),
+                        starting_bundle: 0,
+                    });
+                }
+                last_busy_end.insert(slot, (issue_cycle + duration, index));
+                dma_since.insert(slot, false);
+                *busy_cycles.entry(slot).or_default() += duration;
+            }
+            cycle += bundle_cycles;
+        }
+        let total_cycles = cycle;
+        // Trailing idle intervals until the end of the program.
+        for (&slot, &(end, bundle)) in &last_busy_end {
+            if total_cycles > end {
+                intervals.entry(slot).or_default().push(IdleInterval {
+                    start_cycle: end,
+                    end_cycle: total_cycles,
+                    unbounded: *dma_since.get(&slot).unwrap_or(&false),
+                    ending_bundle: None,
+                    starting_bundle: bundle,
+                });
+            }
+        }
+        IdlenessReport { intervals, busy_cycles, total_cycles }
+    }
+
+    /// Idle intervals of one slot (empty if the slot never issued).
+    #[must_use]
+    pub fn intervals(&self, slot: Slot) -> &[IdleInterval] {
+        self.intervals.get(&slot).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Slots observed in the program (busy at least once).
+    pub fn slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.busy_cycles.keys().copied()
+    }
+
+    /// Cycles a slot was busy.
+    #[must_use]
+    pub fn busy_cycles(&self, slot: Slot) -> u64 {
+        self.busy_cycles.get(&slot).copied().unwrap_or(0)
+    }
+
+    /// Total program length in issue cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Temporal utilization of a slot (busy cycles / total cycles).
+    #[must_use]
+    pub fn utilization(&self, slot: Slot) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.busy_cycles(slot) as f64 / self.total_cycles as f64
+    }
+
+    /// Total idle cycles of a slot that sit in intervals at least
+    /// `min_len` cycles long (the cycles a gating policy could recover).
+    #[must_use]
+    pub fn gateable_cycles(&self, slot: Slot, min_len: u64) -> u64 {
+        self.intervals(slot)
+            .iter()
+            .filter(|iv| iv.len() >= min_len || iv.unbounded)
+            .map(IdleInterval::len)
+            .sum()
+    }
+}
+
+/// Cycles an operation keeps its slot's functional unit busy.
+fn slot_busy_cycles(slot: Slot, op: &SlotOp) -> u64 {
+    match (slot, op) {
+        (_, SlotOp::SaPush { cycles })
+        | (_, SlotOp::SaPop { cycles })
+        | (_, SlotOp::SaLoadWeights { cycles }) => u64::from(*cycles),
+        (Slot::Vu(_), SlotOp::VuOp { elements }) => u64::from(*elements).div_ceil(1024).max(1),
+        (Slot::Dma, SlotOp::Dma { .. }) => 1,
+        (Slot::Ici, SlotOp::Ici { .. }) => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_isa::{SlotOp, VliwBundle};
+
+    /// Builds the Figure 15 pattern: VUs busy 2 cycles out of every 16.
+    fn fig15_like_program() -> Program {
+        let mut p = Program::new("fig15");
+        for _ in 0..4 {
+            // 2 cycles of VU work (1024 elements/cycle).
+            p.push(VliwBundle::new().with_sa(0, SlotOp::sa_pop(8)).with_vu(0, SlotOp::vu_add(1024)));
+            p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
+            // 14 idle cycles for the VU while the SA streams the next tile.
+            p.push(VliwBundle::new().with_sa(0, SlotOp::sa_push(8)).with_misc(SlotOp::Nop { cycles: 14 }));
+        }
+        p
+    }
+
+    #[test]
+    fn vu_idle_intervals_match_pattern() {
+        let report = IdlenessReport::analyze(&fig15_like_program());
+        let vu = Slot::Vu(0);
+        let intervals = report.intervals(vu);
+        // Three inner intervals plus one trailing interval.
+        assert_eq!(intervals.len(), 4);
+        for iv in &intervals[..3] {
+            assert_eq!(iv.len(), 14, "inner VU idle gaps are 14 cycles: {iv:?}");
+            assert!(!iv.unbounded);
+        }
+        assert_eq!(report.busy_cycles(vu), 8);
+        assert!(report.utilization(vu) < 0.2);
+    }
+
+    #[test]
+    fn dma_marks_interval_unbounded() {
+        let mut p = Program::new("dma-gap");
+        p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
+        p.push(VliwBundle::new().with_dma(SlotOp::Dma { bytes: 1 << 20, remote: false }));
+        p.push(VliwBundle::new().with_misc(SlotOp::Nop { cycles: 3 }));
+        p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
+        let report = IdlenessReport::analyze(&p);
+        let intervals = report.intervals(Slot::Vu(0));
+        assert_eq!(intervals.len(), 1);
+        assert!(intervals[0].unbounded, "a DMA inside the gap makes it unbounded");
+    }
+
+    #[test]
+    fn leading_idle_interval_is_reported() {
+        let mut p = Program::new("late-vu");
+        p.push(VliwBundle::new().with_sa(0, SlotOp::sa_push(8)));
+        p.push(VliwBundle::new().with_misc(SlotOp::Nop { cycles: 10 }));
+        p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(512)));
+        let report = IdlenessReport::analyze(&p);
+        let intervals = report.intervals(Slot::Vu(0));
+        assert_eq!(intervals[0].start_cycle, 0);
+        assert!(intervals[0].len() >= 10);
+    }
+
+    #[test]
+    fn gateable_cycles_filters_short_intervals() {
+        let report = IdlenessReport::analyze(&fig15_like_program());
+        let vu = Slot::Vu(0);
+        let all = report.gateable_cycles(vu, 1);
+        let long_only = report.gateable_cycles(vu, 100);
+        assert!(all > 0);
+        assert_eq!(long_only, 0);
+    }
+
+    #[test]
+    fn busy_slots_enumerated() {
+        let report = IdlenessReport::analyze(&fig15_like_program());
+        let slots: Vec<_> = report.slots().collect();
+        assert!(slots.contains(&Slot::Sa(0)));
+        assert!(slots.contains(&Slot::Vu(0)));
+        assert!(report.total_cycles() > 16);
+    }
+
+    #[test]
+    fn empty_program_yields_empty_report() {
+        let report = IdlenessReport::analyze(&Program::new("empty"));
+        assert_eq!(report.total_cycles(), 0);
+        assert_eq!(report.utilization(Slot::Vu(0)), 0.0);
+        assert!(report.intervals(Slot::Vu(0)).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! The `setpm` instrumentation pass (paper §4.3).
+//!
+//! Using the idle intervals extracted by [`crate::idleness`], the compiler
+//! inserts `setpm ... off` at the start of an idle interval and
+//! `setpm ... on` early enough before the next use that the wake-up delay is
+//! hidden. The BET-based policy only gates an interval when it is longer
+//! than the component's break-even time **and** longer than twice its
+//! power-on/off delay; otherwise gating would cost energy or performance.
+
+use serde::{Deserialize, Serialize};
+
+use npu_isa::bundle::Slot;
+use npu_isa::{FuBitmap, FunctionalUnitType, PowerMode, Program, SetPm, SlotOp, VliwBundle};
+
+use crate::idleness::{IdleInterval, IdlenessReport};
+
+/// BET-based gating policy parameters for one component type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetPmPolicy {
+    /// Break-even time in cycles (energy of a power cycle equals the
+    /// leakage saved by being off for this long).
+    pub bet_cycles: u64,
+    /// Power-on/off transition delay in cycles.
+    pub on_off_delay_cycles: u64,
+}
+
+impl SetPmPolicy {
+    /// Creates a policy.
+    #[must_use]
+    pub fn new(bet_cycles: u64, on_off_delay_cycles: u64) -> Self {
+        SetPmPolicy { bet_cycles, on_off_delay_cycles }
+    }
+
+    /// The paper's rule: gate an idle interval iff it is longer than the BET
+    /// and longer than 2× the power-on/off delay (unbounded intervals —
+    /// those containing a DMA — always qualify).
+    #[must_use]
+    pub fn should_gate(&self, interval: &IdleInterval) -> bool {
+        interval.unbounded
+            || (interval.len() > self.bet_cycles
+                && interval.len() > 2 * self.on_off_delay_cycles)
+    }
+}
+
+/// Outcome of instrumenting one program for one functional-unit slot class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentationResult {
+    /// The instrumented program.
+    pub program: Program,
+    /// Number of `setpm` instructions inserted.
+    pub setpm_inserted: usize,
+    /// Idle cycles covered by software gating (per the static schedule).
+    pub gated_cycles: u64,
+    /// Idle cycles left ungated because the policy rejected the interval.
+    pub skipped_cycles: u64,
+}
+
+impl InstrumentationResult {
+    /// `setpm` instructions per 1,000 issue cycles (the Figure 20 metric).
+    #[must_use]
+    pub fn setpm_per_kilocycle(&self) -> f64 {
+        let cycles = self.program.issue_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.setpm_inserted as f64 * 1000.0 / cycles as f64
+    }
+}
+
+/// Instruments a program with `setpm` instructions for every vector-unit
+/// slot, using the supplied policy.
+///
+/// The off-`setpm` is placed in the misc slot of the bundle that starts the
+/// idle interval; the on-`setpm` is placed `delay` bundles before the
+/// interval's ending bundle so that the wake-up completes in time. If the
+/// misc slot is occupied, a new bundle is inserted (the paper notes only one
+/// `setpm` can issue per cycle).
+#[must_use]
+pub fn instrument_vu(program: &Program, policy: SetPmPolicy) -> InstrumentationResult {
+    instrument_slots(program, policy, FunctionalUnitType::Vu)
+}
+
+/// Instruments a program for a chosen functional-unit type (VU or SA slots).
+#[must_use]
+pub fn instrument_slots(
+    program: &Program,
+    policy: SetPmPolicy,
+    fu_type: FunctionalUnitType,
+) -> InstrumentationResult {
+    let report = IdlenessReport::analyze(program);
+    // Collect the per-slot gating decisions first (bundle indices), then
+    // apply them in one pass so the indices stay valid.
+    #[derive(Debug)]
+    struct PlannedSetPm {
+        bundle_index: usize,
+        unit_index: usize,
+        mode: PowerMode,
+    }
+    let mut planned: Vec<PlannedSetPm> = Vec::new();
+    let mut gated_cycles = 0u64;
+    let mut skipped_cycles = 0u64;
+
+    for slot in report.slots().collect::<Vec<_>>() {
+        let unit_index = match (fu_type, slot) {
+            (FunctionalUnitType::Vu, Slot::Vu(i)) => i,
+            (FunctionalUnitType::Sa, Slot::Sa(i)) => i,
+            _ => continue,
+        };
+        for interval in report.intervals(slot) {
+            if !policy.should_gate(interval) {
+                skipped_cycles += interval.len();
+                continue;
+            }
+            gated_cycles += interval.len().saturating_sub(2 * policy.on_off_delay_cycles);
+            planned.push(PlannedSetPm {
+                bundle_index: interval.starting_bundle + 1,
+                unit_index,
+                mode: PowerMode::Off,
+            });
+            if let Some(end) = interval.ending_bundle {
+                planned.push(PlannedSetPm {
+                    bundle_index: end.saturating_sub(1).max(interval.starting_bundle + 1),
+                    unit_index,
+                    mode: PowerMode::On,
+                });
+            }
+        }
+    }
+
+    // Apply in descending bundle order so insertions do not shift pending indices.
+    planned.sort_by(|a, b| b.bundle_index.cmp(&a.bundle_index));
+    let mut instrumented = program.clone();
+    let mut inserted = 0usize;
+    for plan in planned {
+        let pm = SetPm::functional_units(
+            FuBitmap::from_indices(&[plan.unit_index.min(31)]),
+            fu_type,
+            plan.mode,
+        );
+        let index = plan.bundle_index.min(instrumented.len().saturating_sub(1));
+        let bundle_has_free_misc = instrumented
+            .bundles()
+            .get(index)
+            .map(|b| b.slot(Slot::Misc).is_none())
+            .unwrap_or(false);
+        if bundle_has_free_misc {
+            let bundle = &mut instrumented.bundles_mut()[index];
+            *bundle = bundle.clone().with_misc(SlotOp::SetPm(pm));
+        } else {
+            instrumented.insert(index, VliwBundle::new().with_misc(SlotOp::SetPm(pm)));
+        }
+        inserted += 1;
+    }
+
+    InstrumentationResult {
+        program: instrumented,
+        setpm_inserted: inserted,
+        gated_cycles,
+        skipped_cycles,
+    }
+}
+
+/// Plans the SRAM `setpm` instructions for a graph given the live-bytes
+/// profile from the SRAM allocator: one `setpm(sram, off)` whenever the live
+/// region shrinks and one `setpm(sram, on)` whenever it grows.
+///
+/// Returns the planned `(anchor_index, SetPm)` pairs; the number of entries
+/// is the Figure 20 "SRAM setpm" count.
+#[must_use]
+pub fn plan_sram_setpm(
+    live_bytes_per_anchor: &[u64],
+    total_bytes: u64,
+) -> Vec<(usize, SetPm)> {
+    let mut plans = Vec::new();
+    let mut current = total_bytes; // SRAM starts fully on.
+    for (index, &live) in live_bytes_per_anchor.iter().enumerate() {
+        if live < current {
+            plans.push((index, SetPm::sram_range(live, current, PowerMode::Off)));
+        } else if live > current {
+            plans.push((index, SetPm::sram_range(current, live, PowerMode::On)));
+        }
+        current = live;
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_isa::{SlotOp, VliwBundle};
+
+    fn vu_program_with_gaps(gap: u32, repeats: usize) -> Program {
+        let mut p = Program::new("gappy");
+        for _ in 0..repeats {
+            p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
+            p.push(VliwBundle::new().with_sa(0, SlotOp::sa_push(8)).with_misc(SlotOp::Nop { cycles: gap }));
+        }
+        p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
+        p
+    }
+
+    #[test]
+    fn policy_gates_long_intervals_only() {
+        let policy = SetPmPolicy::new(32, 2);
+        let long = IdleInterval {
+            start_cycle: 0,
+            end_cycle: 100,
+            unbounded: false,
+            ending_bundle: Some(1),
+            starting_bundle: 0,
+        };
+        let short = IdleInterval { end_cycle: 10, ..long };
+        let boundary = IdleInterval { end_cycle: 32, ..long };
+        assert!(policy.should_gate(&long));
+        assert!(!policy.should_gate(&short));
+        assert!(!policy.should_gate(&boundary), "interval must exceed the BET strictly");
+        let unbounded = IdleInterval { unbounded: true, end_cycle: 5, ..long };
+        assert!(policy.should_gate(&unbounded));
+    }
+
+    #[test]
+    fn instrumentation_inserts_matching_off_on_pairs() {
+        let program = vu_program_with_gaps(100, 3);
+        let result = instrument_vu(&program, SetPmPolicy::new(32, 2));
+        assert!(result.setpm_inserted >= 6, "3 gaps -> 3 off/on pairs, got {}", result.setpm_inserted);
+        assert!(result.gated_cycles > 200);
+        let offs = result
+            .program
+            .bundles()
+            .iter()
+            .filter_map(|b| b.setpm())
+            .filter(|pm| pm.mode() == PowerMode::Off)
+            .count();
+        let ons = result
+            .program
+            .bundles()
+            .iter()
+            .filter_map(|b| b.setpm())
+            .filter(|pm| pm.mode() == PowerMode::On)
+            .count();
+        assert!(offs >= 3);
+        assert!(ons >= 3);
+        assert!(result.setpm_per_kilocycle() > 0.0);
+    }
+
+    #[test]
+    fn short_gaps_are_not_instrumented() {
+        let program = vu_program_with_gaps(8, 3);
+        let result = instrument_vu(&program, SetPmPolicy::new(32, 2));
+        assert_eq!(result.setpm_inserted, 0);
+        assert_eq!(result.gated_cycles, 0);
+        assert!(result.skipped_cycles > 0);
+        assert_eq!(result.program.issue_cycles(), program.issue_cycles());
+    }
+
+    #[test]
+    fn figure20_bound_holds() {
+        // The paper: with a 32-cycle BET, at most 1000/32 ≈ 31 setpms per
+        // 1000 cycles can ever be inserted for the VU.
+        let program = vu_program_with_gaps(33, 50);
+        let result = instrument_vu(&program, SetPmPolicy::new(32, 2));
+        assert!(
+            result.setpm_per_kilocycle() <= 2.0 * 1000.0 / 32.0,
+            "setpm rate {} exceeds the structural bound",
+            result.setpm_per_kilocycle()
+        );
+    }
+
+    #[test]
+    fn sram_plan_follows_live_profile() {
+        let total = 128 * 1024 * 1024;
+        let live = [total, 64 << 20, 64 << 20, 8 << 20, 96 << 20];
+        let plans = plan_sram_setpm(&live, total);
+        // Changes at indices 1 (shrink), 3 (shrink), 4 (grow).
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].0, 1);
+        assert_eq!(plans[0].1.mode(), PowerMode::Off);
+        assert_eq!(plans[2].1.mode(), PowerMode::On);
+        assert_eq!(plans[2].1.sram_byte_range(), Some((8 << 20, 96 << 20)));
+    }
+
+    #[test]
+    fn constant_live_profile_needs_no_sram_setpm() {
+        let live = [32u64 << 20; 8];
+        let plans = plan_sram_setpm(&live, 128 << 20);
+        assert_eq!(plans.len(), 1, "only the initial shrink from the fully-on state");
+    }
+}

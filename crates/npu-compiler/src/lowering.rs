@@ -1,0 +1,261 @@
+//! Lowering: combines unit assignment, fusion, and tiling into the compiled
+//! operator stream that the performance simulator executes.
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::NpuSpec;
+use npu_models::{ExecutionUnit, Operator, OperatorGraph};
+
+use crate::fusion::FusionPlan;
+use crate::tiling::TileChoice;
+
+/// One operator after compilation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledOp {
+    /// The original operator (shapes, name, dtype).
+    pub op: Operator,
+    /// Execution unit the operator was assigned to.
+    pub unit: ExecutionUnit,
+    /// Tiling decision and SRAM demand.
+    pub tile: TileChoice,
+    /// If the operator was fused into an earlier anchor, the anchor's id.
+    pub folded_into: Option<usize>,
+    /// For anchors: vector elements of post-processing fused into this
+    /// operator (from the operators folded into it).
+    pub fused_vu_elements: u64,
+    /// For anchors: FLOPs of the fused post-processing.
+    pub fused_vu_flops: f64,
+}
+
+impl CompiledOp {
+    /// Whether this operator executes on its own (it is a fusion anchor).
+    #[must_use]
+    pub fn is_anchor(&self) -> bool {
+        self.folded_into.is_none()
+    }
+
+    /// Total vector-unit elements this anchor processes: its own vector
+    /// work (if it is a VU operator) plus the fused post-processing.
+    #[must_use]
+    pub fn total_vu_elements(&self) -> u64 {
+        let own = if self.unit == ExecutionUnit::Vu { own_vu_elements(&self.op) } else { 0 };
+        own + self.fused_vu_elements
+    }
+
+    /// SRAM demand of the operator in MiB (Figure 7 metric).
+    #[must_use]
+    pub fn sram_demand_mib(&self) -> f64 {
+        self.tile.sram_demand_mib()
+    }
+}
+
+/// Number of vector elements a VU operator touches.
+fn own_vu_elements(op: &Operator) -> u64 {
+    use npu_models::OpKind;
+    match op.kind {
+        OpKind::Elementwise { elements, .. } => elements,
+        OpKind::Softmax { rows, cols } | OpKind::LayerNorm { rows, cols } => rows * cols,
+        OpKind::MatMul { batch, m, n, .. } => batch * m * n,
+        OpKind::Conv2d { batch, h_out, w_out, c_out, .. } => batch * h_out * w_out * c_out,
+        _ => 0,
+    }
+}
+
+/// A fully compiled operator graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledGraph {
+    name: String,
+    ops: Vec<CompiledOp>,
+}
+
+impl CompiledGraph {
+    /// Name of the source graph.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All compiled operators (anchors and folded operators) in order.
+    #[must_use]
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Number of compiled operators (equals the source graph's length).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterator over the fusion anchors (the operators the simulator runs).
+    pub fn anchors(&self) -> impl Iterator<Item = &CompiledOp> {
+        self.ops.iter().filter(|op| op.is_anchor())
+    }
+
+    /// Number of anchors.
+    #[must_use]
+    pub fn num_anchors(&self) -> usize {
+        self.anchors().count()
+    }
+
+    /// Per-anchor SRAM demand in MiB, in execution order (input to the
+    /// Figure 7 CDF, which weights each operator by its execution time).
+    #[must_use]
+    pub fn sram_demands_mib(&self) -> Vec<f64> {
+        self.anchors().map(CompiledOp::sram_demand_mib).collect()
+    }
+}
+
+/// The compiler backend: assigns units, fuses, and tiles a graph for one
+/// NPU generation.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    spec: NpuSpec,
+}
+
+impl Compiler {
+    /// Creates a compiler targeting the given NPU generation.
+    #[must_use]
+    pub fn new(spec: NpuSpec) -> Self {
+        Compiler { spec }
+    }
+
+    /// The target NPU specification.
+    #[must_use]
+    pub fn spec(&self) -> &NpuSpec {
+        &self.spec
+    }
+
+    /// Compiles an operator graph: unit assignment (based on the target's
+    /// systolic-array width), producer→consumer fusion, and tiling.
+    #[must_use]
+    pub fn compile(&self, graph: &OperatorGraph) -> CompiledGraph {
+        let fusion = FusionPlan::for_graph(graph);
+        let mut ops: Vec<CompiledOp> = Vec::with_capacity(graph.len());
+
+        for op in graph.iter() {
+            let unit = op.execution_unit_for(self.spec.sa_width as u64);
+            let tile = TileChoice::for_operator(op, &self.spec);
+            let folded_into = if fusion.is_fused(op.id) {
+                Some(fusion.anchor_of(fusion.group_of(op.id)))
+            } else {
+                None
+            };
+            ops.push(CompiledOp {
+                op: op.clone(),
+                unit,
+                tile,
+                folded_into,
+                fused_vu_elements: 0,
+                fused_vu_flops: 0.0,
+            });
+        }
+
+        // Accumulate fused VU work onto the anchors.
+        for id in 0..ops.len() {
+            if let Some(anchor) = ops[id].folded_into {
+                let elems = own_vu_elements(&ops[id].op);
+                let flops = ops[id].op.flops();
+                let extra_hbm = ops[id].tile.hbm_bytes;
+                ops[anchor].fused_vu_elements += elems;
+                ops[anchor].fused_vu_flops += flops;
+                // Fused operators avoid the HBM round-trip of their
+                // intermediate tensor: only the extra inputs (e.g. the
+                // residual operand) still need to be read. We approximate
+                // this by charging half of the folded operator's traffic to
+                // the anchor.
+                ops[anchor].tile.hbm_bytes += extra_hbm / 2;
+            }
+        }
+
+        CompiledGraph { name: graph.name().to_string(), ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::{NpuGeneration, ParallelismConfig};
+    use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+
+    fn compiler() -> Compiler {
+        Compiler::new(NpuSpec::generation(NpuGeneration::D))
+    }
+
+    #[test]
+    fn compile_preserves_operator_count() {
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill);
+        let g = wl.build_graph(&ParallelismConfig::single());
+        let compiled = compiler().compile(&g);
+        assert_eq!(compiled.len(), g.len());
+        assert!(compiled.num_anchors() < compiled.len());
+        assert_eq!(compiled.name(), g.name());
+    }
+
+    #[test]
+    fn anchors_accumulate_fused_vu_work() {
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill);
+        let g = wl.build_graph(&ParallelismConfig::single());
+        let compiled = compiler().compile(&g);
+        let with_fusion: Vec<_> =
+            compiled.anchors().filter(|op| op.fused_vu_elements > 0).collect();
+        assert!(!with_fusion.is_empty());
+        // An anchor that absorbed a residual add or activation has at least
+        // as many fused VU elements as its own output elements.
+        let ffn_gate = compiled
+            .ops()
+            .iter()
+            .find(|c| c.op.name.contains("ffn_up") && c.is_anchor())
+            .expect("ffn_up anchor");
+        assert!(ffn_gate.fused_vu_elements > 0);
+    }
+
+    #[test]
+    fn folded_ops_reference_valid_anchor() {
+        let wl = Workload::dlrm(DlrmSize::Small);
+        let g = wl.build_graph(&ParallelismConfig::new(8, 1, 1));
+        let compiled = compiler().compile(&g);
+        for (id, op) in compiled.ops().iter().enumerate() {
+            if let Some(anchor) = op.folded_into {
+                assert!(anchor < id, "anchor must precede the folded op");
+                assert!(compiled.ops()[anchor].is_anchor());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_ops_move_to_vu_on_wide_sa() {
+        // On NPU-E (256-wide SA) even more matmuls fall below the warm-up
+        // threshold than on NPU-D.
+        let wl = Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode).with_batch(8);
+        let g = wl.build_graph(&ParallelismConfig::new(1, 8, 1));
+        let on_d = compiler().compile(&g);
+        let on_e = Compiler::new(NpuSpec::generation(NpuGeneration::E)).compile(&g);
+        let sa_d = on_d.ops().iter().filter(|c| c.unit == ExecutionUnit::Sa).count();
+        let sa_e = on_e.ops().iter().filter(|c| c.unit == ExecutionUnit::Sa).count();
+        assert!(sa_e <= sa_d);
+    }
+
+    #[test]
+    fn sram_demand_vector_covers_anchors() {
+        let wl = Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode);
+        let g = wl.build_graph(&ParallelismConfig::single());
+        let compiled = compiler().compile(&g);
+        let demands = compiled.sram_demands_mib();
+        assert_eq!(demands.len(), compiled.num_anchors());
+        assert!(demands.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn empty_graph_compiles_to_empty() {
+        let compiled = compiler().compile(&npu_models::OperatorGraph::new("empty"));
+        assert!(compiled.is_empty());
+        assert_eq!(compiled.num_anchors(), 0);
+    }
+}

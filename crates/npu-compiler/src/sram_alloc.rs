@@ -1,0 +1,225 @@
+//! SRAM (scratchpad) allocation with buffer lifetimes.
+//!
+//! The ReGate instrumentation pass "uses the output of the SRAM allocation
+//! pass, which includes the lifetime (start/end instruction index), start
+//! address, and size of each allocated buffer" to derive the idle intervals
+//! of each 4 KiB segment (§4.3). This module provides that allocation: a
+//! simple double-buffered bump allocator over the anchors of a compiled
+//! graph, which is what the software-managed SRAM power gating consumes.
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::SramGeometry;
+
+use crate::lowering::CompiledGraph;
+
+/// Lifetime and placement of one SRAM buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferLifetime {
+    /// Anchor index (position among the graph's anchors) that owns the buffer.
+    pub anchor_index: usize,
+    /// Start byte address inside the scratchpad.
+    pub start_addr: u64,
+    /// Buffer size in bytes.
+    pub size_bytes: u64,
+    /// First anchor index (inclusive) during which the buffer is live.
+    pub live_from: usize,
+    /// Last anchor index (inclusive) during which the buffer is live.
+    pub live_to: usize,
+}
+
+impl BufferLifetime {
+    /// Whether the buffer is live while anchor `index` executes.
+    #[must_use]
+    pub fn is_live_at(&self, index: usize) -> bool {
+        index >= self.live_from && index <= self.live_to
+    }
+
+    /// Exclusive end address of the buffer.
+    #[must_use]
+    pub fn end_addr(&self) -> u64 {
+        self.start_addr + self.size_bytes
+    }
+}
+
+/// Result of allocating a compiled graph's buffers in the scratchpad.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramAllocation {
+    geometry: SramGeometry,
+    buffers: Vec<BufferLifetime>,
+    num_anchors: usize,
+}
+
+impl SramAllocation {
+    /// Allocates the anchors of a compiled graph.
+    ///
+    /// Each anchor gets a buffer of its tiled SRAM usage, live from the
+    /// previous anchor (its inputs are prefetched / double buffered) until
+    /// the next anchor (its outputs are consumed). Buffers of operators
+    /// that are not adjacent in time reuse addresses: the allocator simply
+    /// alternates between the bottom and the top half of the scratchpad,
+    /// which is how double buffering is commonly laid out.
+    #[must_use]
+    pub fn allocate(graph: &CompiledGraph, geometry: SramGeometry) -> Self {
+        let capacity = geometry.total_bytes();
+        let half = capacity / 2;
+        let mut buffers = Vec::new();
+        let anchors: Vec<_> = graph.anchors().collect();
+        for (index, anchor) in anchors.iter().enumerate() {
+            let size = anchor.tile.sram_used_bytes.min(half).max(geometry.segment_bytes());
+            // Round to whole segments.
+            let size = geometry.segment_bytes() * geometry.segments_for_bytes(size) as u64;
+            let start_addr = if index % 2 == 0 { 0 } else { half };
+            buffers.push(BufferLifetime {
+                anchor_index: index,
+                start_addr,
+                size_bytes: size.min(half),
+                live_from: index.saturating_sub(1),
+                live_to: (index + 1).min(anchors.len().saturating_sub(1)),
+            });
+        }
+        SramAllocation { geometry, buffers, num_anchors: anchors.len() }
+    }
+
+    /// The scratchpad geometry used for the allocation.
+    #[must_use]
+    pub fn geometry(&self) -> SramGeometry {
+        self.geometry
+    }
+
+    /// All allocated buffers.
+    #[must_use]
+    pub fn buffers(&self) -> &[BufferLifetime] {
+        &self.buffers
+    }
+
+    /// Number of anchors covered.
+    #[must_use]
+    pub fn num_anchors(&self) -> usize {
+        self.num_anchors
+    }
+
+    /// Bytes of SRAM live while anchor `index` executes.
+    #[must_use]
+    pub fn live_bytes_at(&self, index: usize) -> u64 {
+        // Buffers at the two base addresses overlap only if live
+        // simultaneously at the same base; take the max extent per base.
+        let mut bottom = 0u64;
+        let mut top = 0u64;
+        for b in &self.buffers {
+            if b.is_live_at(index) {
+                if b.start_addr == 0 {
+                    bottom = bottom.max(b.size_bytes);
+                } else {
+                    top = top.max(b.size_bytes);
+                }
+            }
+        }
+        (bottom + top).min(self.geometry.total_bytes())
+    }
+
+    /// Number of 4 KiB (segment-sized) segments live while anchor `index`
+    /// executes.
+    #[must_use]
+    pub fn live_segments_at(&self, index: usize) -> usize {
+        self.geometry.segments_for_bytes(self.live_bytes_at(index))
+    }
+
+    /// Peak live bytes across the whole graph.
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        (0..self.num_anchors).map(|i| self.live_bytes_at(i)).max().unwrap_or(0)
+    }
+
+    /// Average fraction of the scratchpad that is live (capacity
+    /// utilization), averaged across anchors.
+    #[must_use]
+    pub fn mean_capacity_utilization(&self) -> f64 {
+        if self.num_anchors == 0 {
+            return 0.0;
+        }
+        let total: u64 = (0..self.num_anchors).map(|i| self.live_bytes_at(i)).sum();
+        total as f64 / (self.num_anchors as f64 * self.geometry.total_bytes() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowering::Compiler;
+    use npu_arch::{NpuGeneration, NpuSpec, ParallelismConfig};
+    use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+
+    fn allocate(wl: Workload, p: ParallelismConfig) -> SramAllocation {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let graph = wl.build_graph(&p);
+        let compiled = Compiler::new(spec.clone()).compile(&graph);
+        SramAllocation::allocate(&compiled, spec.sram_geometry())
+    }
+
+    #[test]
+    fn allocation_covers_every_anchor() {
+        let alloc = allocate(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            ParallelismConfig::single(),
+        );
+        assert_eq!(alloc.buffers().len(), alloc.num_anchors());
+        for b in alloc.buffers() {
+            assert!(b.size_bytes > 0);
+            assert!(b.end_addr() <= alloc.geometry().total_bytes());
+            assert!(b.live_from <= b.live_to);
+        }
+    }
+
+    #[test]
+    fn live_bytes_never_exceed_capacity() {
+        let alloc = allocate(
+            Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Prefill),
+            ParallelismConfig::new(1, 8, 1),
+        );
+        let cap = alloc.geometry().total_bytes();
+        for i in 0..alloc.num_anchors() {
+            assert!(alloc.live_bytes_at(i) <= cap);
+        }
+        assert!(alloc.peak_bytes() <= cap);
+    }
+
+    #[test]
+    fn dlrm_uses_small_fraction_of_sram() {
+        let alloc = allocate(Workload::dlrm(DlrmSize::Medium), ParallelismConfig::new(8, 1, 1));
+        // The paper: DLRM SRAM demand never exceeds 8 MB of the 128 MB SRAM,
+        // so at least ~94% of the capacity could be power gated.
+        assert!(
+            alloc.mean_capacity_utilization() < 0.15,
+            "utilization {}",
+            alloc.mean_capacity_utilization()
+        );
+    }
+
+    #[test]
+    fn prefill_uses_more_sram_than_decode() {
+        let prefill = allocate(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill),
+            ParallelismConfig::single(),
+        );
+        let decode = allocate(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            ParallelismConfig::single(),
+        );
+        assert!(prefill.mean_capacity_utilization() > decode.mean_capacity_utilization());
+    }
+
+    #[test]
+    fn segment_counts_round_up() {
+        let alloc = allocate(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            ParallelismConfig::single(),
+        );
+        for i in 0..alloc.num_anchors() {
+            let segs = alloc.live_segments_at(i);
+            let bytes = alloc.live_bytes_at(i);
+            assert!(segs as u64 * 4096 >= bytes);
+            assert!((segs as u64).saturating_sub(1) * 4096 <= bytes);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Tile-size selection and SRAM-demand analysis.
+//!
+//! The paper quantifies the SRAM demand of an operator as "the minimum tile
+//! size that maximizes the on-chip data reuse"; for streaming operators
+//! whose reuse is not affected by tile size it uses "the minimum tile size
+//! that hides the HBM latency" (§3, Figure 7). The tiling pass also
+//! determines the actual HBM traffic once the demand exceeds the physical
+//! SRAM and operands must be re-streamed.
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::NpuSpec;
+use npu_models::{OpKind, Operator};
+
+/// Result of tiling one operator on a specific NPU generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileChoice {
+    /// SRAM bytes the operator would need to maximize on-chip reuse
+    /// (unbounded by the physical SRAM size — this is the Figure 7 metric).
+    pub sram_demand_bytes: u64,
+    /// SRAM bytes actually allocated (capped by the physical capacity and
+    /// leaving headroom for double buffering).
+    pub sram_used_bytes: u64,
+    /// HBM traffic in bytes after tiling (≥ the operator's minimum traffic;
+    /// grows when operands must be re-streamed because the demand exceeds
+    /// the SRAM).
+    pub hbm_bytes: u64,
+    /// Number of tiles the operator is split into.
+    pub num_tiles: u64,
+    /// Whether the operator streams its operands (no reuse benefit from a
+    /// larger tile).
+    pub streaming: bool,
+}
+
+impl TileChoice {
+    /// Tiles an operator for the given NPU.
+    #[must_use]
+    pub fn for_operator(op: &Operator, spec: &NpuSpec) -> Self {
+        let dt = op.dtype.size_bytes();
+        let sram = spec.sram_bytes();
+        // Reserve half of the SRAM for the other operators in flight
+        // (double buffering across DMA and compute).
+        let budget = sram / 2;
+        let sa_w = spec.sa_width as u64;
+
+        match op.kind {
+            OpKind::MatMul { batch, m, k, n, .. } => {
+                let weights = k * n * dt;
+                let in_stripe = 2 * sa_w.min(m.max(1)) * k * dt; // double-buffered input stripe
+                let out_stripe = 2 * sa_w.min(m.max(1)) * n * dt;
+                let memory_bound = op.arithmetic_intensity() < spec.ridge_point();
+                if memory_bound {
+                    // Streaming: a bigger tile does not increase reuse.
+                    let demand = (in_stripe + out_stripe + 2 * sa_w * sa_w * dt).max(64 * 1024);
+                    let used = demand.min(budget);
+                    TileChoice {
+                        sram_demand_bytes: demand,
+                        sram_used_bytes: used,
+                        hbm_bytes: op.hbm_bytes(),
+                        num_tiles: batch.max(1) * m.div_ceil(sa_w).max(1) * n.div_ceil(sa_w).max(1),
+                        streaming: true,
+                    }
+                } else {
+                    // Compute-bound: keep the full weight panel resident to
+                    // maximize reuse; demand may exceed the physical SRAM.
+                    let demand = weights + in_stripe + out_stripe;
+                    let used = demand.min(budget);
+                    // If the weight panel does not fit, split the N dimension
+                    // into panels and re-read the input activations once per
+                    // extra panel.
+                    let avail_for_weights = budget.saturating_sub(in_stripe + out_stripe).max(sa_w * k * dt);
+                    let n_panels = (weights.div_ceil(avail_for_weights)).max(1);
+                    let extra_reads = (n_panels - 1) * batch.max(1) * m * k * dt;
+                    TileChoice {
+                        sram_demand_bytes: demand,
+                        sram_used_bytes: used,
+                        hbm_bytes: op.hbm_bytes() + extra_reads,
+                        num_tiles: batch.max(1)
+                            * m.div_ceil(sa_w).max(1)
+                            * n.div_ceil(sa_w).max(1),
+                        streaming: false,
+                    }
+                }
+            }
+            OpKind::Conv2d { batch, h_out, w_out, c_in, c_out, kh, kw } => {
+                let m = batch * h_out * w_out;
+                let k = c_in * kh * kw;
+                let n = c_out;
+                let weights = k * n * dt;
+                let in_stripe = 2 * sa_w.min(m.max(1)) * k * dt;
+                let out_stripe = 2 * sa_w.min(m.max(1)) * n * dt;
+                let demand = weights + in_stripe + out_stripe;
+                TileChoice {
+                    sram_demand_bytes: demand,
+                    sram_used_bytes: demand.min(budget),
+                    hbm_bytes: op.hbm_bytes(),
+                    num_tiles: m.div_ceil(sa_w).max(1) * n.div_ceil(sa_w).max(1),
+                    streaming: false,
+                }
+            }
+            OpKind::Elementwise { elements, .. } => {
+                Self::streaming_choice(op, spec, elements, dt)
+            }
+            OpKind::Softmax { rows, cols } | OpKind::LayerNorm { rows, cols } => {
+                // Row-wise operators need at least a full row resident.
+                let row_bytes = cols * dt;
+                let demand = (4 * row_bytes).max(Self::latency_hiding_bytes(spec)).max(64 * 1024);
+                TileChoice {
+                    sram_demand_bytes: demand,
+                    sram_used_bytes: demand.min(budget),
+                    hbm_bytes: op.hbm_bytes(),
+                    num_tiles: rows.max(1),
+                    streaming: true,
+                }
+            }
+            OpKind::EmbeddingLookup { lookups, dim, .. } => {
+                let demand = (2 * lookups.min(4096) * dim * dt).max(64 * 1024);
+                TileChoice {
+                    sram_demand_bytes: demand,
+                    sram_used_bytes: demand.min(budget),
+                    hbm_bytes: op.hbm_bytes(),
+                    num_tiles: lookups.div_ceil(4096).max(1),
+                    streaming: true,
+                }
+            }
+            OpKind::Collective { bytes_per_chip, .. } => {
+                // Collectives stage chunks of the payload in SRAM.
+                let demand = bytes_per_chip.min(16 * 1024 * 1024).max(64 * 1024);
+                TileChoice {
+                    sram_demand_bytes: demand,
+                    sram_used_bytes: demand.min(budget),
+                    hbm_bytes: 0,
+                    num_tiles: bytes_per_chip.div_ceil(16 * 1024 * 1024).max(1),
+                    streaming: true,
+                }
+            }
+        }
+    }
+
+    /// Streaming tile choice for elementwise operators: the minimum
+    /// double-buffered tile that hides the HBM access latency.
+    fn streaming_choice(op: &Operator, spec: &NpuSpec, elements: u64, dt: u64) -> TileChoice {
+        let budget = spec.sram_bytes() / 2;
+        let demand = Self::latency_hiding_bytes(spec).max(64 * 1024);
+        let tile_elems = (demand / 2 / dt).max(1);
+        TileChoice {
+            sram_demand_bytes: demand,
+            sram_used_bytes: demand.min(budget),
+            hbm_bytes: op.hbm_bytes(),
+            num_tiles: elements.div_ceil(tile_elems).max(1),
+            streaming: true,
+        }
+    }
+
+    /// Bytes of buffering needed to hide one HBM access latency at full
+    /// HBM bandwidth (double buffered).
+    fn latency_hiding_bytes(spec: &NpuSpec) -> u64 {
+        let latency_cycles =
+            spec.seconds_to_cycles(spec.hbm_kind.access_latency_ns() * 1e-9) as f64;
+        (2.0 * latency_cycles * spec.hbm_bytes_per_cycle()) as u64
+    }
+
+    /// SRAM demand in MiB (the unit used by Figure 7).
+    #[must_use]
+    pub fn sram_demand_mib(&self) -> f64 {
+        self.sram_demand_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::NpuGeneration;
+    use npu_models::{DataType, OpKind};
+
+    fn spec() -> NpuSpec {
+        NpuSpec::generation(NpuGeneration::D)
+    }
+
+    fn matmul(m: u64, k: u64, n: u64, resident: bool) -> Operator {
+        Operator::new(
+            "mm",
+            OpKind::MatMul { batch: 1, m, k, n, weights_resident: resident },
+            DataType::Bf16,
+        )
+    }
+
+    #[test]
+    fn large_training_matmul_demands_more_than_sram() {
+        // Llama3.1-405B FFN down-projection: 53248 x 16384 weights ≈ 1.7 GB.
+        let op = matmul(128 * 1024, 53248, 16384, true);
+        let tc = TileChoice::for_operator(&op, &spec());
+        assert!(tc.sram_demand_mib() > 1000.0, "demand {} MiB", tc.sram_demand_mib());
+        assert!(tc.sram_used_bytes <= spec().sram_bytes() / 2);
+        // Re-streaming inflates HBM traffic beyond the minimum.
+        assert!(tc.hbm_bytes > op.hbm_bytes());
+        assert!(!tc.streaming);
+    }
+
+    #[test]
+    fn decode_matmul_is_streaming_with_small_demand() {
+        // Decode GEMV: 1 x hidden x ffn with batch 1 -> memory bound.
+        let op = matmul(1, 16384, 53248, true);
+        let tc = TileChoice::for_operator(&op, &spec());
+        assert!(tc.streaming);
+        assert!(tc.sram_demand_mib() < 16.0, "demand {} MiB", tc.sram_demand_mib());
+        assert_eq!(tc.hbm_bytes, op.hbm_bytes());
+    }
+
+    #[test]
+    fn elementwise_demand_hides_hbm_latency_only() {
+        let op = Operator::new(
+            "add",
+            OpKind::Elementwise { elements: 1 << 26, flops_per_element: 1, num_inputs: 2 },
+            DataType::Bf16,
+        );
+        let tc = TileChoice::for_operator(&op, &spec());
+        assert!(tc.streaming);
+        assert!(tc.sram_demand_mib() < 8.0);
+        assert!(tc.num_tiles > 1);
+    }
+
+    #[test]
+    fn dlrm_operators_demand_under_8_mib() {
+        // The paper observes DLRM SRAM demand never exceeds 8 MB (Fig. 7).
+        let emb = Operator::new(
+            "emb",
+            OpKind::EmbeddingLookup { lookups: 4096 * 26 * 20, dim: 128, table_bytes: 20 << 30 },
+            DataType::Bf16,
+        );
+        let tc = TileChoice::for_operator(&emb, &spec());
+        assert!(tc.sram_demand_mib() <= 8.0, "demand {} MiB", tc.sram_demand_mib());
+        let mlp = matmul(512, 480, 1024, true);
+        let tc2 = TileChoice::for_operator(&mlp, &spec());
+        assert!(tc2.sram_demand_mib() <= 8.0, "MLP demand {} MiB", tc2.sram_demand_mib());
+    }
+
+    #[test]
+    fn softmax_demand_scales_with_row_width() {
+        let narrow = Operator::new("sm", OpKind::Softmax { rows: 1024, cols: 512 }, DataType::Bf16);
+        let wide = Operator::new("sm", OpKind::Softmax { rows: 1024, cols: 65536 }, DataType::Bf16);
+        let a = TileChoice::for_operator(&narrow, &spec()).sram_demand_bytes;
+        let b = TileChoice::for_operator(&wide, &spec()).sram_demand_bytes;
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn collective_stages_bounded_buffer() {
+        let op = Operator::new(
+            "ar",
+            OpKind::Collective {
+                kind: npu_models::CollectiveKind::AllReduce,
+                bytes_per_chip: 1 << 30,
+            },
+            DataType::Bf16,
+        );
+        let tc = TileChoice::for_operator(&op, &spec());
+        assert_eq!(tc.hbm_bytes, 0);
+        assert!(tc.sram_demand_bytes <= 16 * 1024 * 1024);
+        assert!(tc.num_tiles >= 64);
+    }
+
+    #[test]
+    fn num_tiles_positive_for_every_kind() {
+        let spec = spec();
+        let ops = [
+            matmul(4096, 4096, 4096, true),
+            matmul(1, 128, 128, false),
+            Operator::new("ln", OpKind::LayerNorm { rows: 8, cols: 1024 }, DataType::Bf16),
+            Operator::new(
+                "ew",
+                OpKind::Elementwise { elements: 1, flops_per_element: 1, num_inputs: 1 },
+                DataType::Bf16,
+            ),
+        ];
+        for op in ops {
+            let tc = TileChoice::for_operator(&op, &spec);
+            assert!(tc.num_tiles >= 1);
+            assert!(tc.sram_used_bytes > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use npu_arch::NpuGeneration;
+    use npu_models::DataType;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tiled_traffic_never_below_minimum(
+            m in 1u64..8192, k in 1u64..8192, n in 1u64..8192
+        ) {
+            let spec = NpuSpec::generation(NpuGeneration::D);
+            let op = Operator::new(
+                "mm",
+                npu_models::OpKind::MatMul { batch: 1, m, k, n, weights_resident: true },
+                DataType::Bf16,
+            );
+            let tc = TileChoice::for_operator(&op, &spec);
+            prop_assert!(tc.hbm_bytes >= op.hbm_bytes());
+            prop_assert!(tc.sram_used_bytes <= spec.sram_bytes() / 2);
+            prop_assert!(tc.sram_used_bytes <= tc.sram_demand_bytes.max(64 * 1024));
+            prop_assert!(tc.num_tiles >= 1);
+        }
+    }
+}

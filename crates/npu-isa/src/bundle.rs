@@ -1,0 +1,320 @@
+//! VLIW bundles and the slot operations that occupy them.
+//!
+//! The NPU core issues one bundle per cycle (when not stalled). A bundle has
+//! one slot per systolic array, one per vector unit, a DMA slot, an ICI
+//! slot, and a miscellaneous slot used by scalar control operations and the
+//! `setpm` extension (paper §4.2, Figure 15).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::setpm::SetPm;
+
+/// An operation occupying one slot of a VLIW bundle.
+///
+/// The operand fields carry just enough information for the performance
+/// simulator: how many cycles the slot keeps its functional unit busy and
+/// how many elements/bytes it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlotOp {
+    /// Push a tile of input activations into a systolic array
+    /// (`cycles` = number of rows fed, one per cycle).
+    SaPush {
+        /// Number of cycles the push occupies the SA input port.
+        cycles: u32,
+    },
+    /// Pop a tile of results from a systolic array.
+    SaPop {
+        /// Number of cycles the pop occupies the SA output port.
+        cycles: u32,
+    },
+    /// Load weights into a systolic array (weight-stationary dataflow).
+    SaLoadWeights {
+        /// Number of cycles needed to shift the weights in.
+        cycles: u32,
+    },
+    /// A vector-unit ALU operation processing `elements` elements.
+    VuOp {
+        /// Number of vector elements processed.
+        elements: u32,
+    },
+    /// DMA transfer between HBM (or a remote chip) and SRAM.
+    Dma {
+        /// Number of bytes transferred.
+        bytes: u64,
+        /// Whether the transfer is a remote DMA over the ICI.
+        remote: bool,
+    },
+    /// An ICI collective/P2P step transferring `bytes` bytes.
+    Ici {
+        /// Number of bytes transferred over the ICI links.
+        bytes: u64,
+    },
+    /// A `setpm` power-management instruction (miscellaneous slot).
+    SetPm(SetPm),
+    /// Scalar/control operation in the miscellaneous slot.
+    Scalar,
+    /// Explicit no-op that stalls issue for `cycles` cycles (used by the
+    /// static scheduler to express known waits, as in Figure 15's `nop 6`).
+    Nop {
+        /// Number of cycles to wait before issuing the next bundle.
+        cycles: u32,
+    },
+}
+
+impl SlotOp {
+    /// Convenience constructor for an SA push of `rows` rows.
+    #[must_use]
+    pub fn sa_push(rows: u32) -> Self {
+        SlotOp::SaPush { cycles: rows }
+    }
+
+    /// Convenience constructor for an SA pop of `rows` rows.
+    #[must_use]
+    pub fn sa_pop(rows: u32) -> Self {
+        SlotOp::SaPop { cycles: rows }
+    }
+
+    /// Convenience constructor for a vector add/mul/… over `elements`.
+    #[must_use]
+    pub fn vu_add(elements: u32) -> Self {
+        SlotOp::VuOp { elements }
+    }
+
+    /// Whether this operation is a `setpm`.
+    #[must_use]
+    pub fn is_setpm(&self) -> bool {
+        matches!(self, SlotOp::SetPm(_))
+    }
+
+    /// Short mnemonic used in disassembly.
+    #[must_use]
+    pub fn mnemonic(&self) -> String {
+        match self {
+            SlotOp::SaPush { cycles } => format!("push {cycles}"),
+            SlotOp::SaPop { cycles } => format!("pop {cycles}"),
+            SlotOp::SaLoadWeights { cycles } => format!("ldw {cycles}"),
+            SlotOp::VuOp { elements } => format!("vop {elements}"),
+            SlotOp::Dma { bytes, remote } => {
+                if *remote {
+                    format!("rdma {bytes}")
+                } else {
+                    format!("dma {bytes}")
+                }
+            }
+            SlotOp::Ici { bytes } => format!("ici {bytes}"),
+            SlotOp::SetPm(pm) => pm.disassemble(),
+            SlotOp::Scalar => "scalar".to_string(),
+            SlotOp::Nop { cycles } => format!("nop {cycles}"),
+        }
+    }
+}
+
+/// Slot position within a VLIW bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Slot {
+    /// Systolic-array slot for SA instance `usize`.
+    Sa(usize),
+    /// Vector-unit slot for VU instance `usize`.
+    Vu(usize),
+    /// DMA slot.
+    Dma,
+    /// ICI slot.
+    Ici,
+    /// Miscellaneous (scalar / `setpm`) slot.
+    Misc,
+}
+
+impl std::fmt::Display for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Sa(i) => write!(f, "sa{i}"),
+            Slot::Vu(i) => write!(f, "vu{i}"),
+            Slot::Dma => write!(f, "dma"),
+            Slot::Ici => write!(f, "ici"),
+            Slot::Misc => write!(f, "misc"),
+        }
+    }
+}
+
+/// One VLIW instruction bundle: a partial assignment of operations to slots.
+///
+/// Empty slots implicitly hold no-ops. A bundle can hold at most one
+/// operation per slot; the misc slot can hold at most one `setpm` per cycle,
+/// which is why the bitmap form of `setpm` matters (§4.2).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct VliwBundle {
+    slots: BTreeMap<Slot, SlotOp>,
+}
+
+impl VliwBundle {
+    /// Creates an empty bundle (all slots no-op).
+    #[must_use]
+    pub fn new() -> Self {
+        VliwBundle::default()
+    }
+
+    /// Assigns `op` to the slot of systolic array `sa`.
+    #[must_use]
+    pub fn with_sa(mut self, sa: usize, op: SlotOp) -> Self {
+        self.slots.insert(Slot::Sa(sa), op);
+        self
+    }
+
+    /// Assigns `op` to the slot of vector unit `vu`.
+    #[must_use]
+    pub fn with_vu(mut self, vu: usize, op: SlotOp) -> Self {
+        self.slots.insert(Slot::Vu(vu), op);
+        self
+    }
+
+    /// Assigns `op` to the DMA slot.
+    #[must_use]
+    pub fn with_dma(mut self, op: SlotOp) -> Self {
+        self.slots.insert(Slot::Dma, op);
+        self
+    }
+
+    /// Assigns `op` to the ICI slot.
+    #[must_use]
+    pub fn with_ici(mut self, op: SlotOp) -> Self {
+        self.slots.insert(Slot::Ici, op);
+        self
+    }
+
+    /// Assigns `op` to the miscellaneous slot.
+    #[must_use]
+    pub fn with_misc(mut self, op: SlotOp) -> Self {
+        self.slots.insert(Slot::Misc, op);
+        self
+    }
+
+    /// Operation in a given slot, if any.
+    #[must_use]
+    pub fn slot(&self, slot: Slot) -> Option<&SlotOp> {
+        self.slots.get(&slot)
+    }
+
+    /// Iterator over the occupied slots in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &SlotOp)> {
+        self.slots.iter().map(|(s, op)| (*s, op))
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the bundle contains no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The `setpm` in the misc slot, if present.
+    #[must_use]
+    pub fn setpm(&self) -> Option<&SetPm> {
+        match self.slots.get(&Slot::Misc) {
+            Some(SlotOp::SetPm(pm)) => Some(pm),
+            _ => None,
+        }
+    }
+
+    /// Number of cycles this bundle stalls issue beyond the usual single
+    /// cycle (from an explicit `nop N` in any slot).
+    #[must_use]
+    pub fn extra_issue_cycles(&self) -> u32 {
+        self.slots
+            .values()
+            .map(|op| match op {
+                SlotOp::Nop { cycles } => cycles.saturating_sub(1),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Disassembles the bundle as `{slot: op; slot: op;}`.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut parts = Vec::with_capacity(self.slots.len());
+        for (slot, op) in self.iter() {
+            parts.push(format!("{slot}: {}", op.mnemonic()));
+        }
+        format!("{{{}}}", parts.join("; "))
+    }
+}
+
+impl std::fmt::Display for VliwBundle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{FuBitmap, FunctionalUnitType, PowerMode};
+
+    #[test]
+    fn bundle_builder_and_lookup() {
+        let b = VliwBundle::new()
+            .with_sa(0, SlotOp::sa_push(8))
+            .with_sa(1, SlotOp::sa_pop(8))
+            .with_vu(0, SlotOp::vu_add(1024))
+            .with_dma(SlotOp::Dma { bytes: 4096, remote: false });
+        assert_eq!(b.occupancy(), 4);
+        assert!(matches!(b.slot(Slot::Sa(0)), Some(SlotOp::SaPush { cycles: 8 })));
+        assert!(matches!(b.slot(Slot::Vu(0)), Some(SlotOp::VuOp { elements: 1024 })));
+        assert!(b.slot(Slot::Ici).is_none());
+        assert!(!b.is_empty());
+        assert!(b.setpm().is_none());
+    }
+
+    #[test]
+    fn setpm_lives_in_misc_slot() {
+        let pm = SetPm::functional_units(FuBitmap::first(2), FunctionalUnitType::Vu, PowerMode::Off);
+        let b = VliwBundle::new().with_misc(SlotOp::SetPm(pm));
+        assert_eq!(b.setpm(), Some(&pm));
+        assert!(b.slot(Slot::Misc).unwrap().is_setpm());
+    }
+
+    #[test]
+    fn extra_issue_cycles_from_nop() {
+        let b = VliwBundle::new().with_misc(SlotOp::Nop { cycles: 6 });
+        assert_eq!(b.extra_issue_cycles(), 5);
+        let b2 = VliwBundle::new().with_vu(0, SlotOp::vu_add(8));
+        assert_eq!(b2.extra_issue_cycles(), 0);
+        assert_eq!(VliwBundle::new().extra_issue_cycles(), 0);
+    }
+
+    #[test]
+    fn disassembly_lists_slots_in_order() {
+        let b = VliwBundle::new()
+            .with_vu(1, SlotOp::vu_add(128))
+            .with_sa(0, SlotOp::sa_pop(8));
+        let text = b.disassemble();
+        assert!(text.starts_with("{sa0: pop 8"), "{text}");
+        assert!(text.contains("vu1: vop 128"));
+        assert_eq!(b.to_string(), text);
+    }
+
+    #[test]
+    fn slot_ordering_is_stable() {
+        assert!(Slot::Sa(0) < Slot::Sa(1));
+        assert!(Slot::Sa(7) < Slot::Vu(0));
+        assert!(Slot::Vu(3) < Slot::Dma);
+        assert!(Slot::Dma < Slot::Misc);
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(SlotOp::sa_push(4).mnemonic(), "push 4");
+        assert_eq!(SlotOp::Dma { bytes: 10, remote: true }.mnemonic(), "rdma 10");
+        assert_eq!(SlotOp::Nop { cycles: 3 }.mnemonic(), "nop 3");
+        assert_eq!(SlotOp::Scalar.mnemonic(), "scalar");
+        assert_eq!(SlotOp::Ici { bytes: 5 }.mnemonic(), "ici 5");
+        assert_eq!(SlotOp::SaLoadWeights { cycles: 128 }.mnemonic(), "ldw 128");
+    }
+}

@@ -1,0 +1,300 @@
+//! Power modes, functional-unit types, and functional-unit bitmaps used by
+//! the `setpm` instruction (paper §4.2, Figure 14).
+
+use serde::{Deserialize, Serialize};
+
+/// Power mode of a component as seen by the ISA.
+///
+/// `Auto` is the default: hardware-managed idle-detection policies control
+/// the component transparently. `On`/`Off` override the hardware policy so
+/// the compiler can implement precise, software-defined gating. `Sleep` is
+/// only meaningful for the SRAM: a reduced supply voltage that retains data
+/// but still leaks more than a full power-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// Component forced on; hardware gating disabled.
+    On,
+    /// Component forced off (Gated-Vdd); no data retention.
+    Off,
+    /// Hardware-managed gating (default).
+    Auto,
+    /// Data-retaining low-voltage mode (SRAM only).
+    Sleep,
+}
+
+impl PowerMode {
+    /// All modes in encoding order (the 2-bit `Power Mode` field of Fig. 14).
+    pub const ALL: [PowerMode; 4] =
+        [PowerMode::Auto, PowerMode::On, PowerMode::Off, PowerMode::Sleep];
+
+    /// 2-bit encoding of the mode.
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        match self {
+            PowerMode::Auto => 0b00,
+            PowerMode::On => 0b01,
+            PowerMode::Off => 0b10,
+            PowerMode::Sleep => 0b11,
+        }
+    }
+
+    /// Decodes a 2-bit mode field.
+    #[must_use]
+    pub fn decode(bits: u8) -> Option<PowerMode> {
+        match bits & 0b11 {
+            0b00 => Some(PowerMode::Auto),
+            0b01 => Some(PowerMode::On),
+            0b10 => Some(PowerMode::Off),
+            0b11 => Some(PowerMode::Sleep),
+            _ => None,
+        }
+    }
+
+    /// Whether the mode allows the component to serve operations without a
+    /// wake-up transition.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        matches!(self, PowerMode::On | PowerMode::Auto)
+    }
+}
+
+impl std::fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerMode::On => write!(f, "on"),
+            PowerMode::Off => write!(f, "off"),
+            PowerMode::Auto => write!(f, "auto"),
+            PowerMode::Sleep => write!(f, "sleep"),
+        }
+    }
+}
+
+/// Functional-unit type targeted by a `setpm` instruction (the 3-bit
+/// `Functional Unit Type` field of Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FunctionalUnitType {
+    /// Systolic array.
+    Sa,
+    /// Vector unit.
+    Vu,
+    /// On-chip SRAM (uses the address-range `setpm` variant).
+    Sram,
+    /// HBM controller & PHY.
+    Hbm,
+    /// ICI controller & PHY.
+    Ici,
+    /// DMA engine.
+    Dma,
+}
+
+impl FunctionalUnitType {
+    /// All functional-unit types in encoding order.
+    pub const ALL: [FunctionalUnitType; 6] = [
+        FunctionalUnitType::Sa,
+        FunctionalUnitType::Vu,
+        FunctionalUnitType::Sram,
+        FunctionalUnitType::Hbm,
+        FunctionalUnitType::Ici,
+        FunctionalUnitType::Dma,
+    ];
+
+    /// 3-bit encoding of the type.
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        match self {
+            FunctionalUnitType::Sa => 0b000,
+            FunctionalUnitType::Vu => 0b001,
+            FunctionalUnitType::Sram => 0b010,
+            FunctionalUnitType::Hbm => 0b011,
+            FunctionalUnitType::Ici => 0b100,
+            FunctionalUnitType::Dma => 0b101,
+        }
+    }
+
+    /// Decodes a 3-bit type field.
+    #[must_use]
+    pub fn decode(bits: u8) -> Option<FunctionalUnitType> {
+        match bits & 0b111 {
+            0b000 => Some(FunctionalUnitType::Sa),
+            0b001 => Some(FunctionalUnitType::Vu),
+            0b010 => Some(FunctionalUnitType::Sram),
+            0b011 => Some(FunctionalUnitType::Hbm),
+            0b100 => Some(FunctionalUnitType::Ici),
+            0b101 => Some(FunctionalUnitType::Dma),
+            _ => None,
+        }
+    }
+
+    /// Assembly mnemonic of the unit type.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FunctionalUnitType::Sa => "sa",
+            FunctionalUnitType::Vu => "vu",
+            FunctionalUnitType::Sram => "sram",
+            FunctionalUnitType::Hbm => "hbm",
+            FunctionalUnitType::Ici => "ici",
+            FunctionalUnitType::Dma => "dma",
+        }
+    }
+}
+
+impl std::fmt::Display for FunctionalUnitType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Bitmap selecting which functional-unit instances a `setpm` affects.
+///
+/// The paper sizes the bitmap to the number of SAs/VUs on the chip (8 bits
+/// for an NPU with 8 SAs and 8 VUs); we keep 32 bits so that projected
+/// generations with more units still fit. Bit `i` selects instance `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FuBitmap(u32);
+
+impl FuBitmap {
+    /// Bitmap selecting no units.
+    #[must_use]
+    pub fn empty() -> Self {
+        FuBitmap(0)
+    }
+
+    /// Bitmap selecting instances `0..count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    #[must_use]
+    pub fn first(count: usize) -> Self {
+        assert!(count <= 32, "bitmap supports at most 32 units");
+        if count == 32 {
+            FuBitmap(u32::MAX)
+        } else {
+            FuBitmap((1u32 << count) - 1)
+        }
+    }
+
+    /// Bitmap from raw bits.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Self {
+        FuBitmap(bits)
+    }
+
+    /// Bitmap selecting exactly the given instance indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is ≥ 32.
+    #[must_use]
+    pub fn from_indices(indices: &[usize]) -> Self {
+        let mut bits = 0u32;
+        for &i in indices {
+            assert!(i < 32, "unit index {i} out of range");
+            bits |= 1 << i;
+        }
+        FuBitmap(bits)
+    }
+
+    /// Raw bits of the bitmap.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.0
+    }
+
+    /// Whether instance `index` is selected.
+    #[must_use]
+    pub fn contains(&self, index: usize) -> bool {
+        index < 32 && (self.0 >> index) & 1 == 1
+    }
+
+    /// Number of selected instances.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no instance is selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over the selected instance indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..32).filter(move |&i| self.contains(i))
+    }
+}
+
+impl std::fmt::Display for FuBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0b{:b}", self.0)
+    }
+}
+
+impl std::fmt::Binary for FuBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_mode_roundtrip() {
+        for mode in PowerMode::ALL {
+            assert_eq!(PowerMode::decode(mode.encode()), Some(mode));
+        }
+    }
+
+    #[test]
+    fn power_mode_availability() {
+        assert!(PowerMode::On.is_available());
+        assert!(PowerMode::Auto.is_available());
+        assert!(!PowerMode::Off.is_available());
+        assert!(!PowerMode::Sleep.is_available());
+    }
+
+    #[test]
+    fn fu_type_roundtrip() {
+        for fu in FunctionalUnitType::ALL {
+            assert_eq!(FunctionalUnitType::decode(fu.encode()), Some(fu));
+        }
+        assert_eq!(FunctionalUnitType::decode(0b111), None);
+        assert_eq!(FunctionalUnitType::decode(0b110), None);
+    }
+
+    #[test]
+    fn bitmap_construction() {
+        let b = FuBitmap::from_indices(&[0, 1, 3]);
+        assert_eq!(b.bits(), 0b1011);
+        assert_eq!(b.count(), 3);
+        assert!(b.contains(3));
+        assert!(!b.contains(2));
+        assert_eq!(b.to_string(), "0b1011");
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn bitmap_first_selects_prefix() {
+        assert_eq!(FuBitmap::first(0), FuBitmap::empty());
+        assert_eq!(FuBitmap::first(4).bits(), 0b1111);
+        assert_eq!(FuBitmap::first(32).bits(), u32::MAX);
+        assert!(FuBitmap::empty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmap_rejects_large_index() {
+        let _ = FuBitmap::from_indices(&[32]);
+    }
+
+    #[test]
+    fn display_mnemonics() {
+        assert_eq!(PowerMode::Off.to_string(), "off");
+        assert_eq!(FunctionalUnitType::Vu.to_string(), "vu");
+        assert_eq!(FunctionalUnitType::Sram.to_string(), "sram");
+    }
+}

@@ -1,0 +1,278 @@
+//! Program container: an ordered sequence of VLIW bundles plus statistics
+//! used by the instrumentation pass and the evaluation (e.g. the number of
+//! executed `setpm` instructions per 1,000 cycles, Figure 20).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bundle::{Slot, VliwBundle};
+use crate::power::FunctionalUnitType;
+
+#[cfg(test)]
+use crate::bundle::SlotOp;
+
+/// A statically scheduled NPU program: an ordered list of VLIW bundles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    bundles: Vec<VliwBundle>,
+}
+
+impl Program {
+    /// Creates an empty program with a human-readable name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), bundles: Vec::new() }
+    }
+
+    /// Name of the program (typically the operator it implements).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a bundle at the end of the program.
+    pub fn push(&mut self, bundle: VliwBundle) {
+        self.bundles.push(bundle);
+    }
+
+    /// Inserts a bundle before position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, bundle: VliwBundle) {
+        self.bundles.insert(index, bundle);
+    }
+
+    /// Number of bundles in the program.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Whether the program has no bundles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+
+    /// The bundles in issue order.
+    #[must_use]
+    pub fn bundles(&self) -> &[VliwBundle] {
+        &self.bundles
+    }
+
+    /// Mutable access to the bundles (used by instrumentation passes).
+    pub fn bundles_mut(&mut self) -> &mut Vec<VliwBundle> {
+        &mut self.bundles
+    }
+
+    /// Iterator over `(issue_index, bundle)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &VliwBundle)> {
+        self.bundles.iter().enumerate()
+    }
+
+    /// Total issue cycles of the program assuming one bundle per cycle plus
+    /// explicit `nop N` stalls (the baseline, hazard-free schedule length).
+    #[must_use]
+    pub fn issue_cycles(&self) -> u64 {
+        self.bundles
+            .iter()
+            .map(|b| 1 + u64::from(b.extra_issue_cycles()))
+            .sum()
+    }
+
+    /// Number of `setpm` instructions in the program.
+    #[must_use]
+    pub fn setpm_count(&self) -> usize {
+        self.bundles.iter().filter(|b| b.setpm().is_some()).count()
+    }
+
+    /// Number of `setpm` instructions targeting a specific unit type.
+    #[must_use]
+    pub fn setpm_count_for(&self, fu_type: FunctionalUnitType) -> usize {
+        self.bundles
+            .iter()
+            .filter_map(|b| b.setpm())
+            .filter(|pm| pm.fu_type() == fu_type)
+            .count()
+    }
+
+    /// `setpm` instructions executed per 1,000 issue cycles (Figure 20's
+    /// metric), for one unit type.
+    #[must_use]
+    pub fn setpm_per_kilocycle(&self, fu_type: FunctionalUnitType) -> f64 {
+        let cycles = self.issue_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.setpm_count_for(fu_type) as f64 * 1000.0 / cycles as f64
+    }
+
+    /// Gathers per-slot occupancy statistics.
+    #[must_use]
+    pub fn stats(&self) -> ProgramStats {
+        let mut stats = ProgramStats::default();
+        stats.bundles = self.bundles.len();
+        stats.issue_cycles = self.issue_cycles();
+        for bundle in &self.bundles {
+            for (slot, op) in bundle.iter() {
+                match slot {
+                    Slot::Sa(_) => stats.sa_ops += 1,
+                    Slot::Vu(_) => stats.vu_ops += 1,
+                    Slot::Dma => stats.dma_ops += 1,
+                    Slot::Ici => stats.ici_ops += 1,
+                    Slot::Misc => stats.misc_ops += 1,
+                }
+                if op.is_setpm() {
+                    stats.setpm_ops += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Textual disassembly of the whole program, one bundle per line,
+    /// prefixed with the issue index (`I0:`, `I1:`, …).
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, bundle) in self.iter() {
+            out.push_str(&format!("I{i}: {}\n", bundle.disassemble()));
+        }
+        out
+    }
+}
+
+/// Per-slot occupancy statistics of a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProgramStats {
+    /// Total number of bundles.
+    pub bundles: usize,
+    /// Total issue cycles (bundles plus explicit stalls).
+    pub issue_cycles: u64,
+    /// Operations issued to SA slots.
+    pub sa_ops: usize,
+    /// Operations issued to VU slots.
+    pub vu_ops: usize,
+    /// Operations issued to the DMA slot.
+    pub dma_ops: usize,
+    /// Operations issued to the ICI slot.
+    pub ici_ops: usize,
+    /// Operations issued to the misc slot.
+    pub misc_ops: usize,
+    /// `setpm` instructions (subset of `misc_ops`).
+    pub setpm_ops: usize,
+}
+
+impl ProgramStats {
+    /// Fraction of bundles that contain a `setpm` (code-size inflation
+    /// measure; the paper reports it is negligible).
+    #[must_use]
+    pub fn setpm_fraction(&self) -> f64 {
+        if self.bundles == 0 {
+            0.0
+        } else {
+            self.setpm_ops as f64 / self.bundles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{FuBitmap, PowerMode};
+    use crate::setpm::SetPm;
+
+    fn sample_program() -> Program {
+        // Mirrors the Figure 15 code snippet: 2 SAs, 2 VUs.
+        let mut p = Program::new("fig15");
+        p.push(
+            VliwBundle::new()
+                .with_sa(0, SlotOp::sa_pop(8))
+                .with_sa(1, SlotOp::sa_pop(8))
+                .with_vu(0, SlotOp::vu_add(128))
+                .with_vu(1, SlotOp::vu_add(128)),
+        );
+        p.push(
+            VliwBundle::new()
+                .with_vu(0, SlotOp::vu_add(128))
+                .with_vu(1, SlotOp::vu_add(128))
+                .with_misc(SlotOp::SetPm(SetPm::functional_units(
+                    FuBitmap::from_bits(0b11),
+                    FunctionalUnitType::Vu,
+                    PowerMode::Off,
+                ))),
+        );
+        p.push(
+            VliwBundle::new()
+                .with_sa(0, SlotOp::sa_pop(8))
+                .with_sa(1, SlotOp::sa_pop(8))
+                .with_misc(SlotOp::Nop { cycles: 6 }),
+        );
+        p.push(VliwBundle::new().with_misc(SlotOp::SetPm(SetPm::functional_units(
+            FuBitmap::from_bits(0b11),
+            FunctionalUnitType::Vu,
+            PowerMode::On,
+        ))));
+        p
+    }
+
+    #[test]
+    fn issue_cycles_include_nop_stalls() {
+        let p = sample_program();
+        // 4 bundles, one of which stalls 5 extra cycles (nop 6).
+        assert_eq!(p.issue_cycles(), 4 + 5);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn setpm_counting() {
+        let p = sample_program();
+        assert_eq!(p.setpm_count(), 2);
+        assert_eq!(p.setpm_count_for(FunctionalUnitType::Vu), 2);
+        assert_eq!(p.setpm_count_for(FunctionalUnitType::Sram), 0);
+        let per_kc = p.setpm_per_kilocycle(FunctionalUnitType::Vu);
+        assert!((per_kc - 2.0 * 1000.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_count_slots() {
+        let stats = sample_program().stats();
+        assert_eq!(stats.bundles, 4);
+        assert_eq!(stats.sa_ops, 4);
+        assert_eq!(stats.vu_ops, 4);
+        assert_eq!(stats.misc_ops, 3);
+        assert_eq!(stats.setpm_ops, 2);
+        assert!((stats.setpm_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disassembly_has_one_line_per_bundle() {
+        let p = sample_program();
+        let text = p.disassemble();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().next().unwrap().starts_with("I0:"));
+        assert!(text.contains("setpm"));
+    }
+
+    #[test]
+    fn insert_places_bundle_in_order() {
+        let mut p = Program::new("t");
+        p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1)));
+        p.insert(0, VliwBundle::new().with_vu(0, SlotOp::vu_add(2)));
+        assert!(matches!(
+            p.bundles()[0].slot(crate::bundle::Slot::Vu(0)),
+            Some(SlotOp::VuOp { elements: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_program_stats() {
+        let p = Program::new("empty");
+        assert_eq!(p.issue_cycles(), 0);
+        assert_eq!(p.setpm_per_kilocycle(FunctionalUnitType::Vu), 0.0);
+        assert_eq!(p.stats().setpm_fraction(), 0.0);
+    }
+}

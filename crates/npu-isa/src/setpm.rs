@@ -1,0 +1,206 @@
+//! The `setpm` (set power mode) instruction (paper §4.2, Figure 14).
+//!
+//! `setpm` is encoded in the miscellaneous slot of a VLIW bundle and has
+//! three variants:
+//!
+//! 1. an SRAM variant taking start/end scalar registers that delimit a
+//!    contiguous scratchpad region whose segments change power mode;
+//! 2. a functional-unit variant whose instance bitmap comes from a scalar
+//!    register;
+//! 3. a functional-unit variant whose instance bitmap is an immediate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::{FuBitmap, FunctionalUnitType, PowerMode};
+
+/// Index of a scalar register used by register-operand `setpm` variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScalarReg(pub u8);
+
+impl std::fmt::Display for ScalarReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "%s{}", self.0)
+    }
+}
+
+/// A `setpm` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SetPm {
+    /// `setpm %start, %end, sram, $mode` — change the power mode of the SRAM
+    /// segments covering the byte range `[start, end)` held in two scalar
+    /// registers. The resolved addresses (known to the compiler that emitted
+    /// the instruction) are carried alongside for simulation.
+    SramRange {
+        /// Register holding the start byte address.
+        start_reg: ScalarReg,
+        /// Register holding the (exclusive) end byte address.
+        end_reg: ScalarReg,
+        /// Resolved start address.
+        start_addr: u64,
+        /// Resolved exclusive end address.
+        end_addr: u64,
+        /// New power mode for the covered segments.
+        mode: PowerMode,
+    },
+    /// `setpm %fu_id, $fu_type, $mode` — bitmap read from a scalar register.
+    FuRegister {
+        /// Register holding the instance bitmap.
+        bitmap_reg: ScalarReg,
+        /// Resolved bitmap value.
+        bitmap: FuBitmap,
+        /// Targeted functional-unit type.
+        fu_type: FunctionalUnitType,
+        /// New power mode.
+        mode: PowerMode,
+    },
+    /// `setpm $fu_id, $fu_type, $mode` — bitmap given as an immediate.
+    FuImmediate {
+        /// Instance bitmap immediate.
+        bitmap: FuBitmap,
+        /// Targeted functional-unit type.
+        fu_type: FunctionalUnitType,
+        /// New power mode.
+        mode: PowerMode,
+    },
+}
+
+impl SetPm {
+    /// Convenience constructor for the immediate functional-unit variant.
+    #[must_use]
+    pub fn functional_units(bitmap: FuBitmap, fu_type: FunctionalUnitType, mode: PowerMode) -> Self {
+        SetPm::FuImmediate { bitmap, fu_type, mode }
+    }
+
+    /// Convenience constructor for the SRAM-range variant with resolved
+    /// addresses (registers default to `%s0`/`%s1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_addr < start_addr`.
+    #[must_use]
+    pub fn sram_range(start_addr: u64, end_addr: u64, mode: PowerMode) -> Self {
+        assert!(end_addr >= start_addr, "end address before start address");
+        SetPm::SramRange {
+            start_reg: ScalarReg(0),
+            end_reg: ScalarReg(1),
+            start_addr,
+            end_addr,
+            mode,
+        }
+    }
+
+    /// The power mode set by this instruction.
+    #[must_use]
+    pub fn mode(&self) -> PowerMode {
+        match *self {
+            SetPm::SramRange { mode, .. }
+            | SetPm::FuRegister { mode, .. }
+            | SetPm::FuImmediate { mode, .. } => mode,
+        }
+    }
+
+    /// The functional-unit type affected by this instruction.
+    #[must_use]
+    pub fn fu_type(&self) -> FunctionalUnitType {
+        match *self {
+            SetPm::SramRange { .. } => FunctionalUnitType::Sram,
+            SetPm::FuRegister { fu_type, .. } | SetPm::FuImmediate { fu_type, .. } => fu_type,
+        }
+    }
+
+    /// The instance bitmap affected (empty for the SRAM variant, which is
+    /// addressed by byte range instead).
+    #[must_use]
+    pub fn bitmap(&self) -> FuBitmap {
+        match *self {
+            SetPm::SramRange { .. } => FuBitmap::empty(),
+            SetPm::FuRegister { bitmap, .. } | SetPm::FuImmediate { bitmap, .. } => bitmap,
+        }
+    }
+
+    /// The SRAM byte range affected, if this is the SRAM variant.
+    #[must_use]
+    pub fn sram_byte_range(&self) -> Option<(u64, u64)> {
+        match *self {
+            SetPm::SramRange { start_addr, end_addr, .. } => Some((start_addr, end_addr)),
+            _ => None,
+        }
+    }
+
+    /// Assembly text of the instruction.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        match *self {
+            SetPm::SramRange { start_reg, end_reg, start_addr, end_addr, mode } => format!(
+                "setpm {start_reg}, {end_reg}, sram, ${mode}  ; [{start_addr:#x}, {end_addr:#x})"
+            ),
+            SetPm::FuRegister { bitmap_reg, bitmap, fu_type, mode } => {
+                format!("setpm {bitmap_reg}, ${fu_type}, ${mode}  ; bitmap={bitmap}")
+            }
+            SetPm::FuImmediate { bitmap, fu_type, mode } => {
+                format!("setpm {bitmap}, {fu_type}, {mode}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SetPm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_variant_accessors() {
+        let pm = SetPm::functional_units(
+            FuBitmap::from_bits(0b1011),
+            FunctionalUnitType::Vu,
+            PowerMode::Off,
+        );
+        assert_eq!(pm.mode(), PowerMode::Off);
+        assert_eq!(pm.fu_type(), FunctionalUnitType::Vu);
+        assert_eq!(pm.bitmap().bits(), 0b1011);
+        assert_eq!(pm.sram_byte_range(), None);
+        assert_eq!(pm.disassemble(), "setpm 0b1011, vu, off");
+    }
+
+    #[test]
+    fn sram_variant_accessors() {
+        let pm = SetPm::sram_range(0x1000, 0x3000, PowerMode::Sleep);
+        assert_eq!(pm.fu_type(), FunctionalUnitType::Sram);
+        assert_eq!(pm.sram_byte_range(), Some((0x1000, 0x3000)));
+        assert!(pm.bitmap().is_empty());
+        assert!(pm.disassemble().contains("sram"));
+        assert!(pm.disassemble().contains("0x1000"));
+    }
+
+    #[test]
+    fn register_variant_disassembly() {
+        let pm = SetPm::FuRegister {
+            bitmap_reg: ScalarReg(5),
+            bitmap: FuBitmap::from_bits(0b11),
+            fu_type: FunctionalUnitType::Sa,
+            mode: PowerMode::On,
+        };
+        let text = pm.disassemble();
+        assert!(text.contains("%s5"));
+        assert!(text.contains("$sa"));
+        assert!(text.contains("$on"));
+    }
+
+    #[test]
+    #[should_panic(expected = "end address before start")]
+    fn sram_range_rejects_inverted_range() {
+        let _ = SetPm::sram_range(0x2000, 0x1000, PowerMode::Off);
+    }
+
+    #[test]
+    fn display_matches_disassemble() {
+        let pm = SetPm::functional_units(FuBitmap::first(2), FunctionalUnitType::Vu, PowerMode::On);
+        assert_eq!(pm.to_string(), pm.disassemble());
+    }
+}

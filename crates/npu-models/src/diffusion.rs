@@ -1,0 +1,449 @@
+//! Stable-diffusion workload generator: DiT-XL and GLIGEN (paper Table 1).
+//!
+//! Both models generate 512×512 images. DiT-XL is a diffusion *transformer*
+//! operating on a latent grid of 2×2 patches; its attention head size of 72
+//! is smaller than the 128-wide systolic array, which is the paper's main
+//! example of SA *spatial* underutilization (Figure 5). GLIGEN uses a
+//! Stable-Diffusion-style U-Net whose deeper stages shrink both the spatial
+//! extent and the attention head count, again underutilizing the SA.
+//!
+//! One unit of work is one full image generation (all denoising steps).
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::ParallelismConfig;
+
+use crate::dtype::DataType;
+use crate::graph::OperatorGraph;
+use crate::op::{CollectiveKind, OpKind, Operator};
+
+/// Diffusion model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiffusionModel {
+    /// DiT-XL/2 diffusion transformer.
+    DitXl,
+    /// GLIGEN (Stable-Diffusion U-Net with grounded conditioning).
+    Gligen,
+}
+
+impl DiffusionModel {
+    /// Both evaluated models.
+    pub const ALL: [DiffusionModel; 2] = [DiffusionModel::DitXl, DiffusionModel::Gligen];
+
+    /// Label used in figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffusionModel::DitXl => "DiT-XL",
+            DiffusionModel::Gligen => "GLIGEN",
+        }
+    }
+}
+
+impl std::fmt::Display for DiffusionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of a stable-diffusion workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffusionConfig {
+    /// Model variant.
+    pub model: DiffusionModel,
+    /// Number of images generated per batch.
+    pub batch: u64,
+    /// Output image resolution (512 in the paper).
+    pub image_size: u64,
+    /// Number of denoising steps per image.
+    pub steps: u64,
+    /// Compute data type.
+    pub dtype: DataType,
+}
+
+impl DiffusionConfig {
+    /// Default configuration from Table 1 (512×512 images, 50 denoising
+    /// steps, batch 1).
+    #[must_use]
+    pub fn default_config(model: DiffusionModel) -> Self {
+        DiffusionConfig { model, batch: 1, image_size: 512, steps: 50, dtype: DataType::Bf16 }
+    }
+
+    /// Returns a copy with a different batch size.
+    #[must_use]
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Builds the per-chip operator graph for generating one batch of
+    /// images (all denoising steps). Data parallelism shards the batch;
+    /// tensor parallelism shards attention heads / channels and inserts
+    /// all-reduces.
+    #[must_use]
+    pub fn build_graph(&self, parallelism: &ParallelismConfig) -> OperatorGraph {
+        let mut graph = OperatorGraph::new(format!(
+            "{}-b{}-{}",
+            self.model.label(),
+            self.batch,
+            parallelism
+        ));
+        let dp = parallelism.data as u64;
+        let tp = parallelism.tensor as u64;
+        let local_batch = (self.batch / dp).max(1);
+
+        for step in 0..self.steps {
+            match self.model {
+                DiffusionModel::DitXl => self.push_dit_step(&mut graph, step, local_batch, tp),
+                DiffusionModel::Gligen => self.push_unet_step(&mut graph, step, local_batch, tp),
+            }
+        }
+        graph
+    }
+
+    /// One DiT-XL denoising step: 28 transformer blocks over the latent
+    /// patch sequence (hidden 1152, 16 heads of size 72).
+    fn push_dit_step(&self, graph: &mut OperatorGraph, step: u64, local_batch: u64, tp: u64) {
+        let dt = self.dtype;
+        let hidden: u64 = 1152;
+        let heads: u64 = 16;
+        let head_dim: u64 = 72; // < SA width: spatial underutilization
+        let layers: u64 = 28;
+        let ffn: u64 = 4 * hidden;
+        // 512x512 image -> 64x64 latent (VAE /8) -> 2x2 patches -> 32x32 = 1024 tokens.
+        let seq = (self.image_size / 8 / 2).pow(2);
+        let tokens = local_batch * seq;
+        let heads_local = (heads / tp).max(1);
+        let ffn_local = (ffn / tp).max(1);
+
+        // Patch embedding (conv as matmul).
+        graph.push(Operator::new(
+            format!("step{step}.patchify"),
+            OpKind::MatMul { batch: 1, m: tokens, k: 4 * 2 * 2, n: hidden, weights_resident: true },
+            dt,
+        ));
+        for layer in 0..layers {
+            let p = format!("step{step}.block{layer}");
+            graph.push(Operator::new(
+                format!("{p}.adaln"),
+                OpKind::LayerNorm { rows: tokens, cols: hidden },
+                dt,
+            ));
+            graph.push(Operator::new(
+                format!("{p}.qkv"),
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: hidden,
+                    n: 3 * heads_local * head_dim,
+                    weights_resident: true,
+                },
+                dt,
+            ));
+            // Attention with head_dim = 72 (spatially underutilizes the SA).
+            graph.push(Operator::new(
+                format!("{p}.attn_scores"),
+                OpKind::MatMul {
+                    batch: local_batch * heads_local,
+                    m: seq,
+                    k: head_dim,
+                    n: seq,
+                    weights_resident: false,
+                },
+                dt,
+            ));
+            graph.push(Operator::new(
+                format!("{p}.attn_softmax"),
+                OpKind::Softmax { rows: local_batch * heads_local * seq, cols: seq },
+                dt,
+            ));
+            graph.push(Operator::new(
+                format!("{p}.attn_context"),
+                OpKind::MatMul {
+                    batch: local_batch * heads_local,
+                    m: seq,
+                    k: seq,
+                    n: head_dim,
+                    weights_resident: false,
+                },
+                dt,
+            ));
+            graph.push(Operator::new(
+                format!("{p}.proj"),
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: heads_local * head_dim,
+                    n: hidden,
+                    weights_resident: true,
+                },
+                dt,
+            ));
+            if tp > 1 {
+                graph.push(Operator::new(
+                    format!("{p}.attn_allreduce"),
+                    OpKind::Collective {
+                        kind: CollectiveKind::AllReduce,
+                        bytes_per_chip: tokens * hidden * dt.size_bytes(),
+                    },
+                    dt,
+                ));
+            }
+            graph.push(Operator::new(
+                format!("{p}.mlp_norm"),
+                OpKind::LayerNorm { rows: tokens, cols: hidden },
+                dt,
+            ));
+            graph.push(Operator::new(
+                format!("{p}.mlp_fc1"),
+                OpKind::MatMul { batch: 1, m: tokens, k: hidden, n: ffn_local, weights_resident: true },
+                dt,
+            ));
+            graph.push(Operator::new(
+                format!("{p}.gelu"),
+                OpKind::Elementwise { elements: tokens * ffn_local, flops_per_element: 8, num_inputs: 1 },
+                dt,
+            ));
+            graph.push(Operator::new(
+                format!("{p}.mlp_fc2"),
+                OpKind::MatMul { batch: 1, m: tokens, k: ffn_local, n: hidden, weights_resident: true },
+                dt,
+            ));
+            if tp > 1 {
+                graph.push(Operator::new(
+                    format!("{p}.mlp_allreduce"),
+                    OpKind::Collective {
+                        kind: CollectiveKind::AllReduce,
+                        bytes_per_chip: tokens * hidden * dt.size_bytes(),
+                    },
+                    dt,
+                ));
+            }
+            graph.push(Operator::new(
+                format!("{p}.residual"),
+                OpKind::Elementwise { elements: tokens * hidden, flops_per_element: 2, num_inputs: 2 },
+                dt,
+            ));
+        }
+        // Final layer: unpatchify projection.
+        graph.push(Operator::new(
+            format!("step{step}.unpatchify"),
+            OpKind::MatMul { batch: 1, m: tokens, k: hidden, n: 2 * 2 * 8, weights_resident: true },
+            dt,
+        ));
+    }
+
+    /// One GLIGEN (Stable-Diffusion U-Net) denoising step.
+    ///
+    /// The U-Net processes a 64×64 latent through four resolution stages
+    /// (64/32/16/8) with channel widths 320/640/1280/1280 on the way down
+    /// and mirrored on the way up; each stage has ResNet conv blocks and
+    /// (in the lower-resolution stages) cross/self-attention blocks with
+    /// progressively smaller spatial extents.
+    fn push_unet_step(&self, graph: &mut OperatorGraph, step: u64, local_batch: u64, tp: u64) {
+        let dt = self.dtype;
+        let latent = self.image_size / 8;
+        // (resolution divisor, channels, has attention)
+        let stages: [(u64, u64, bool); 4] =
+            [(1, 320, false), (2, 640, true), (4, 1280, true), (8, 1280, true)];
+
+        let push_stage = |graph: &mut OperatorGraph, dir: &str, (div, ch, attn): (u64, u64, bool)| {
+            let res = (latent / div).max(1);
+            let ch_local = (ch / tp).max(1);
+            let p = format!("step{step}.{dir}.res{res}");
+            // Two ResNet blocks: conv3x3 -> groupnorm -> silu -> conv3x3.
+            for block in 0..2u64 {
+                graph.push(Operator::new(
+                    format!("{p}.resnet{block}.conv1"),
+                    OpKind::Conv2d {
+                        batch: local_batch,
+                        h_out: res,
+                        w_out: res,
+                        c_in: ch,
+                        c_out: ch_local,
+                        kh: 3,
+                        kw: 3,
+                    },
+                    dt,
+                ));
+                graph.push(Operator::new(
+                    format!("{p}.resnet{block}.norm_silu"),
+                    OpKind::Elementwise {
+                        elements: local_batch * res * res * ch_local,
+                        flops_per_element: 6,
+                        num_inputs: 1,
+                    },
+                    dt,
+                ));
+                graph.push(Operator::new(
+                    format!("{p}.resnet{block}.conv2"),
+                    OpKind::Conv2d {
+                        batch: local_batch,
+                        h_out: res,
+                        w_out: res,
+                        c_in: ch_local,
+                        c_out: ch,
+                        kh: 3,
+                        kw: 3,
+                    },
+                    dt,
+                ));
+            }
+            if attn {
+                let seq = res * res;
+                let heads = 8u64;
+                let head_dim = ch / heads; // 80 or 160: partially underutilizes a 128-wide SA
+                let heads_local = (heads / tp).max(1);
+                graph.push(Operator::new(
+                    format!("{p}.attn_qkv"),
+                    OpKind::MatMul {
+                        batch: 1,
+                        m: local_batch * seq,
+                        k: ch,
+                        n: 3 * heads_local * head_dim,
+                        weights_resident: true,
+                    },
+                    dt,
+                ));
+                graph.push(Operator::new(
+                    format!("{p}.attn_scores"),
+                    OpKind::MatMul {
+                        batch: local_batch * heads_local,
+                        m: seq,
+                        k: head_dim,
+                        n: seq,
+                        weights_resident: false,
+                    },
+                    dt,
+                ));
+                graph.push(Operator::new(
+                    format!("{p}.attn_softmax"),
+                    OpKind::Softmax { rows: local_batch * heads_local * seq, cols: seq },
+                    dt,
+                ));
+                graph.push(Operator::new(
+                    format!("{p}.attn_context"),
+                    OpKind::MatMul {
+                        batch: local_batch * heads_local,
+                        m: seq,
+                        k: seq,
+                        n: head_dim,
+                        weights_resident: false,
+                    },
+                    dt,
+                ));
+                // GLIGEN's gated self-attention over grounding tokens (30 boxes).
+                graph.push(Operator::new(
+                    format!("{p}.gated_attn"),
+                    OpKind::MatMul {
+                        batch: local_batch * heads_local,
+                        m: seq,
+                        k: head_dim,
+                        n: 30,
+                        weights_resident: false,
+                    },
+                    dt,
+                ));
+                graph.push(Operator::new(
+                    format!("{p}.attn_proj"),
+                    OpKind::MatMul {
+                        batch: 1,
+                        m: local_batch * seq,
+                        k: heads_local * head_dim,
+                        n: ch,
+                        weights_resident: true,
+                    },
+                    dt,
+                ));
+                if tp > 1 {
+                    graph.push(Operator::new(
+                        format!("{p}.attn_allreduce"),
+                        OpKind::Collective {
+                            kind: CollectiveKind::AllReduce,
+                            bytes_per_chip: local_batch * seq * ch * dt.size_bytes(),
+                        },
+                        dt,
+                    ));
+                }
+            }
+        };
+
+        for stage in stages {
+            push_stage(graph, "down", stage);
+        }
+        // Mirror for the decoder path (skip the bottleneck duplicate).
+        for stage in stages.iter().rev() {
+            push_stage(graph, "up", *stage);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::ExecutionUnit;
+
+    #[test]
+    fn dit_attention_head_dim_is_72() {
+        let cfg = DiffusionConfig::default_config(DiffusionModel::DitXl);
+        let g = cfg.build_graph(&ParallelismConfig::single());
+        let scores = g.iter().find(|op| op.name.contains("attn_scores")).unwrap();
+        let (_m, k, _n) = scores.matmul_dims().unwrap();
+        assert_eq!(k, 72);
+    }
+
+    #[test]
+    fn dit_is_compute_bound() {
+        let mut cfg = DiffusionConfig::default_config(DiffusionModel::DitXl);
+        cfg.steps = 2; // keep the test fast
+        let g = cfg.build_graph(&ParallelismConfig::single());
+        let ai = g.total_flops() / g.total_hbm_bytes();
+        assert!(ai > 50.0, "DiT arithmetic intensity {ai}");
+    }
+
+    #[test]
+    fn gligen_contains_convolutions() {
+        let mut cfg = DiffusionConfig::default_config(DiffusionModel::Gligen);
+        cfg.steps = 1;
+        let g = cfg.build_graph(&ParallelismConfig::single());
+        let convs = g
+            .iter()
+            .filter(|op| matches!(op.kind, OpKind::Conv2d { .. }))
+            .count();
+        assert!(convs >= 16, "expected U-Net convs, found {convs}");
+        assert!(g.count_by_unit(ExecutionUnit::Sa) > convs);
+    }
+
+    #[test]
+    fn steps_scale_graph_size() {
+        let mut cfg = DiffusionConfig::default_config(DiffusionModel::DitXl);
+        cfg.steps = 1;
+        let one = cfg.build_graph(&ParallelismConfig::single());
+        cfg.steps = 4;
+        let four = cfg.build_graph(&ParallelismConfig::single());
+        assert_eq!(four.len(), 4 * one.len());
+    }
+
+    #[test]
+    fn tensor_parallel_diffusion_adds_collectives() {
+        let mut cfg = DiffusionConfig::default_config(DiffusionModel::DitXl);
+        cfg.steps = 1;
+        let g = cfg.build_graph(&ParallelismConfig::new(1, 4, 1));
+        assert!(g.total_ici_bytes() > 0.0);
+    }
+
+    #[test]
+    fn unet_stage_resolutions_shrink() {
+        let mut cfg = DiffusionConfig::default_config(DiffusionModel::Gligen);
+        cfg.steps = 1;
+        let g = cfg.build_graph(&ParallelismConfig::single());
+        assert!(g.iter().any(|op| op.name.contains("res64")));
+        assert!(g.iter().any(|op| op.name.contains("res8")));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DiffusionModel::DitXl.to_string(), "DiT-XL");
+        assert_eq!(DiffusionModel::Gligen.label(), "GLIGEN");
+    }
+}

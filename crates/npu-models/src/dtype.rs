@@ -1,0 +1,70 @@
+//! Numeric data types used by NPU tensor operators.
+
+use serde::{Deserialize, Serialize};
+
+/// Element data type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 32-bit IEEE float (accumulators, optimizer state).
+    F32,
+    /// bfloat16 (the default activation/weight type on TPUs).
+    Bf16,
+    /// 16-bit IEEE float.
+    F16,
+    /// 8-bit float (projected low-precision inference).
+    F8,
+    /// 8-bit integer.
+    I8,
+    /// 32-bit integer (indices for embedding lookups).
+    I32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    #[must_use]
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DataType::F32 | DataType::I32 => 4,
+            DataType::Bf16 | DataType::F16 => 2,
+            DataType::F8 | DataType::I8 => 1,
+        }
+    }
+
+    /// Default compute type of the workloads studied in the paper.
+    #[must_use]
+    pub fn default_compute() -> Self {
+        DataType::Bf16
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataType::F32 => write!(f, "f32"),
+            DataType::Bf16 => write!(f, "bf16"),
+            DataType::F16 => write!(f, "f16"),
+            DataType::F8 => write!(f, "f8"),
+            DataType::I8 => write!(f, "i8"),
+            DataType::I32 => write!(f, "i32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::Bf16.size_bytes(), 2);
+        assert_eq!(DataType::F8.size_bytes(), 1);
+        assert_eq!(DataType::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn default_is_bf16() {
+        assert_eq!(DataType::default_compute(), DataType::Bf16);
+        assert_eq!(DataType::default_compute().to_string(), "bf16");
+    }
+}

@@ -1,0 +1,192 @@
+//! Operator graph: the ordered sequence of tensor operators that make up
+//! one unit of work (a training iteration, a prefill pass, one decode step,
+//! one DLRM batch, or one diffusion step).
+//!
+//! NPU compilers assume a static computation graph with known shapes
+//! (paper §4.3); the graph here is a topologically ordered sequence, which
+//! is what the statically scheduled, in-order NPU pipeline executes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{ExecutionUnit, Operator};
+
+/// An ordered, statically shaped operator graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorGraph {
+    name: String,
+    operators: Vec<Operator>,
+}
+
+impl OperatorGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        OperatorGraph { name: name.into(), operators: Vec::new() }
+    }
+
+    /// Name of the graph (workload + phase).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an operator, assigning its id, and returns the id.
+    pub fn push(&mut self, mut op: Operator) -> usize {
+        let id = self.operators.len();
+        op.id = id;
+        self.operators.push(op);
+        id
+    }
+
+    /// Number of operators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Whether the graph contains no operators.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Operators in execution order.
+    #[must_use]
+    pub fn operators(&self) -> &[Operator] {
+        &self.operators
+    }
+
+    /// Operator with a given id.
+    #[must_use]
+    pub fn get(&self, id: usize) -> Option<&Operator> {
+        self.operators.get(id)
+    }
+
+    /// Iterator over the operators in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = &Operator> {
+        self.operators.iter()
+    }
+
+    /// Total FLOPs of the graph.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.operators.iter().map(Operator::flops).sum()
+    }
+
+    /// Total HBM traffic of the graph in bytes.
+    #[must_use]
+    pub fn total_hbm_bytes(&self) -> f64 {
+        self.operators.iter().map(|op| op.hbm_bytes() as f64).sum()
+    }
+
+    /// Total ICI traffic of the graph in bytes per chip.
+    #[must_use]
+    pub fn total_ici_bytes(&self) -> f64 {
+        self.operators.iter().map(|op| op.ici_bytes() as f64).sum()
+    }
+
+    /// Number of operators assigned to a given execution unit (using the
+    /// default 128-wide systolic array mapping rule).
+    #[must_use]
+    pub fn count_by_unit(&self, unit: ExecutionUnit) -> usize {
+        self.operators.iter().filter(|op| op.execution_unit() == unit).count()
+    }
+
+    /// Fraction of operators that are collectives.
+    #[must_use]
+    pub fn collective_fraction(&self) -> f64 {
+        if self.operators.is_empty() {
+            return 0.0;
+        }
+        self.operators.iter().filter(|op| op.is_collective()).count() as f64
+            / self.operators.len() as f64
+    }
+
+    /// Merges another graph after this one (used to build per-microbatch or
+    /// multi-layer programs); ids are reassigned.
+    pub fn extend_from(&mut self, other: &OperatorGraph) {
+        for op in other.iter() {
+            self.push(op.clone());
+        }
+    }
+}
+
+impl Extend<Operator> for OperatorGraph {
+    fn extend<T: IntoIterator<Item = Operator>>(&mut self, iter: T) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+    use crate::op::{CollectiveKind, OpKind};
+
+    fn sample() -> OperatorGraph {
+        let mut g = OperatorGraph::new("sample");
+        g.push(Operator::new(
+            "mm",
+            OpKind::MatMul { batch: 1, m: 256, k: 256, n: 256, weights_resident: true },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "relu",
+            OpKind::Elementwise { elements: 256 * 256, flops_per_element: 1, num_inputs: 1 },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "ar",
+            OpKind::Collective { kind: CollectiveKind::AllReduce, bytes_per_chip: 1 << 20 },
+            DataType::Bf16,
+        ));
+        g
+    }
+
+    #[test]
+    fn ids_are_assigned_in_order() {
+        let g = sample();
+        assert_eq!(g.len(), 3);
+        for (i, op) in g.iter().enumerate() {
+            assert_eq!(op.id, i);
+        }
+        assert_eq!(g.get(1).unwrap().name, "relu");
+        assert!(g.get(99).is_none());
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let g = sample();
+        assert!(g.total_flops() > 2.0 * 256.0 * 256.0 * 256.0);
+        assert!(g.total_hbm_bytes() > 0.0);
+        assert_eq!(g.total_ici_bytes(), (1 << 20) as f64);
+    }
+
+    #[test]
+    fn unit_counting() {
+        let g = sample();
+        assert_eq!(g.count_by_unit(ExecutionUnit::Sa), 1);
+        assert_eq!(g.count_by_unit(ExecutionUnit::Vu), 1);
+        assert_eq!(g.count_by_unit(ExecutionUnit::Ici), 1);
+        assert!((g.collective_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_reassigns_ids() {
+        let mut g = sample();
+        let other = sample();
+        g.extend_from(&other);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.operators()[5].id, 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = OperatorGraph::new("empty");
+        assert!(g.is_empty());
+        assert_eq!(g.collective_fraction(), 0.0);
+        assert_eq!(g.total_flops(), 0.0);
+    }
+}

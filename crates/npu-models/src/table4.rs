@@ -1,0 +1,143 @@
+//! Evaluation deployment configurations (paper Table 4): the most
+//! energy-efficient SLO-compliant chip count and batch size for each
+//! workload on NPU-D, used throughout the evaluation section (§6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::diffusion::DiffusionModel;
+use crate::dlrm::DlrmSize;
+use crate::llm::{LlamaModel, LlmPhase};
+use crate::workload::Workload;
+
+/// One row of Table 4: a workload with its evaluated NPU-D deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// The workload (with the Table 4 batch size applied).
+    pub workload: Workload,
+    /// Number of NPU-D chips.
+    pub num_chips: usize,
+    /// Batch size.
+    pub batch: u64,
+}
+
+impl EvalConfig {
+    /// Builds the Table 4 configuration for an LLM workload.
+    #[must_use]
+    pub fn llm(model: LlamaModel, phase: LlmPhase) -> Self {
+        let (num_chips, batch) = match (model, phase) {
+            (LlamaModel::Llama3_8B, LlmPhase::Training) => (4, 32),
+            (LlamaModel::Llama3_8B, LlmPhase::Prefill) => (1, 4),
+            (LlamaModel::Llama3_8B, LlmPhase::Decode) => (1, 8),
+            (LlamaModel::Llama2_13B, LlmPhase::Training) => (4, 32),
+            (LlamaModel::Llama2_13B, LlmPhase::Prefill) => (1, 4),
+            (LlamaModel::Llama2_13B, LlmPhase::Decode) => (1, 4),
+            (LlamaModel::Llama3_70B, LlmPhase::Training) => (8, 32),
+            (LlamaModel::Llama3_70B, LlmPhase::Prefill) => (4096, 8192),
+            (LlamaModel::Llama3_70B, LlmPhase::Decode) => (128, 4096),
+            (LlamaModel::Llama3_405B, LlmPhase::Training) => (16, 32),
+            (LlamaModel::Llama3_405B, LlmPhase::Prefill) => (256, 64),
+            (LlamaModel::Llama3_405B, LlmPhase::Decode) => (64, 2048),
+        };
+        EvalConfig {
+            workload: Workload::llm(model, phase).with_batch(batch),
+            num_chips,
+            batch,
+        }
+    }
+
+    /// Builds the Table 4 configuration for a DLRM workload
+    /// (8 chips, batch 4096 for every size).
+    #[must_use]
+    pub fn dlrm(size: DlrmSize) -> Self {
+        EvalConfig { workload: Workload::dlrm(size).with_batch(4096), num_chips: 8, batch: 4096 }
+    }
+
+    /// Builds the Table 4 configuration for a diffusion workload
+    /// (64 chips; batch 8192 for DiT-XL, 256 for GLIGEN).
+    #[must_use]
+    pub fn diffusion(model: DiffusionModel) -> Self {
+        let batch = match model {
+            DiffusionModel::DitXl => 8192,
+            DiffusionModel::Gligen => 256,
+        };
+        EvalConfig { workload: Workload::diffusion(model).with_batch(batch), num_chips: 64, batch }
+    }
+
+    /// Every row of Table 4 in the paper's order.
+    #[must_use]
+    pub fn all() -> Vec<EvalConfig> {
+        let mut out = Vec::new();
+        for phase in LlmPhase::ALL {
+            for model in LlamaModel::ALL {
+                out.push(EvalConfig::llm(model, phase));
+            }
+        }
+        for size in DlrmSize::ALL {
+            out.push(EvalConfig::dlrm(size));
+        }
+        for model in DiffusionModel::ALL {
+            out.push(EvalConfig::diffusion(model));
+        }
+        out
+    }
+
+    /// The evaluation subset used by most per-workload evaluation figures
+    /// (one representative per group, as in Figures 21–25).
+    #[must_use]
+    pub fn sensitivity_subset() -> Vec<EvalConfig> {
+        vec![
+            EvalConfig::llm(LlamaModel::Llama3_405B, LlmPhase::Training),
+            EvalConfig::llm(LlamaModel::Llama3_405B, LlmPhase::Prefill),
+            EvalConfig::llm(LlamaModel::Llama3_405B, LlmPhase::Decode),
+            EvalConfig::dlrm(DlrmSize::Large),
+            EvalConfig::diffusion(DiffusionModel::DitXl),
+        ]
+    }
+}
+
+impl std::fmt::Display for EvalConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} chips, batch {}", self.workload.label(), self.num_chips, self.batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_llm_rows() {
+        let c = EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Training);
+        assert_eq!((c.num_chips, c.batch), (4, 32));
+        let c = EvalConfig::llm(LlamaModel::Llama3_70B, LlmPhase::Decode);
+        assert_eq!((c.num_chips, c.batch), (128, 4096));
+        let c = EvalConfig::llm(LlamaModel::Llama3_405B, LlmPhase::Prefill);
+        assert_eq!((c.num_chips, c.batch), (256, 64));
+        assert_eq!(c.workload.batch(), 64);
+    }
+
+    #[test]
+    fn table4_dlrm_and_diffusion_rows() {
+        for size in DlrmSize::ALL {
+            let c = EvalConfig::dlrm(size);
+            assert_eq!((c.num_chips, c.batch), (8, 4096));
+        }
+        assert_eq!(EvalConfig::diffusion(DiffusionModel::DitXl).batch, 8192);
+        assert_eq!(EvalConfig::diffusion(DiffusionModel::Gligen).batch, 256);
+        assert_eq!(EvalConfig::diffusion(DiffusionModel::Gligen).num_chips, 64);
+    }
+
+    #[test]
+    fn all_covers_every_workload() {
+        let all = EvalConfig::all();
+        assert_eq!(all.len(), 17);
+        let subset = EvalConfig::sensitivity_subset();
+        assert_eq!(subset.len(), 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = EvalConfig::dlrm(DlrmSize::Medium);
+        assert_eq!(c.to_string(), "DLRM-M: 8 chips, batch 4096");
+    }
+}

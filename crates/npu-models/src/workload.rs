@@ -1,0 +1,374 @@
+//! Unified workload abstraction over the LLM, DLRM, and diffusion
+//! generators, including the paper's energy-efficiency work units
+//! (Joule/iteration, Joule/token, Joule/request, Joule/image).
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::{NpuSpec, ParallelismConfig};
+
+use crate::diffusion::{DiffusionConfig, DiffusionModel};
+use crate::dlrm::{DlrmConfig, DlrmSize};
+use crate::dtype::DataType;
+use crate::graph::OperatorGraph;
+use crate::llm::{LlamaModel, LlmPhase, LlmWorkload};
+
+/// Unit of work used to normalize energy efficiency (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkUnit {
+    /// Training iteration.
+    Iteration,
+    /// Generated or processed token.
+    Token,
+    /// Recommendation request.
+    Request,
+    /// Generated image.
+    Image,
+}
+
+impl WorkUnit {
+    /// Label used in figure axes ("Joule/Iter", "Joule/Token", …).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkUnit::Iteration => "Iter",
+            WorkUnit::Token => "Token",
+            WorkUnit::Request => "Request",
+            WorkUnit::Image => "Image",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One of the benchmark workloads of Table 1, with its batch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Large-language-model workload (training, prefill, or decode).
+    Llm(LlmWorkload),
+    /// DLRM inference.
+    Dlrm(DlrmConfig),
+    /// Stable-diffusion image generation.
+    Diffusion(DiffusionConfig),
+}
+
+impl Workload {
+    /// LLM workload with the Table 1 default configuration.
+    #[must_use]
+    pub fn llm(model: LlamaModel, phase: LlmPhase) -> Self {
+        Workload::Llm(LlmWorkload::default_config(model, phase))
+    }
+
+    /// DLRM workload with the Table 1 default configuration.
+    #[must_use]
+    pub fn dlrm(size: DlrmSize) -> Self {
+        Workload::Dlrm(DlrmConfig::default_config(size))
+    }
+
+    /// Diffusion workload with the Table 1 default configuration.
+    #[must_use]
+    pub fn diffusion(model: DiffusionModel) -> Self {
+        Workload::Diffusion(DiffusionConfig::default_config(model))
+    }
+
+    /// Every workload in the paper's benchmark suite (Table 1): four Llama
+    /// models × three phases, three DLRM sizes, and two diffusion models.
+    #[must_use]
+    pub fn benchmark_suite() -> Vec<Workload> {
+        let mut out = Vec::new();
+        for phase in LlmPhase::ALL {
+            for model in LlamaModel::ALL {
+                out.push(Workload::llm(model, phase));
+            }
+        }
+        for size in DlrmSize::ALL {
+            out.push(Workload::dlrm(size));
+        }
+        for model in DiffusionModel::ALL {
+            out.push(Workload::diffusion(model));
+        }
+        out
+    }
+
+    /// Short label, e.g. `"Llama3-70B Prefill"`, `"DLRM-M"`, `"DiT-XL"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Llm(wl) => format!("{} {}", wl.model.name(), wl.phase.label()),
+            Workload::Dlrm(cfg) => cfg.size.label().to_string(),
+            Workload::Diffusion(cfg) => cfg.model.label().to_string(),
+        }
+    }
+
+    /// Group label used as the figure column heading ("LLM Training",
+    /// "LLM Inference (Prefill)", "DLRM Inference", "Stable Diffusion").
+    #[must_use]
+    pub fn group(&self) -> &'static str {
+        match self {
+            Workload::Llm(wl) => match wl.phase {
+                LlmPhase::Training => "LLM Training",
+                LlmPhase::Prefill => "LLM Inference (Prefill)",
+                LlmPhase::Decode => "LLM Inference (Decode)",
+            },
+            Workload::Dlrm(_) => "DLRM Inference",
+            Workload::Diffusion(_) => "Stable Diffusion Inference",
+        }
+    }
+
+    /// Work unit used for energy-efficiency reporting.
+    #[must_use]
+    pub fn work_unit(&self) -> WorkUnit {
+        match self {
+            Workload::Llm(wl) => match wl.phase {
+                LlmPhase::Training => WorkUnit::Iteration,
+                LlmPhase::Prefill | LlmPhase::Decode => WorkUnit::Token,
+            },
+            Workload::Dlrm(_) => WorkUnit::Request,
+            Workload::Diffusion(_) => WorkUnit::Image,
+        }
+    }
+
+    /// Number of work units produced by one execution of the graph built by
+    /// [`Workload::build_graph`] (across the whole deployment, i.e. counting
+    /// every data-parallel replica).
+    #[must_use]
+    pub fn work_items(&self) -> f64 {
+        match self {
+            Workload::Llm(wl) => match wl.phase {
+                LlmPhase::Training => 1.0,
+                LlmPhase::Prefill => (wl.batch * wl.seq_len) as f64,
+                LlmPhase::Decode => wl.batch as f64,
+            },
+            Workload::Dlrm(cfg) => cfg.batch as f64,
+            Workload::Diffusion(cfg) => cfg.batch as f64,
+        }
+    }
+
+    /// Current batch size.
+    #[must_use]
+    pub fn batch(&self) -> u64 {
+        match self {
+            Workload::Llm(wl) => wl.batch,
+            Workload::Dlrm(cfg) => cfg.batch,
+            Workload::Diffusion(cfg) => cfg.batch,
+        }
+    }
+
+    /// Returns a copy with a different batch size.
+    #[must_use]
+    pub fn with_batch(&self, batch: u64) -> Self {
+        match *self {
+            Workload::Llm(wl) => Workload::Llm(wl.with_batch(batch)),
+            Workload::Dlrm(cfg) => Workload::Dlrm(cfg.with_batch(batch)),
+            Workload::Diffusion(cfg) => Workload::Diffusion(cfg.with_batch(batch)),
+        }
+    }
+
+    /// Builds the per-chip operator graph under a parallelism configuration.
+    #[must_use]
+    pub fn build_graph(&self, parallelism: &ParallelismConfig) -> OperatorGraph {
+        match self {
+            Workload::Llm(wl) => wl.build_graph(parallelism),
+            Workload::Dlrm(cfg) => cfg.build_graph(parallelism),
+            Workload::Diffusion(cfg) => cfg.build_graph(parallelism),
+        }
+    }
+
+    /// Minimum per-chip HBM bytes needed to run the workload under a
+    /// parallelism configuration (model weights / embedding shards plus KV
+    /// cache and a 20% activation margin).
+    #[must_use]
+    pub fn hbm_demand_bytes(&self, parallelism: &ParallelismConfig) -> u64 {
+        let margin = 1.2;
+        match self {
+            Workload::Llm(wl) => {
+                let cfg = wl.model.config();
+                let shard = parallelism.tensor as u64 * parallelism.pipeline as u64;
+                let weights = cfg.weight_bytes(wl.dtype) / shard.max(1);
+                // Optimizer state is assumed ZeRO-sharded across the whole
+                // deployment / offloaded to host memory (the paper's Table 4
+                // runs 405B training on 16 chips, which only fits the bf16
+                // weights), so it does not contribute to per-chip demand.
+                let state = 0;
+                let kv = if wl.phase == LlmPhase::Decode {
+                    let per_token = cfg.kv_cache_bytes_per_token(wl.dtype) / shard.max(1);
+                    per_token * (wl.seq_len + wl.output_len) * wl.batch / parallelism.data as u64
+                } else {
+                    0
+                };
+                ((weights + state + kv) as f64 * margin) as u64
+            }
+            Workload::Dlrm(cfg) => {
+                let chips = parallelism.num_chips() as u64;
+                ((cfg.size.embedding_table_bytes() / chips.max(1)) as f64 * margin) as u64
+            }
+            Workload::Diffusion(_) => {
+                // U-Net / DiT weights are ~1-3 GB; always fit.
+                4 << 30
+            }
+        }
+    }
+
+    /// Chooses a sensible default parallelism for `num_chips` chips of the
+    /// given NPU generation: the smallest power-of-two tensor-parallel
+    /// degree under which the per-chip HBM demand fits, with the remaining
+    /// chips used for data parallelism.
+    ///
+    /// Returns `None` if the workload cannot fit even with every chip used
+    /// for model sharding.
+    #[must_use]
+    pub fn default_parallelism(&self, spec: &NpuSpec, num_chips: usize) -> Option<ParallelismConfig> {
+        let hbm = spec.hbm_bytes();
+        match self {
+            Workload::Dlrm(_) | Workload::Diffusion(_) => {
+                let p = ParallelismConfig::new(num_chips, 1, 1);
+                if self.hbm_demand_bytes(&p) <= hbm {
+                    Some(p)
+                } else {
+                    None
+                }
+            }
+            Workload::Llm(_) => {
+                let mut tp = 1usize;
+                while tp <= num_chips {
+                    if num_chips % tp == 0 {
+                        // Prefer pure tensor parallelism up to 8 ways, then add
+                        // pipeline stages for very large models.
+                        let candidates = if tp <= 8 {
+                            vec![ParallelismConfig::new(num_chips / tp, tp, 1)]
+                        } else {
+                            let pp = (tp / 8).max(1);
+                            vec![
+                                ParallelismConfig::new(num_chips / tp, 8, pp),
+                                ParallelismConfig::new(num_chips / tp, tp, 1),
+                            ]
+                        };
+                        for p in candidates {
+                            if self.hbm_demand_bytes(&p) <= hbm {
+                                return Some(p);
+                            }
+                        }
+                    }
+                    tp *= 2;
+                }
+                None
+            }
+        }
+    }
+
+    /// Compute data type of the workload.
+    #[must_use]
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Workload::Llm(wl) => wl.dtype,
+            Workload::Dlrm(cfg) => cfg.dtype,
+            Workload::Diffusion(cfg) => cfg.dtype,
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::NpuGeneration;
+
+    #[test]
+    fn benchmark_suite_matches_table1() {
+        let suite = Workload::benchmark_suite();
+        // 4 models x 3 phases + 3 DLRM + 2 diffusion = 17 workloads.
+        assert_eq!(suite.len(), 17);
+        assert!(suite.iter().any(|w| w.label() == "Llama3.1-405B Training"));
+        assert!(suite.iter().any(|w| w.label() == "DLRM-L"));
+        assert!(suite.iter().any(|w| w.label() == "GLIGEN"));
+    }
+
+    #[test]
+    fn work_units_match_paper_metrics() {
+        assert_eq!(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Training).work_unit(),
+            WorkUnit::Iteration
+        );
+        assert_eq!(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode).work_unit(),
+            WorkUnit::Token
+        );
+        assert_eq!(Workload::dlrm(DlrmSize::Small).work_unit(), WorkUnit::Request);
+        assert_eq!(Workload::diffusion(DiffusionModel::DitXl).work_unit(), WorkUnit::Image);
+        assert_eq!(WorkUnit::Token.to_string(), "Token");
+    }
+
+    #[test]
+    fn prefill_work_items_count_tokens() {
+        let wl = Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill).with_batch(4);
+        assert_eq!(wl.work_items(), 4.0 * 4096.0);
+        let decode = Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode).with_batch(16);
+        assert_eq!(decode.work_items(), 16.0);
+    }
+
+    #[test]
+    fn hbm_demand_shrinks_with_model_sharding() {
+        let wl = Workload::llm(LlamaModel::Llama3_405B, LlmPhase::Prefill);
+        let single = wl.hbm_demand_bytes(&ParallelismConfig::single());
+        let tp8 = wl.hbm_demand_bytes(&ParallelismConfig::new(1, 8, 1));
+        assert!(single > 7 * tp8, "sharding 8 ways should cut demand ~8x");
+    }
+
+    #[test]
+    fn default_parallelism_fits_in_hbm() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        // 70B bf16 weights (~131 GiB) do not fit on one 95 GB chip.
+        let wl = Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Prefill);
+        assert!(wl.default_parallelism(&spec, 1).is_none());
+        let p = wl.default_parallelism(&spec, 4).expect("fits on 4 chips");
+        assert!(p.tensor >= 2);
+        assert!(wl.hbm_demand_bytes(&p) <= spec.hbm_bytes());
+    }
+
+    #[test]
+    fn default_parallelism_405b_needs_many_chips() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let wl = Workload::llm(LlamaModel::Llama3_405B, LlmPhase::Training);
+        assert!(wl.default_parallelism(&spec, 4).is_none());
+        let p = wl.default_parallelism(&spec, 64).expect("405B training fits on 64 chips");
+        assert_eq!(p.num_chips(), 64);
+    }
+
+    #[test]
+    fn dlrm_parallelism_is_data_parallel_table_sharding() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let wl = Workload::dlrm(DlrmSize::Large);
+        assert!(wl.default_parallelism(&spec, 1).is_none(), "98 GB of tables cannot fit one chip");
+        let p = wl.default_parallelism(&spec, 8).unwrap();
+        assert_eq!(p, ParallelismConfig::new(8, 1, 1));
+    }
+
+    #[test]
+    fn graphs_build_for_every_suite_entry() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        for wl in Workload::benchmark_suite() {
+            // Shrink diffusion steps indirectly by using small batch; graphs
+            // are still fully built (this also guards against panics).
+            let chips = 16;
+            if let Some(p) = wl.default_parallelism(&spec, chips) {
+                let g = wl.build_graph(&p);
+                assert!(!g.is_empty(), "{} produced an empty graph", wl.label());
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_label() {
+        let wl = Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode);
+        assert_eq!(wl.to_string(), "Llama3-70B Decode");
+        assert_eq!(wl.group(), "LLM Inference (Decode)");
+    }
+}

@@ -1,0 +1,212 @@
+//! Carbon-efficiency model (paper §6.6, Figures 24 and 25).
+//!
+//! Operational carbon is the electricity consumed at runtime times the grid
+//! carbon intensity; embodied carbon is the emission from manufacturing the
+//! chip, amortized over its lifetime output. ReGate's energy savings reduce
+//! the operational term, which both cuts total emissions and shifts the
+//! optimal device lifespan upward (older chips stay carbon-competitive for
+//! longer when their operating cost is lower).
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::NpuGeneration;
+
+use crate::power::{DATACENTER_PUE, NPU_DUTY_CYCLE};
+
+/// Grid carbon intensity assumed by the paper, in kgCO₂e per kWh.
+pub const CARBON_INTENSITY_KG_PER_KWH: f64 = 0.0624;
+
+/// Carbon model for a fleet of NPU chips.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarbonModel {
+    /// Grid carbon intensity in kgCO₂e/kWh.
+    pub intensity_kg_per_kwh: f64,
+    /// Datacenter power usage effectiveness.
+    pub pue: f64,
+    /// Fleet duty cycle (fraction of time running jobs).
+    pub duty_cycle: f64,
+}
+
+impl Default for CarbonModel {
+    fn default() -> Self {
+        CarbonModel {
+            intensity_kg_per_kwh: CARBON_INTENSITY_KG_PER_KWH,
+            pue: DATACENTER_PUE,
+            duty_cycle: NPU_DUTY_CYCLE,
+        }
+    }
+}
+
+impl CarbonModel {
+    /// Embodied carbon of manufacturing one chip (package + HBM + board
+    /// share), in kgCO₂e, per generation. Derived from published
+    /// cradle-to-gate estimates for TPU-class accelerators.
+    #[must_use]
+    pub fn embodied_kg_per_chip(generation: NpuGeneration) -> f64 {
+        match generation {
+            NpuGeneration::A => 80.0,
+            NpuGeneration::B => 100.0,
+            NpuGeneration::C => 130.0,
+            NpuGeneration::D => 160.0,
+            NpuGeneration::E => 200.0,
+        }
+    }
+
+    /// Operational carbon of consuming `energy_j` joules at the wall
+    /// (facility level, including PUE), in kgCO₂e.
+    #[must_use]
+    pub fn operational_kg(&self, energy_j: f64) -> f64 {
+        let kwh = energy_j / 3.6e6;
+        kwh * self.pue * self.intensity_kg_per_kwh
+    }
+
+    /// Operational carbon reduction (fraction) when the per-work energy
+    /// drops from `baseline_j` to `gated_j`, including the idle-time
+    /// leakage term of each.
+    #[must_use]
+    pub fn operational_reduction(&self, baseline_j: f64, gated_j: f64) -> f64 {
+        if baseline_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - gated_j / baseline_j
+    }
+
+    /// Sweeps the device lifespan from 1 to `horizon_years` and returns the
+    /// total (embodied + operational) carbon per unit of work for each
+    /// lifespan choice (Figure 25).
+    ///
+    /// * `energy_per_work_j` — facility energy per unit of work on the
+    ///   current generation;
+    /// * `work_per_chip_year` — units of work one chip completes per year;
+    /// * `embodied_kg` — embodied carbon per chip;
+    /// * `yearly_efficiency_gain` — factor by which a *new* generation
+    ///   improves energy per work each year (e.g. 1.15 = 15% better per
+    ///   year). Keeping old chips for `L` years forgoes that improvement
+    ///   for the later years of the window.
+    #[must_use]
+    pub fn lifespan_sweep(
+        &self,
+        energy_per_work_j: f64,
+        work_per_chip_year: f64,
+        embodied_kg: f64,
+        yearly_efficiency_gain: f64,
+        horizon_years: u32,
+    ) -> Vec<LifespanPoint> {
+        assert!(yearly_efficiency_gain >= 1.0, "efficiency gain factor must be >= 1");
+        let mut points = Vec::new();
+        for lifespan in 1..=horizon_years {
+            let mut total_kg = 0.0;
+            let mut total_work = 0.0;
+            // Over the horizon, chips are replaced every `lifespan` years;
+            // a replacement bought in year y is `yearly_efficiency_gain^y`
+            // more efficient than today's generation.
+            let mut year = 0u32;
+            while year < horizon_years {
+                let purchase_year = year;
+                let years_used = lifespan.min(horizon_years - purchase_year);
+                let gen_energy =
+                    energy_per_work_j / yearly_efficiency_gain.powi(purchase_year as i32);
+                total_kg += embodied_kg;
+                for _ in 0..years_used {
+                    let work = work_per_chip_year;
+                    total_kg += self.operational_kg(gen_energy * work);
+                    total_work += work;
+                }
+                year += lifespan;
+            }
+            points.push(LifespanPoint {
+                lifespan_years: lifespan,
+                carbon_kg_per_work: total_kg / total_work,
+            });
+        }
+        points
+    }
+
+    /// The lifespan (in years) minimizing carbon per unit of work.
+    #[must_use]
+    pub fn optimal_lifespan(points: &[LifespanPoint]) -> u32 {
+        points
+            .iter()
+            .min_by(|a, b| {
+                a.carbon_kg_per_work
+                    .partial_cmp(&b.carbon_kg_per_work)
+                    .expect("carbon values are finite")
+            })
+            .map(|p| p.lifespan_years)
+            .unwrap_or(0)
+    }
+}
+
+/// One point of the lifespan sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifespanPoint {
+    /// Device lifespan in years.
+    pub lifespan_years: u32,
+    /// Total carbon per unit of work in kgCO₂e.
+    pub carbon_kg_per_work: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operational_carbon_scales_with_energy() {
+        let model = CarbonModel::default();
+        let one_kwh = model.operational_kg(3.6e6);
+        assert!((one_kwh - 0.0624 * 1.1).abs() < 1e-9);
+        assert!((model.operational_kg(7.2e6) - 2.0 * one_kwh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_fraction() {
+        let model = CarbonModel::default();
+        assert!((model.operational_reduction(100.0, 60.0) - 0.4).abs() < 1e-12);
+        assert_eq!(model.operational_reduction(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn embodied_carbon_grows_with_generation() {
+        let mut prev = 0.0;
+        for generation in NpuGeneration::ALL {
+            let e = CarbonModel::embodied_kg_per_chip(generation);
+            assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn lifespan_sweep_has_an_interior_optimum() {
+        let model = CarbonModel::default();
+        // Operational and embodied terms of comparable magnitude produce an
+        // interior optimum: replacing every year wastes embodied carbon,
+        // never replacing wastes efficiency gains.
+        let points = model.lifespan_sweep(5.0e5, 5.0e4, 160.0, 1.20, 10);
+        assert_eq!(points.len(), 10);
+        let optimal = CarbonModel::optimal_lifespan(&points);
+        assert!(optimal > 1 && optimal < 10, "optimal lifespan {optimal}");
+        // Carbon per work is a convex-ish curve: the optimum beats both ends.
+        let first = points.first().unwrap().carbon_kg_per_work;
+        let last = points.last().unwrap().carbon_kg_per_work;
+        let best = points.iter().map(|p| p.carbon_kg_per_work).fold(f64::MAX, f64::min);
+        assert!(best < first && best <= last);
+    }
+
+    #[test]
+    fn lower_operational_energy_extends_optimal_lifespan() {
+        // The paper: ReGate extends the optimal lifespan range from 4-8 to
+        // 5-9 years because operational carbon matters less.
+        let model = CarbonModel::default();
+        let base = model.lifespan_sweep(5.0e5, 5.0e4, 160.0, 1.20, 10);
+        let gated = model.lifespan_sweep(5.0e5 * 0.7, 5.0e4, 160.0, 1.20, 10);
+        assert!(
+            CarbonModel::optimal_lifespan(&gated) >= CarbonModel::optimal_lifespan(&base),
+            "gating must not shorten the optimal lifespan"
+        );
+    }
+
+    #[test]
+    fn optimal_lifespan_of_empty_sweep_is_zero() {
+        assert_eq!(CarbonModel::optimal_lifespan(&[]), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Energy accounting: turning component activity into static/dynamic energy
+//! per component (the Figure 3 breakdown), before any power gating.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::ComponentKind;
+
+use crate::power::{PowerModel, DATACENTER_PUE, NPU_DUTY_CYCLE};
+
+/// Activity counters of one chip over one unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChipUsage {
+    /// Wall-clock busy time of the chip in seconds.
+    pub busy_seconds: f64,
+    /// FLOPs executed on the systolic arrays.
+    pub sa_flops: f64,
+    /// FLOPs executed on the vector units.
+    pub vu_flops: f64,
+    /// Bytes moved over the HBM interface.
+    pub hbm_bytes: f64,
+    /// Bytes moved over the ICI links.
+    pub ici_bytes: f64,
+    /// Bytes moved through the SRAM (compute + DMA sides).
+    pub sram_bytes: f64,
+    /// Bytes moved by the DMA engine.
+    pub dma_bytes: f64,
+}
+
+/// Static and dynamic energy of one component, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentEnergy {
+    /// Static (leakage) energy in joules.
+    pub static_j: f64,
+    /// Dynamic (switching) energy in joules.
+    pub dynamic_j: f64,
+}
+
+impl ComponentEnergy {
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j
+    }
+}
+
+/// Per-component energy breakdown of one chip over one unit of work.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy per component kind.
+    pub components: BTreeMap<ComponentKind, ComponentEnergy>,
+    /// Busy wall-clock time in seconds.
+    pub busy_seconds: f64,
+    /// Idle (powered on, no job) time attributed to this unit of work, in
+    /// seconds, derived from the duty cycle.
+    pub idle_seconds: f64,
+    /// Static energy burned during the idle time, in joules.
+    pub idle_static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Computes the baseline (no power gating) breakdown.
+    #[must_use]
+    pub fn no_power_gating(model: &PowerModel, usage: &ChipUsage) -> Self {
+        let mut components = BTreeMap::new();
+        for kind in ComponentKind::ALL {
+            let static_j = model.static_power_w(kind) * usage.busy_seconds;
+            let dynamic_j = match kind {
+                ComponentKind::Sa => model.sa_energy_per_flop() * usage.sa_flops,
+                ComponentKind::Vu => model.vu_energy_per_flop() * usage.vu_flops,
+                ComponentKind::Sram => model.sram_energy_per_byte() * usage.sram_bytes,
+                ComponentKind::Hbm => model.hbm_energy_per_byte() * usage.hbm_bytes,
+                ComponentKind::Ici => model.ici_energy_per_byte() * usage.ici_bytes,
+                ComponentKind::Dma => model.dma_energy_per_byte() * usage.dma_bytes,
+                ComponentKind::Other => model.other_dynamic_power_w() * usage.busy_seconds,
+            };
+            components.insert(kind, ComponentEnergy { static_j, dynamic_j });
+        }
+        // A chip at 60% duty cycle spends (1-duty)/duty idle seconds per
+        // busy second; during that time the whole chip leaks.
+        let idle_seconds = usage.busy_seconds * (1.0 - NPU_DUTY_CYCLE) / NPU_DUTY_CYCLE;
+        let idle_static_j = model.idle_power_w() * idle_seconds;
+        EnergyBreakdown { components, busy_seconds: usage.busy_seconds, idle_seconds, idle_static_j }
+    }
+
+    /// Energy of one component.
+    #[must_use]
+    pub fn component(&self, kind: ComponentKind) -> ComponentEnergy {
+        self.components.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Total static energy while busy, in joules.
+    #[must_use]
+    pub fn static_j(&self) -> f64 {
+        self.components.values().map(|c| c.static_j).sum()
+    }
+
+    /// Total dynamic energy while busy, in joules.
+    #[must_use]
+    pub fn dynamic_j(&self) -> f64 {
+        self.components.values().map(|c| c.dynamic_j).sum()
+    }
+
+    /// Total busy energy (static + dynamic, excluding idle time), in joules.
+    ///
+    /// This matches the paper's default reporting, where "the reported
+    /// numbers exclude the idle portion".
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.static_j() + self.dynamic_j()
+    }
+
+    /// Total energy including the idle-time leakage, in joules.
+    #[must_use]
+    pub fn total_with_idle_j(&self) -> f64 {
+        self.total_j() + self.idle_static_j
+    }
+
+    /// Facility-level energy (including idle time and the datacenter PUE),
+    /// in joules.
+    #[must_use]
+    pub fn facility_j(&self) -> f64 {
+        self.total_with_idle_j() * DATACENTER_PUE
+    }
+
+    /// Fraction of busy energy that is static.
+    #[must_use]
+    pub fn static_fraction(&self) -> f64 {
+        let total = self.total_j();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.static_j() / total
+        }
+    }
+
+    /// Average power while busy, in watts.
+    #[must_use]
+    pub fn average_power_w(&self) -> f64 {
+        if self.busy_seconds == 0.0 {
+            0.0
+        } else {
+            self.total_j() / self.busy_seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::{NpuGeneration, NpuSpec};
+
+    fn usage_compute_bound(spec: &NpuSpec) -> ChipUsage {
+        let busy = 1.0;
+        ChipUsage {
+            busy_seconds: busy,
+            sa_flops: spec.peak_flops() * 0.8,
+            vu_flops: spec.peak_vu_flops() * 0.1,
+            hbm_bytes: spec.hbm_bandwidth_gbps * 1e9 * 0.2,
+            ici_bytes: 0.0,
+            sram_bytes: spec.hbm_bandwidth_gbps * 1e9 * 0.4,
+            dma_bytes: spec.hbm_bandwidth_gbps * 1e9 * 0.2,
+        }
+    }
+
+    #[test]
+    fn static_fraction_in_paper_range() {
+        // The paper: when the chip is busy, 30%-72% of energy is static.
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let busy_heavy = EnergyBreakdown::no_power_gating(&model, &usage_compute_bound(&spec));
+        assert!(
+            (0.25..=0.75).contains(&busy_heavy.static_fraction()),
+            "static fraction {}",
+            busy_heavy.static_fraction()
+        );
+        // A memory-bound usage has even higher static share.
+        let light = ChipUsage {
+            busy_seconds: 1.0,
+            sa_flops: spec.peak_flops() * 0.01,
+            vu_flops: spec.peak_vu_flops() * 0.05,
+            hbm_bytes: spec.hbm_bandwidth_gbps * 1e9 * 0.9,
+            ici_bytes: 0.0,
+            sram_bytes: spec.hbm_bandwidth_gbps * 1e9 * 1.8,
+            dma_bytes: spec.hbm_bandwidth_gbps * 1e9 * 0.9,
+            ..Default::default()
+        };
+        let mem_bound = EnergyBreakdown::no_power_gating(&model, &light);
+        assert!(mem_bound.static_fraction() > busy_heavy.static_fraction());
+    }
+
+    #[test]
+    fn average_power_stays_below_tdp() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let b = EnergyBreakdown::no_power_gating(&model, &usage_compute_bound(&spec));
+        assert!(b.average_power_w() < spec.tdp_watts);
+        assert!(b.average_power_w() > 0.3 * spec.tdp_watts);
+    }
+
+    #[test]
+    fn idle_energy_matches_duty_cycle() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let b = EnergyBreakdown::no_power_gating(&model, &usage_compute_bound(&spec));
+        // 60% duty cycle -> 2/3 of a busy second of idle time per busy second.
+        assert!((b.idle_seconds - 2.0 / 3.0).abs() < 1e-9);
+        assert!(b.idle_static_j > 0.0);
+        assert!(b.total_with_idle_j() > b.total_j());
+        assert!(b.facility_j() > b.total_with_idle_j());
+        // The paper: 17%-32% of total energy is wasted on chip idleness.
+        let idle_fraction = b.idle_static_j / b.total_with_idle_j();
+        assert!((0.1..=0.45).contains(&idle_fraction), "idle fraction {idle_fraction}");
+    }
+
+    #[test]
+    fn component_accessor_and_totals_agree() {
+        let spec = NpuSpec::generation(NpuGeneration::A);
+        let model = PowerModel::new(&spec);
+        let b = EnergyBreakdown::no_power_gating(&model, &usage_compute_bound(&spec));
+        let sum: f64 = ComponentKind::ALL.iter().map(|&k| b.component(k).total_j()).sum();
+        assert!((sum - b.total_j()).abs() < 1e-9);
+        assert_eq!(b.component(ComponentKind::Other).dynamic_j > 0.0, true);
+    }
+
+    #[test]
+    fn empty_usage_has_zero_energy() {
+        let spec = NpuSpec::generation(NpuGeneration::C);
+        let model = PowerModel::new(&spec);
+        let b = EnergyBreakdown::no_power_gating(&model, &ChipUsage::default());
+        assert_eq!(b.total_j(), 0.0);
+        assert_eq!(b.static_fraction(), 0.0);
+        assert_eq!(b.average_power_w(), 0.0);
+    }
+}

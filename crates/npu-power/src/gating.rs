@@ -1,0 +1,262 @@
+//! Power-gating hardware parameters (paper Table 3 and §4.4).
+//!
+//! These are the synthesized power-on/off delays and break-even times (BET)
+//! of each gateable component, the residual leakage of gated / sleeping
+//! circuits, and the chip-area overhead of the gating logic. The evaluation
+//! treats them as configurable parameters (sensitivity analysis, §6.5).
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::ComponentKind;
+
+/// Residual leakage of gated or sleeping circuits, as a fraction of the
+/// component's powered-on static power (paper §6.1 defaults: 3% for gated
+/// logic, 25% for sleeping SRAM, 0.2% for powered-off SRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageRatios {
+    /// Leakage of power-gated logic relative to its ON static power.
+    pub logic_off: f64,
+    /// Leakage of SRAM cells in the data-retaining sleep (drowsy) mode.
+    pub sram_sleep: f64,
+    /// Leakage of fully power-gated SRAM cells.
+    pub sram_off: f64,
+}
+
+impl Default for LeakageRatios {
+    fn default() -> Self {
+        LeakageRatios { logic_off: 0.03, sram_sleep: 0.25, sram_off: 0.002 }
+    }
+}
+
+impl LeakageRatios {
+    /// The five leakage settings swept by the paper's sensitivity analysis
+    /// (Figure 21), from the default to a very leaky corner.
+    #[must_use]
+    pub fn sensitivity_sweep() -> Vec<LeakageRatios> {
+        vec![
+            LeakageRatios { logic_off: 0.03, sram_sleep: 0.25, sram_off: 0.002 },
+            LeakageRatios { logic_off: 0.1, sram_sleep: 0.3, sram_off: 0.01 },
+            LeakageRatios { logic_off: 0.2, sram_sleep: 0.4, sram_off: 0.1 },
+            LeakageRatios { logic_off: 0.4, sram_sleep: 0.5, sram_off: 0.25 },
+            LeakageRatios { logic_off: 0.6, sram_sleep: 0.8, sram_off: 0.4 },
+        ]
+    }
+
+    /// Label used on the Figure 21 x-axis, e.g. `"0.03/0.25/0.002"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.logic_off, self.sram_sleep, self.sram_off)
+    }
+}
+
+/// Power-gating timing parameters of every gateable component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatingParams {
+    /// Power-on/off delay of a single systolic-array PE, in cycles.
+    pub sa_pe_delay: u64,
+    /// Break-even time of a single PE, in cycles.
+    pub sa_pe_bet: u64,
+    /// Power-on/off delay of an entire systolic array, in cycles.
+    pub sa_full_delay: u64,
+    /// Break-even time of an entire systolic array, in cycles.
+    pub sa_full_bet: u64,
+    /// Power-on/off delay of a vector unit, in cycles.
+    pub vu_delay: u64,
+    /// Break-even time of a vector unit, in cycles.
+    pub vu_bet: u64,
+    /// Power-on/off delay of the HBM controller & PHY, in cycles.
+    pub hbm_delay: u64,
+    /// Break-even time of the HBM controller & PHY, in cycles.
+    pub hbm_bet: u64,
+    /// Power-on/off delay of the ICI controller & PHY, in cycles.
+    pub ici_delay: u64,
+    /// Break-even time of the ICI controller & PHY, in cycles.
+    pub ici_bet: u64,
+    /// Delay to put a 4 KiB SRAM segment into sleep mode, in cycles.
+    pub sram_sleep_delay: u64,
+    /// Break-even time of SRAM sleep mode, in cycles.
+    pub sram_sleep_bet: u64,
+    /// Delay to fully power off a 4 KiB SRAM segment, in cycles.
+    pub sram_off_delay: u64,
+    /// Break-even time of SRAM off mode, in cycles.
+    pub sram_off_bet: u64,
+    /// Residual leakage ratios.
+    pub leakage: LeakageRatios,
+}
+
+impl Default for GatingParams {
+    /// The Table 3 values from the synthesized 7 nm prototype.
+    fn default() -> Self {
+        GatingParams {
+            sa_pe_delay: 1,
+            sa_pe_bet: 47,
+            sa_full_delay: 10,
+            sa_full_bet: 469,
+            vu_delay: 2,
+            vu_bet: 32,
+            hbm_delay: 60,
+            hbm_bet: 412,
+            ici_delay: 60,
+            ici_bet: 459,
+            sram_sleep_delay: 4,
+            sram_sleep_bet: 41,
+            sram_off_delay: 10,
+            sram_off_bet: 82,
+            leakage: LeakageRatios::default(),
+        }
+    }
+}
+
+impl GatingParams {
+    /// Power-on/off delay for gating one whole component of a given kind.
+    #[must_use]
+    pub fn component_delay(&self, kind: ComponentKind) -> u64 {
+        match kind {
+            ComponentKind::Sa => self.sa_full_delay,
+            ComponentKind::Vu => self.vu_delay,
+            ComponentKind::Sram => self.sram_off_delay,
+            ComponentKind::Hbm => self.hbm_delay,
+            ComponentKind::Ici => self.ici_delay,
+            ComponentKind::Dma => self.vu_delay,
+            ComponentKind::Other => u64::MAX,
+        }
+    }
+
+    /// Break-even time for gating one whole component of a given kind.
+    #[must_use]
+    pub fn component_bet(&self, kind: ComponentKind) -> u64 {
+        match kind {
+            ComponentKind::Sa => self.sa_full_bet,
+            ComponentKind::Vu => self.vu_bet,
+            ComponentKind::Sram => self.sram_off_bet,
+            ComponentKind::Hbm => self.hbm_bet,
+            ComponentKind::Ici => self.ici_bet,
+            ComponentKind::Dma => self.vu_bet,
+            ComponentKind::Other => u64::MAX,
+        }
+    }
+
+    /// Returns a copy with every delay and BET scaled by `factor` (the
+    /// Figure 22 sensitivity sweep).
+    #[must_use]
+    pub fn with_delay_scale(&self, factor: f64) -> Self {
+        let scale = |v: u64| ((v as f64 * factor).round() as u64).max(1);
+        GatingParams {
+            sa_pe_delay: scale(self.sa_pe_delay),
+            sa_pe_bet: scale(self.sa_pe_bet),
+            sa_full_delay: scale(self.sa_full_delay),
+            sa_full_bet: scale(self.sa_full_bet),
+            vu_delay: scale(self.vu_delay),
+            vu_bet: scale(self.vu_bet),
+            hbm_delay: scale(self.hbm_delay),
+            hbm_bet: scale(self.hbm_bet),
+            ici_delay: scale(self.ici_delay),
+            ici_bet: scale(self.ici_bet),
+            sram_sleep_delay: scale(self.sram_sleep_delay),
+            sram_sleep_bet: scale(self.sram_sleep_bet),
+            sram_off_delay: scale(self.sram_off_delay),
+            sram_off_bet: scale(self.sram_off_bet),
+            leakage: self.leakage,
+        }
+    }
+
+    /// Returns a copy with different leakage ratios (the Figure 21 sweep).
+    #[must_use]
+    pub fn with_leakage(&self, leakage: LeakageRatios) -> Self {
+        GatingParams { leakage, ..self.clone() }
+    }
+}
+
+/// Chip-area overhead of the ReGate power-gating logic (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaOverhead {
+    /// Area overhead per PE for the per-PE gating transistors (6.36%).
+    pub per_pe_fraction: f64,
+    /// Resulting whole-chip overhead of SA spatial gating (0.68%).
+    pub sa_chip_fraction: f64,
+    /// Whole-chip overhead of VU gating (0.13%).
+    pub vu_chip_fraction: f64,
+    /// Whole-chip overhead of per-segment SRAM gating (2.5%).
+    pub sram_chip_fraction: f64,
+    /// Total chip overhead (3.3%).
+    pub total_chip_fraction: f64,
+}
+
+impl Default for AreaOverhead {
+    fn default() -> Self {
+        AreaOverhead {
+            per_pe_fraction: 0.0636,
+            sa_chip_fraction: 0.0068,
+            vu_chip_fraction: 0.0013,
+            sram_chip_fraction: 0.025,
+            total_chip_fraction: 0.033,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let p = GatingParams::default();
+        assert_eq!((p.sa_pe_delay, p.sa_pe_bet), (1, 47));
+        assert_eq!((p.sa_full_delay, p.sa_full_bet), (10, 469));
+        assert_eq!((p.vu_delay, p.vu_bet), (2, 32));
+        assert_eq!((p.hbm_delay, p.hbm_bet), (60, 412));
+        assert_eq!((p.ici_delay, p.ici_bet), (60, 459));
+        assert_eq!((p.sram_sleep_delay, p.sram_sleep_bet), (4, 41));
+        assert_eq!((p.sram_off_delay, p.sram_off_bet), (10, 82));
+    }
+
+    #[test]
+    fn default_leakage_ratios_match_paper() {
+        let l = LeakageRatios::default();
+        assert!((l.logic_off - 0.03).abs() < 1e-12);
+        assert!((l.sram_sleep - 0.25).abs() < 1e-12);
+        assert!((l.sram_off - 0.002).abs() < 1e-12);
+        assert_eq!(l.label(), "0.03/0.25/0.002");
+        assert_eq!(LeakageRatios::sensitivity_sweep().len(), 5);
+    }
+
+    #[test]
+    fn component_lookup_is_consistent() {
+        let p = GatingParams::default();
+        assert_eq!(p.component_bet(ComponentKind::Vu), 32);
+        assert_eq!(p.component_delay(ComponentKind::Hbm), 60);
+        assert_eq!(p.component_bet(ComponentKind::Other), u64::MAX);
+        for kind in ComponentKind::GATEABLE {
+            assert!(p.component_bet(kind) > p.component_delay(kind));
+        }
+    }
+
+    #[test]
+    fn delay_scaling() {
+        let p = GatingParams::default().with_delay_scale(2.0);
+        assert_eq!(p.vu_delay, 4);
+        assert_eq!(p.vu_bet, 64);
+        assert_eq!(p.sa_full_bet, 938);
+        let tiny = GatingParams::default().with_delay_scale(0.1);
+        assert!(tiny.sa_pe_delay >= 1, "delays never scale to zero");
+    }
+
+    #[test]
+    fn leakage_override() {
+        let leaky = GatingParams::default()
+            .with_leakage(LeakageRatios { logic_off: 0.6, sram_sleep: 0.8, sram_off: 0.4 });
+        assert!((leaky.leakage.logic_off - 0.6).abs() < 1e-12);
+        assert_eq!(leaky.vu_bet, 32, "timing parameters are unchanged");
+    }
+
+    #[test]
+    fn area_overhead_defaults() {
+        let a = AreaOverhead::default();
+        assert!((a.total_chip_fraction - 0.033).abs() < 1e-12);
+        assert!(a.per_pe_fraction < 0.07);
+        assert!(
+            a.sa_chip_fraction + a.vu_chip_fraction + a.sram_chip_fraction
+                < a.total_chip_fraction + 1e-3
+        );
+    }
+}

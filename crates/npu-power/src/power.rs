@@ -1,0 +1,278 @@
+//! Per-component static power and per-operation dynamic energy model.
+//!
+//! The model follows the paper's methodology: area per component from
+//! microarchitectural parameters, static power proportional to area times
+//! the node's leakage density, dynamic energy proportional to activity.
+//! Coefficients are calibrated so that the NPU-D static-energy shares match
+//! the per-component shares reported in §3 of the paper (SA ≈ 10%,
+//! VU ≈ 3.5%, SRAM ≈ 21%, HBM controller ≈ 13%, ICI ≈ 8%, peripheral
+//! "other" logic ≈ 43%).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::{ComponentKind, NpuSpec, TechnologyNode};
+
+/// Datacenter power usage effectiveness assumed by the paper (§3).
+pub const DATACENTER_PUE: f64 = 1.1;
+
+/// Duty cycle (fraction of powered-on time spent running jobs) assumed by
+/// the paper (§3), following production measurements.
+pub const NPU_DUTY_CYCLE: f64 = 0.6;
+
+/// Fraction of TDP dissipated as static (leakage) power when every
+/// component is powered on, per technology node. Leakage grows relative to
+/// dynamic power as the feature size shrinks (§3).
+fn static_fraction(node: TechnologyNode) -> f64 {
+    match node {
+        TechnologyNode::N16 => 0.34,
+        TechnologyNode::N7 => 0.42,
+        TechnologyNode::N4 => 0.48,
+    }
+}
+
+/// Relative-area coefficients calibrated against the paper's NPU-D shares.
+mod coeff {
+    /// Units per processing element.
+    pub const PER_PE: f64 = 7.93e-5;
+    /// Units per vector sub-lane ALU (a VU has `lanes × sublanes` of them).
+    pub const PER_VU_LANE: f64 = 5.7e-4;
+    /// Units per MiB of SRAM.
+    pub const PER_SRAM_MIB: f64 = 0.163;
+    /// Units per GB/s of HBM bandwidth (controller + PHY).
+    pub const PER_HBM_GBPS: f64 = 4.63e-3;
+    /// Units per GB/s of aggregate ICI bandwidth (controller + PHY).
+    pub const PER_ICI_GBPS: f64 = 1.33e-2;
+    /// Units for the DMA engine.
+    pub const DMA: f64 = 1.5;
+    /// Peripheral logic as a fraction of all other component units
+    /// (yields the ≈43% "other" share of the paper).
+    pub const OTHER_FRACTION_OF_REST: f64 = 0.754;
+}
+
+/// Share of the chip's dynamic power budget attributed to each component at
+/// full activity (used to derive per-operation energies).
+fn dynamic_share(kind: ComponentKind) -> f64 {
+    match kind {
+        ComponentKind::Sa => 0.50,
+        ComponentKind::Vu => 0.08,
+        ComponentKind::Sram => 0.12,
+        ComponentKind::Hbm => 0.17,
+        ComponentKind::Ici => 0.05,
+        ComponentKind::Dma => 0.03,
+        ComponentKind::Other => 0.05,
+    }
+}
+
+/// Static-power and dynamic-energy model of one NPU generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    spec: NpuSpec,
+    static_power_w: BTreeMap<ComponentKind, f64>,
+    dynamic_budget_w: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for an NPU generation.
+    #[must_use]
+    pub fn new(spec: &NpuSpec) -> Self {
+        let mut units: BTreeMap<ComponentKind, f64> = BTreeMap::new();
+        units.insert(ComponentKind::Sa, spec.total_pes() as f64 * coeff::PER_PE);
+        units.insert(
+            ComponentKind::Vu,
+            (spec.num_vu * spec.vu_lanes * spec.vu_sublanes) as f64 * coeff::PER_VU_LANE,
+        );
+        units.insert(ComponentKind::Sram, spec.sram_mib as f64 * coeff::PER_SRAM_MIB);
+        units.insert(ComponentKind::Hbm, spec.hbm_bandwidth_gbps * coeff::PER_HBM_GBPS);
+        units.insert(ComponentKind::Ici, spec.ici_total_gbps() * coeff::PER_ICI_GBPS);
+        units.insert(ComponentKind::Dma, coeff::DMA);
+        let rest: f64 = units.values().sum();
+        units.insert(ComponentKind::Other, rest * coeff::OTHER_FRACTION_OF_REST);
+        let total_units: f64 = units.values().sum();
+
+        let total_static = static_fraction(spec.technology) * spec.tdp_watts;
+        let static_power_w = units
+            .iter()
+            .map(|(&kind, &u)| (kind, total_static * u / total_units))
+            .collect();
+        let dynamic_budget_w = spec.tdp_watts - total_static;
+        PowerModel { spec: spec.clone(), static_power_w, dynamic_budget_w }
+    }
+
+    /// The modelled NPU specification.
+    #[must_use]
+    pub fn spec(&self) -> &NpuSpec {
+        &self.spec
+    }
+
+    /// Static (leakage) power of one component kind, in watts, with the
+    /// component fully powered on.
+    #[must_use]
+    pub fn static_power_w(&self, kind: ComponentKind) -> f64 {
+        self.static_power_w.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Total chip static power with everything powered on, in watts.
+    #[must_use]
+    pub fn total_static_power_w(&self) -> f64 {
+        self.static_power_w.values().sum()
+    }
+
+    /// Dynamic power budget of the chip at full activity, in watts.
+    #[must_use]
+    pub fn dynamic_budget_w(&self) -> f64 {
+        self.dynamic_budget_w
+    }
+
+    /// Dynamic energy per systolic-array FLOP, in joules.
+    #[must_use]
+    pub fn sa_energy_per_flop(&self) -> f64 {
+        dynamic_share(ComponentKind::Sa) * self.dynamic_budget_w / self.spec.peak_flops()
+    }
+
+    /// Dynamic energy per vector-unit FLOP, in joules.
+    #[must_use]
+    pub fn vu_energy_per_flop(&self) -> f64 {
+        dynamic_share(ComponentKind::Vu) * self.dynamic_budget_w / self.spec.peak_vu_flops()
+    }
+
+    /// Dynamic energy per byte of HBM traffic, in joules.
+    #[must_use]
+    pub fn hbm_energy_per_byte(&self) -> f64 {
+        dynamic_share(ComponentKind::Hbm) * self.dynamic_budget_w
+            / (self.spec.hbm_bandwidth_gbps * 1.0e9)
+    }
+
+    /// Dynamic energy per byte of ICI traffic, in joules.
+    #[must_use]
+    pub fn ici_energy_per_byte(&self) -> f64 {
+        dynamic_share(ComponentKind::Ici) * self.dynamic_budget_w
+            / (self.spec.ici_total_gbps() * 1.0e9)
+    }
+
+    /// Dynamic energy per byte moved through the SRAM, in joules.
+    ///
+    /// The SRAM serves both compute units and DMA traffic; its bandwidth is
+    /// approximated as twice the HBM bandwidth (read + write of streaming
+    /// data) plus the compute-side accesses, which is folded into the
+    /// coefficient.
+    #[must_use]
+    pub fn sram_energy_per_byte(&self) -> f64 {
+        dynamic_share(ComponentKind::Sram) * self.dynamic_budget_w
+            / (4.0 * self.spec.hbm_bandwidth_gbps * 1.0e9)
+    }
+
+    /// Dynamic energy per byte moved by the DMA engine, in joules.
+    #[must_use]
+    pub fn dma_energy_per_byte(&self) -> f64 {
+        dynamic_share(ComponentKind::Dma) * self.dynamic_budget_w
+            / ((self.spec.hbm_bandwidth_gbps + self.spec.ici_total_gbps()) * 1.0e9)
+    }
+
+    /// Baseline dynamic power of the peripheral logic while the chip is
+    /// executing, in watts (clock trees, control, PCIe keep switching).
+    #[must_use]
+    pub fn other_dynamic_power_w(&self) -> f64 {
+        dynamic_share(ComponentKind::Other) * self.dynamic_budget_w
+    }
+
+    /// Chip power when powered on but idle (outside its duty cycle):
+    /// every component leaks but nothing switches, in watts.
+    #[must_use]
+    pub fn idle_power_w(&self) -> f64 {
+        self.total_static_power_w()
+    }
+
+    /// Static-power share of one component (fraction of total static power).
+    #[must_use]
+    pub fn static_share(&self, kind: ComponentKind) -> f64 {
+        self.static_power_w(kind) / self.total_static_power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::NpuGeneration;
+
+    #[test]
+    fn npu_d_static_shares_match_paper_ranges() {
+        let model = PowerModel::new(&NpuSpec::generation(NpuGeneration::D));
+        let sa = model.static_share(ComponentKind::Sa);
+        let vu = model.static_share(ComponentKind::Vu);
+        let sram = model.static_share(ComponentKind::Sram);
+        let hbm = model.static_share(ComponentKind::Hbm);
+        let ici = model.static_share(ComponentKind::Ici);
+        let other = model.static_share(ComponentKind::Other);
+        assert!((0.08..=0.14).contains(&sa), "SA share {sa}");
+        assert!((0.019..=0.056).contains(&vu), "VU share {vu}");
+        assert!((0.15..=0.25).contains(&sram), "SRAM share {sram}");
+        assert!((0.09..=0.23).contains(&hbm), "HBM share {hbm}");
+        assert!((0.05..=0.12).contains(&ici), "ICI share {ici}");
+        assert!((0.39..=0.46).contains(&other), "Other share {other}");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for generation in NpuGeneration::ALL {
+            let model = PowerModel::new(&NpuSpec::generation(generation));
+            let sum: f64 = ComponentKind::ALL.iter().map(|&k| model.static_share(k)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{generation}: shares sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn static_plus_dynamic_equals_tdp() {
+        for generation in NpuGeneration::ALL {
+            let spec = NpuSpec::generation(generation);
+            let model = PowerModel::new(&spec);
+            let total = model.total_static_power_w() + model.dynamic_budget_w();
+            assert!((total - spec.tdp_watts).abs() < 1e-6);
+            assert!(model.idle_power_w() < spec.tdp_watts);
+        }
+    }
+
+    #[test]
+    fn newer_nodes_have_larger_static_fraction() {
+        let a = PowerModel::new(&NpuSpec::generation(NpuGeneration::A));
+        let d = PowerModel::new(&NpuSpec::generation(NpuGeneration::D));
+        let frac_a = a.total_static_power_w() / a.spec().tdp_watts;
+        let frac_d = d.total_static_power_w() / d.spec().tdp_watts;
+        assert!(frac_d > frac_a);
+    }
+
+    #[test]
+    fn per_operation_energies_are_positive_and_small() {
+        let model = PowerModel::new(&NpuSpec::generation(NpuGeneration::D));
+        assert!(model.sa_energy_per_flop() > 0.0);
+        assert!(model.sa_energy_per_flop() < 1e-11, "an SA FLOP costs well under 10 pJ");
+        assert!(model.hbm_energy_per_byte() > model.sram_energy_per_byte());
+        assert!(model.vu_energy_per_flop() > model.sa_energy_per_flop());
+        assert!(model.ici_energy_per_byte() > 0.0);
+        assert!(model.dma_energy_per_byte() > 0.0);
+        assert!(model.other_dynamic_power_w() > 0.0);
+    }
+
+    #[test]
+    fn full_activity_stays_within_tdp() {
+        // If every component ran at its peak rate simultaneously, the total
+        // dynamic power equals the dynamic budget by construction.
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let sa = model.sa_energy_per_flop() * spec.peak_flops();
+        let vu = model.vu_energy_per_flop() * spec.peak_vu_flops();
+        let hbm = model.hbm_energy_per_byte() * spec.hbm_bandwidth_gbps * 1e9;
+        let ici = model.ici_energy_per_byte() * spec.ici_total_gbps() * 1e9;
+        let sram = model.sram_energy_per_byte() * 4.0 * spec.hbm_bandwidth_gbps * 1e9;
+        let dma = model.dma_energy_per_byte() * (spec.hbm_bandwidth_gbps + spec.ici_total_gbps()) * 1e9;
+        let total = sa + vu + hbm + ici + sram + dma + model.other_dynamic_power_w();
+        assert!((total - model.dynamic_budget_w()).abs() / model.dynamic_budget_w() < 1e-9);
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        assert!((DATACENTER_PUE - 1.1).abs() < 1e-12);
+        assert!((NPU_DUTY_CYCLE - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Aggregated per-component activity over a whole simulation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::ComponentKind;
+
+use crate::timing::OpTiming;
+
+/// Busy-cycle totals per component kind plus the overall execution length.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentActivity {
+    busy_cycles: BTreeMap<ComponentKind, u64>,
+    /// Achieved FLOPs (for SA spatial utilization accounting).
+    sa_weighted_spatial: f64,
+    total_cycles: u64,
+}
+
+impl ComponentActivity {
+    /// Builds the aggregate from per-operator timings.
+    #[must_use]
+    pub fn from_timings(timings: &[OpTiming]) -> Self {
+        let mut busy: BTreeMap<ComponentKind, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        let mut spatial = 0.0f64;
+        for t in timings {
+            total += t.duration_cycles;
+            *busy.entry(ComponentKind::Sa).or_default() += t.sa_active_cycles;
+            *busy.entry(ComponentKind::Vu).or_default() += t.vu_active_cycles;
+            *busy.entry(ComponentKind::Hbm).or_default() += t.hbm_active_cycles;
+            *busy.entry(ComponentKind::Ici).or_default() += t.ici_active_cycles;
+            // The DMA engine moves both HBM and ICI traffic.
+            *busy.entry(ComponentKind::Dma).or_default() +=
+                t.hbm_active_cycles + t.ici_active_cycles;
+            // The SRAM and peripheral logic are active whenever the chip is.
+            *busy.entry(ComponentKind::Sram).or_default() += t.duration_cycles;
+            *busy.entry(ComponentKind::Other).or_default() += t.duration_cycles;
+            spatial += t.sa_spatial_utilization * t.sa_active_cycles as f64;
+        }
+        ComponentActivity { busy_cycles: busy, sa_weighted_spatial: spatial, total_cycles: total }
+    }
+
+    /// Total execution length in cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Busy cycles of one component kind.
+    #[must_use]
+    pub fn busy_cycles(&self, kind: ComponentKind) -> u64 {
+        self.busy_cycles.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Idle cycles of one component kind.
+    #[must_use]
+    pub fn idle_cycles(&self, kind: ComponentKind) -> u64 {
+        self.total_cycles.saturating_sub(self.busy_cycles(kind))
+    }
+
+    /// Temporal utilization of one component kind (Figures 4, 6, 8, 9).
+    #[must_use]
+    pub fn temporal_utilization(&self, kind: ComponentKind) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        (self.busy_cycles(kind) as f64 / self.total_cycles as f64).min(1.0)
+    }
+
+    /// Average SA spatial utilization over SA-active cycles (Figure 5).
+    #[must_use]
+    pub fn sa_spatial_utilization(&self) -> f64 {
+        let active = self.busy_cycles(ComponentKind::Sa);
+        if active == 0 {
+            return 0.0;
+        }
+        (self.sa_weighted_spatial / active as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_models::ExecutionUnit;
+
+    fn timing(duration: u64, sa: u64, vu: u64, hbm: u64, ici: u64) -> OpTiming {
+        OpTiming {
+            op_index: 0,
+            name: "t".into(),
+            unit: ExecutionUnit::Sa,
+            duration_cycles: duration,
+            sa_active_cycles: sa,
+            sa_spatial_utilization: 0.5,
+            vu_active_cycles: vu,
+            hbm_active_cycles: hbm,
+            ici_active_cycles: ici,
+            hbm_bytes: 0,
+            ici_bytes: 0,
+            flops: 0.0,
+            sram_live_bytes: 0,
+            sram_demand_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_busy_cycles() {
+        let a = ComponentActivity::from_timings(&[
+            timing(100, 80, 10, 20, 0),
+            timing(100, 0, 50, 100, 0),
+        ]);
+        assert_eq!(a.total_cycles(), 200);
+        assert_eq!(a.busy_cycles(ComponentKind::Sa), 80);
+        assert_eq!(a.busy_cycles(ComponentKind::Vu), 60);
+        assert_eq!(a.busy_cycles(ComponentKind::Hbm), 120);
+        assert_eq!(a.busy_cycles(ComponentKind::Dma), 120);
+        assert_eq!(a.busy_cycles(ComponentKind::Sram), 200);
+        assert_eq!(a.idle_cycles(ComponentKind::Sa), 120);
+        assert!((a.temporal_utilization(ComponentKind::Sa) - 0.4).abs() < 1e-12);
+        assert!((a.sa_spatial_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_activity() {
+        let a = ComponentActivity::from_timings(&[]);
+        assert_eq!(a.total_cycles(), 0);
+        assert_eq!(a.temporal_utilization(ComponentKind::Vu), 0.0);
+        assert_eq!(a.sa_spatial_utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_capped_at_one() {
+        // DMA busy cycles can exceed the duration when HBM and ICI overlap;
+        // utilization must still be reported as at most 1.
+        let a = ComponentActivity::from_timings(&[timing(100, 0, 0, 90, 90)]);
+        assert!(a.temporal_utilization(ComponentKind::Dma) <= 1.0);
+    }
+}

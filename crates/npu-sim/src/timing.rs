@@ -1,0 +1,113 @@
+//! Per-operator timing and activity records produced by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use npu_models::ExecutionUnit;
+
+/// Timing and component activity of one executed (anchor) operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpTiming {
+    /// Index of the operator in the compiled graph.
+    pub op_index: usize,
+    /// Operator name.
+    pub name: String,
+    /// Execution unit the operator ran on.
+    pub unit: ExecutionUnit,
+    /// Wall-clock duration of the operator in chip cycles.
+    pub duration_cycles: u64,
+    /// Cycles during which at least one systolic array was computing.
+    pub sa_active_cycles: u64,
+    /// Average fraction of processing elements doing useful work while the
+    /// systolic arrays were active (the paper's SA *spatial* utilization,
+    /// Figure 5). Zero when the SA was unused.
+    pub sa_spatial_utilization: f64,
+    /// Cycles during which at least one vector unit was computing.
+    pub vu_active_cycles: u64,
+    /// Cycles during which the HBM interface / DMA engine was transferring.
+    pub hbm_active_cycles: u64,
+    /// Cycles during which the ICI links were transferring.
+    pub ici_active_cycles: u64,
+    /// Bytes moved over HBM by this operator.
+    pub hbm_bytes: u64,
+    /// Bytes moved over the ICI by this operator.
+    pub ici_bytes: u64,
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// SRAM bytes live (allocated) while the operator executed.
+    pub sram_live_bytes: u64,
+    /// SRAM demand of the operator in bytes (unbounded by capacity).
+    pub sram_demand_bytes: u64,
+}
+
+impl OpTiming {
+    /// Duration in seconds at the given clock frequency.
+    #[must_use]
+    pub fn duration_seconds(&self, frequency_hz: f64) -> f64 {
+        self.duration_cycles as f64 / frequency_hz
+    }
+
+    /// SA temporal utilization within this operator.
+    #[must_use]
+    pub fn sa_temporal_utilization(&self) -> f64 {
+        if self.duration_cycles == 0 {
+            0.0
+        } else {
+            self.sa_active_cycles as f64 / self.duration_cycles as f64
+        }
+    }
+
+    /// VU temporal utilization within this operator.
+    #[must_use]
+    pub fn vu_temporal_utilization(&self) -> f64 {
+        if self.duration_cycles == 0 {
+            0.0
+        } else {
+            self.vu_active_cycles as f64 / self.duration_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> OpTiming {
+        OpTiming {
+            op_index: 0,
+            name: "mm".into(),
+            unit: ExecutionUnit::Sa,
+            duration_cycles: 1000,
+            sa_active_cycles: 800,
+            sa_spatial_utilization: 0.9,
+            vu_active_cycles: 100,
+            hbm_active_cycles: 200,
+            ici_active_cycles: 0,
+            hbm_bytes: 1 << 20,
+            ici_bytes: 0,
+            flops: 1e9,
+            sram_live_bytes: 1 << 22,
+            sram_demand_bytes: 1 << 23,
+        }
+    }
+
+    #[test]
+    fn utilization_ratios() {
+        let t = timing();
+        assert!((t.sa_temporal_utilization() - 0.8).abs() < 1e-12);
+        assert!((t.vu_temporal_utilization() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_conversion() {
+        let t = timing();
+        assert!((t.duration_seconds(1e9) - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_duration_is_handled() {
+        let mut t = timing();
+        t.duration_cycles = 0;
+        assert_eq!(t.sa_temporal_utilization(), 0.0);
+        assert_eq!(t.vu_temporal_utilization(), 0.0);
+    }
+}

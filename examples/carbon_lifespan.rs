@@ -1,0 +1,37 @@
+//! Carbon-efficiency study (paper §6.6): operational carbon reduction and
+//! the optimal device lifespan with and without ReGate.
+//!
+//! Run with `cargo run --release -p regate-bench --example carbon_lifespan`.
+
+use npu_arch::NpuGeneration;
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use regate::experiments::lifespan_sweep;
+use regate::{Design, Evaluator};
+
+fn main() {
+    let workloads = [
+        Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+        Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill),
+        Workload::dlrm(DlrmSize::Large),
+    ];
+    println!("{:<28} {:>16} {:>22}", "workload", "carbon reduction", "optimal lifespan (yrs)");
+    for workload in workloads {
+        let chips = 8;
+        let eval = Evaluator::new(NpuGeneration::D).evaluate(&workload, chips);
+        let sweep = lifespan_sweep(&workload, NpuGeneration::D, chips);
+        println!(
+            "{:<28} {:>15.1}% {:>10} → {:<10}",
+            workload.label(),
+            eval.operational_carbon_reduction(Design::ReGateFull) * 100.0,
+            sweep.nopg_optimal_years,
+            sweep.regate_optimal_years,
+        );
+        println!("  carbon per work unit vs lifespan (NoPG / ReGate-Full):");
+        for (a, b) in sweep.nopg.iter().zip(sweep.regate.iter()) {
+            println!(
+                "    {:>2} yr: {:>10.6} / {:>10.6} kgCO2e",
+                a.lifespan_years, a.carbon_kg_per_work, b.carbon_kg_per_work
+            );
+        }
+    }
+}

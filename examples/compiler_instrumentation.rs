@@ -1,0 +1,57 @@
+//! Compiler instrumentation walkthrough (paper §4.3, Figures 14, 15, 20):
+//! expands a compiled operator into a VLIW schedule, runs the idleness
+//! analysis, inserts `setpm` instructions under the BET policy, and prints
+//! the instrumented disassembly.
+//!
+//! Run with `cargo run --release -p regate-bench --example compiler_instrumentation`.
+
+use npu_arch::{NpuGeneration, NpuSpec, ParallelismConfig};
+use npu_compiler::instrument::{instrument_vu, SetPmPolicy};
+use npu_compiler::vliw::{expand_operator, ExpansionLimits};
+use npu_compiler::{Compiler, IdlenessReport};
+use npu_isa::bundle::Slot;
+use npu_models::{LlamaModel, LlmPhase, Workload};
+use npu_power::GatingParams;
+
+fn main() {
+    let spec = NpuSpec::generation(NpuGeneration::D);
+    let workload = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill);
+    let graph = workload.build_graph(&ParallelismConfig::single());
+    let compiled = Compiler::new(spec.clone()).compile(&graph);
+
+    // Pick an SA anchor with fused vector post-processing (the Figure 15 shape).
+    let anchor = compiled
+        .anchors()
+        .find(|op| op.fused_vu_elements > 0 && op.unit == npu_models::ExecutionUnit::Sa)
+        .expect("prefill has fused matmul operators");
+    println!("operator: {} (fused VU elements: {})", anchor.op.name, anchor.fused_vu_elements);
+
+    let (program, tiles) = expand_operator(anchor, &spec, ExpansionLimits { max_tiles: 4 });
+    println!("expanded {} tiles into {} bundles ({} cycles)\n", tiles, program.len(), program.issue_cycles());
+
+    let report = IdlenessReport::analyze(&program);
+    println!("VU0 utilization: {:.1}%", report.utilization(Slot::Vu(0)) * 100.0);
+    for interval in report.intervals(Slot::Vu(0)).iter().take(5) {
+        println!(
+            "  idle [{}, {}) = {} cycles{}",
+            interval.start_cycle,
+            interval.end_cycle,
+            interval.len(),
+            if interval.unbounded { " (unbounded: DMA inside)" } else { "" }
+        );
+    }
+
+    let params = GatingParams::default();
+    let policy = SetPmPolicy::new(params.vu_bet, params.vu_delay);
+    let result = instrument_vu(&program, policy);
+    println!(
+        "\ninserted {} setpm instructions ({:.2} per 1000 cycles), gated {} cycles",
+        result.setpm_inserted,
+        result.setpm_per_kilocycle(),
+        result.gated_cycles
+    );
+    println!("\ninstrumented program (first 24 bundles):");
+    for line in result.program.disassemble().lines().take(24) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,44 @@
+//! DLRM inference power-gating study: the workload with the largest ReGate
+//! benefit (the systolic arrays are idle and most of the SRAM is unused).
+//!
+//! Run with `cargo run --release -p regate-bench --example dlrm_power_gating`.
+
+use npu_arch::{ComponentKind, NpuGeneration};
+use npu_models::{DlrmSize, Workload};
+use regate::{Design, Evaluator};
+
+fn main() {
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "model", "chips", "SA util", "ICI util", "SRAM p99", "Base", "ReGate-Full", "Ideal"
+    );
+    for size in DlrmSize::ALL {
+        let workload = Workload::dlrm(size).with_batch(4096);
+        let eval = evaluator.evaluate(&workload, 8);
+        let activity = eval.simulation.activity();
+        println!(
+            "{:<8} {:>8} {:>9.1}% {:>9.1}% {:>7.1}MiB {:>9.1}% {:>11.1}% {:>11.1}%",
+            size.label(),
+            eval.num_chips,
+            activity.temporal_utilization(ComponentKind::Sa) * 100.0,
+            activity.temporal_utilization(ComponentKind::Ici) * 100.0,
+            eval.simulation.sram_demand_percentile_mib(99.0),
+            eval.energy_savings(Design::ReGateBase) * 100.0,
+            eval.energy_savings(Design::ReGateFull) * 100.0,
+            eval.energy_savings(Design::Ideal) * 100.0,
+        );
+    }
+    println!();
+    let eval = evaluator.evaluate(&Workload::dlrm(DlrmSize::Large).with_batch(4096), 8);
+    println!("DLRM-L per-request energy:");
+    for design in Design::ALL {
+        println!(
+            "  {:<12} {:>10.4} J/request (avg {:>5.1} W, peak {:>5.1} W)",
+            design.label(),
+            eval.energy_per_work(design),
+            eval.average_power_w(design),
+            eval.peak_power_w(design),
+        );
+    }
+}

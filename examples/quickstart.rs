@@ -1,0 +1,42 @@
+//! Quickstart: evaluate ReGate on one workload and print the headline
+//! numbers (energy savings, power, performance overhead).
+//!
+//! Run with `cargo run --release -p regate-bench --example quickstart`.
+
+use npu_arch::NpuGeneration;
+use npu_models::{LlamaModel, LlmPhase, Workload};
+use regate::{Design, Evaluator};
+
+fn main() {
+    let workload = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    let eval = evaluator.evaluate(&workload, 1);
+
+    println!("workload: {} on {} x{} ({})", workload, eval.generation, eval.num_chips, eval.parallelism);
+    println!("execution time: {:.3} ms", eval.design(Design::NoPg).energy.busy_seconds * 1e3);
+    println!();
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>12}",
+        "design", "energy (J)", "savings", "avg power", "overhead"
+    );
+    for design in Design::ALL {
+        println!(
+            "{:<12} {:>14.3} {:>11.1}% {:>10.1} W {:>11.2}%",
+            design.label(),
+            eval.design(design).energy.total_j(),
+            eval.energy_savings(design) * 100.0,
+            eval.average_power_w(design),
+            eval.performance_overhead(design) * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "energy per token (NoPG → ReGate-Full): {:.4} J → {:.4} J",
+        eval.energy_per_work(Design::NoPg),
+        eval.energy_per_work(Design::ReGateFull)
+    );
+    println!(
+        "operational carbon reduction (ReGate-Full): {:.1}%",
+        eval.operational_carbon_reduction(Design::ReGateFull) * 100.0
+    );
+}

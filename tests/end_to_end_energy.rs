@@ -1,0 +1,109 @@
+//! End-to-end energy/power sanity checks: conservation, bounds, and
+//! cross-design consistency of the evaluation engine.
+
+use npu_arch::{ComponentKind, NpuGeneration, NpuSpec};
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use regate::{Design, Evaluator};
+
+#[test]
+fn energy_is_conserved_across_the_breakdown() {
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    let eval = evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1);
+    for design in Design::ALL {
+        let e = &eval.design(design).energy;
+        let sum: f64 = ComponentKind::ALL.iter().map(|&k| e.component(k).total_j()).sum();
+        assert!((sum - e.total_j()).abs() < 1e-6 * e.total_j().max(1.0));
+        assert!(e.static_j() >= 0.0 && e.dynamic_j() >= 0.0);
+    }
+}
+
+#[test]
+fn dynamic_energy_is_design_invariant() {
+    // Power gating removes leakage, not useful work: dynamic energy must be
+    // identical across designs.
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    let eval = evaluator.evaluate(&Workload::dlrm(DlrmSize::Small), 8);
+    let reference = eval.design(Design::NoPg).energy.dynamic_j();
+    for design in Design::GATED {
+        let dynamic = eval.design(design).energy.dynamic_j();
+        assert!((dynamic - reference).abs() < 1e-9 * reference.max(1.0), "{design}");
+    }
+}
+
+#[test]
+fn static_energy_never_increases_with_more_capable_designs() {
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    for workload in [
+        Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode),
+        Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill),
+        Workload::dlrm(DlrmSize::Large),
+    ] {
+        let eval = evaluator.evaluate(&workload, 8);
+        let chain = [Design::NoPg, Design::ReGateBase, Design::ReGateHw, Design::ReGateFull, Design::Ideal];
+        for pair in chain.windows(2) {
+            let before = eval.design(pair[0]).energy.static_j();
+            let after = eval.design(pair[1]).energy.static_j();
+            assert!(
+                after <= before * 1.001,
+                "{workload}: {} static {} < {} static {}",
+                pair[1].label(),
+                after,
+                pair[0].label(),
+                before
+            );
+        }
+    }
+}
+
+#[test]
+fn average_power_is_bounded_by_tdp() {
+    let spec = NpuSpec::generation(NpuGeneration::D);
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    for workload in [
+        Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill),
+        Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+        Workload::dlrm(DlrmSize::Small),
+    ] {
+        let eval = evaluator.evaluate(&workload, 8);
+        for design in Design::ALL {
+            let avg = eval.average_power_w(design);
+            assert!(avg > 0.0 && avg <= spec.tdp_watts, "{workload}/{design}: {avg} W");
+            assert!(eval.peak_power_w(design) <= spec.tdp_watts * 1.2);
+        }
+    }
+}
+
+#[test]
+fn ideal_savings_bounded_by_static_fraction() {
+    // Power gating can at most remove all static energy, so the Ideal
+    // roofline's savings can never exceed the workload's static fraction.
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    for workload in [
+        Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Prefill),
+        Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode),
+        Workload::dlrm(DlrmSize::Medium),
+    ] {
+        let eval = evaluator.evaluate(&workload, 8);
+        let static_fraction = eval.design(Design::NoPg).energy.static_fraction();
+        let ideal = eval.energy_savings(Design::Ideal);
+        assert!(
+            ideal <= static_fraction + 1e-9,
+            "{workload}: ideal {ideal} exceeds static fraction {static_fraction}"
+        );
+    }
+}
+
+#[test]
+fn memory_bound_workloads_save_more_than_compute_bound() {
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    let decode =
+        evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
+    let prefill =
+        evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1);
+    assert!(
+        decode.energy_savings(Design::ReGateFull) > prefill.energy_savings(Design::ReGateFull),
+        "decode ({}) should save more than prefill ({})",
+        decode.energy_savings(Design::ReGateFull),
+        prefill.energy_savings(Design::ReGateFull)
+    );
+}
