@@ -27,15 +27,10 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(SramAllocation::allocate(&compiled, spec.sram_geometry())));
     });
 
-    let anchor = compiled
-        .anchors()
-        .find(|op| op.fused_vu_elements > 0)
-        .expect("fused anchor");
+    let anchor = compiled.anchors().find(|op| op.fused_vu_elements > 0).expect("fused anchor");
     let (program, _) = expand_operator(anchor, &spec, ExpansionLimits::default());
     group.bench_function("vliw_expand/matmul", |b| {
-        b.iter(|| {
-            std::hint::black_box(expand_operator(anchor, &spec, ExpansionLimits::default()))
-        });
+        b.iter(|| std::hint::black_box(expand_operator(anchor, &spec, ExpansionLimits::default())));
     });
     group.bench_function("idleness_analysis/matmul", |b| {
         b.iter(|| std::hint::black_box(IdlenessReport::analyze(&program)));

@@ -19,10 +19,8 @@ fn main() {
         vec![NpuGeneration::C, NpuGeneration::D]
     };
     let workloads: Vec<(Workload, usize)> = if full {
-        let mut v: Vec<(Workload, usize)> = Workload::benchmark_suite()
-            .into_iter()
-            .map(|w| (w, 8))
-            .collect();
+        let mut v: Vec<(Workload, usize)> =
+            Workload::benchmark_suite().into_iter().map(|w| (w, 8)).collect();
         for (w, _) in &mut v {
             if let Workload::Diffusion(cfg) = w {
                 cfg.steps = 10;
@@ -45,10 +43,7 @@ fn main() {
     };
 
     section("Figure 2/3: energy efficiency and static energy share");
-    println!(
-        "{:<28} {:<7} {:>14} {:>10} {:>9}",
-        "workload", "NPU", "J per unit", "unit", "static"
-    );
+    println!("{:<28} {:<7} {:>14} {:>10} {:>9}", "workload", "NPU", "J per unit", "unit", "static");
     let mut rows = Vec::new();
     for (workload, chips) in &workloads {
         for &generation in &generations {

@@ -43,9 +43,8 @@ fn main() {
         (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode), "Llama3-70B Decode"),
     ] {
         let chip = ChipConfig::new(NpuGeneration::D, 8);
-        let parallelism = workload
-            .default_parallelism(chip.spec(), 8)
-            .unwrap_or(ParallelismConfig::new(8, 1, 1));
+        let parallelism =
+            workload.default_parallelism(chip.spec(), 8).unwrap_or(ParallelismConfig::new(8, 1, 1));
         let graph = workload.build_graph(&parallelism);
         let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
         let result = Simulator::new(chip.clone()).run(&compiled);

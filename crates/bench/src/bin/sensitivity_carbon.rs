@@ -9,7 +9,9 @@
 
 use npu_arch::NpuGeneration;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
-use regate::experiments::{delay_sensitivity, generation_sweep, leakage_sensitivity, lifespan_sweep};
+use regate::experiments::{
+    delay_sensitivity, generation_sweep, leakage_sensitivity, lifespan_sweep,
+};
 use regate::{Design, Evaluator};
 use regate_bench::{pct, section};
 

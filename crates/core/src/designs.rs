@@ -23,13 +23,8 @@ pub enum Design {
 
 impl Design {
     /// All design points in the order plotted by the paper's figures.
-    pub const ALL: [Design; 5] = [
-        Design::NoPg,
-        Design::ReGateBase,
-        Design::ReGateHw,
-        Design::ReGateFull,
-        Design::Ideal,
-    ];
+    pub const ALL: [Design; 5] =
+        [Design::NoPg, Design::ReGateBase, Design::ReGateHw, Design::ReGateFull, Design::Ideal];
 
     /// The four gating designs (everything except the `NoPG` baseline).
     pub const GATED: [Design; 4] =

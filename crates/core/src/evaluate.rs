@@ -286,9 +286,8 @@ impl Evaluator {
                 timing.ici_active_cycles as f64,
                 self.gating.ici_bet as f64,
             );
-            let dma_active = (timing.hbm_active_cycles + timing.ici_active_cycles).min(
-                timing.duration_cycles,
-            ) as f64;
+            let dma_active = (timing.hbm_active_cycles + timing.ici_active_cycles)
+                .min(timing.duration_cycles) as f64;
             *equivalent.entry(ComponentKind::Dma).or_default() +=
                 self.idle_detect_equivalent(design, d, dma_active, self.gating.hbm_bet as f64);
             // --- Peripheral logic is never gated ---
@@ -373,11 +372,8 @@ impl Evaluator {
                     // in W_on outside the input wave.
                     let (m, k, n) = op.op.matmul_dims().unwrap_or((1, 1, 1));
                     let spec = npu_arch::NpuSpec::generation(self.generation);
-                    let plan = SaGatingPlan::from_matmul_dims(
-                        spec.sa_width,
-                        k as usize,
-                        n as usize,
-                    );
+                    let plan =
+                        SaGatingPlan::from_matmul_dims(spec.sa_width, k as usize, n as usize);
                     let tile_m = m.min(spec.sa_width as u64 * 32);
                     let gated_frac = plan.gated_pe_cycle_fraction(tile_m, W_ON_RESIDUAL);
                     let active_eq = active * ((1.0 - gated_frac) + gated_frac * leak);
@@ -460,10 +456,10 @@ impl Evaluator {
                     // The whole SA must be powered on before execution, and
                     // the naive idle-detection policy re-gates it between
                     // tile bursts, exposing the full-array wake-up each time.
-                    let regate_events =
-                        (op.tile.num_tiles as f64 / (8.0 * op.op.matmul_batch().max(1) as f64))
-                            .min(timing.sa_active_cycles as f64 / (2.0 * g.sa_full_bet as f64))
-                            .max(1.0);
+                    let regate_events = (op.tile.num_tiles as f64
+                        / (8.0 * op.op.matmul_batch().max(1) as f64))
+                        .min(timing.sa_active_cycles as f64 / (2.0 * g.sa_full_bet as f64))
+                        .max(1.0);
                     o += g.sa_full_delay as f64 * regate_events;
                 }
                 if timing.vu_active_cycles > 0 {
@@ -582,8 +578,7 @@ mod tests {
     fn full_savings_magnitudes_match_paper_ranges() {
         let evaluator = Evaluator::new(NpuGeneration::D);
         // LLM decode: paper reports 16%-20% savings.
-        let decode =
-            evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
+        let decode = evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
         let s = decode.energy_savings(Design::ReGateFull);
         assert!((0.08..0.45).contains(&s), "decode savings {s}");
         // DLRM: paper reports ~33% savings.
@@ -689,8 +684,7 @@ mod tests {
         let per_request = eval.energy_per_work(Design::NoPg);
         assert!(per_request > 0.0);
         assert!(
-            (per_request - eval.design(Design::NoPg).energy.total_j() * 8.0 / 4096.0).abs()
-                < 1e-9
+            (per_request - eval.design(Design::NoPg).energy.total_j() * 8.0 / 4096.0).abs() < 1e-9
         );
     }
 }

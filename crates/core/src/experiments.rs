@@ -55,7 +55,11 @@ pub struct CharacterizationRow {
 
 /// Runs the characterization for one workload on one generation.
 #[must_use]
-pub fn characterize(workload: &Workload, generation: NpuGeneration, num_chips: usize) -> CharacterizationRow {
+pub fn characterize(
+    workload: &Workload,
+    generation: NpuGeneration,
+    num_chips: usize,
+) -> CharacterizationRow {
     let evaluator = Evaluator::new(generation);
     let eval = evaluator.evaluate(workload, num_chips);
     characterization_row(workload, &eval)
@@ -164,7 +168,12 @@ fn evaluation_row(eval: &WorkloadEvaluation) -> EvaluationRow {
 /// by expanding a sample of its compiled operators into VLIW schedules and
 /// running the instrumentation pass over them.
 #[must_use]
-pub fn setpm_rate(workload: &Workload, generation: NpuGeneration, num_chips: usize, sample: usize) -> f64 {
+pub fn setpm_rate(
+    workload: &Workload,
+    generation: NpuGeneration,
+    num_chips: usize,
+    sample: usize,
+) -> f64 {
     let spec = npu_arch::NpuSpec::generation(generation);
     let chip = npu_arch::ChipConfig::new(generation, num_chips);
     let parallelism = workload
@@ -202,7 +211,11 @@ pub struct SensitivityRow {
 
 /// Sweeps the gated-state leakage ratios (Figure 21).
 #[must_use]
-pub fn leakage_sensitivity(workload: &Workload, generation: NpuGeneration, num_chips: usize) -> Vec<SensitivityRow> {
+pub fn leakage_sensitivity(
+    workload: &Workload,
+    generation: NpuGeneration,
+    num_chips: usize,
+) -> Vec<SensitivityRow> {
     LeakageRatios::sensitivity_sweep()
         .into_iter()
         .map(|ratios| {
@@ -214,7 +227,11 @@ pub fn leakage_sensitivity(workload: &Workload, generation: NpuGeneration, num_c
 
 /// Sweeps the power-gate/wake-up delay scale (Figure 22).
 #[must_use]
-pub fn delay_sensitivity(workload: &Workload, generation: NpuGeneration, num_chips: usize) -> Vec<SensitivityRow> {
+pub fn delay_sensitivity(
+    workload: &Workload,
+    generation: NpuGeneration,
+    num_chips: usize,
+) -> Vec<SensitivityRow> {
     [1.0, 1.5, 2.0, 3.0, 4.0]
         .into_iter()
         .map(|factor| {
@@ -235,10 +252,7 @@ fn sensitivity_row(
     let designs = [Design::ReGateBase, Design::ReGateHw, Design::ReGateFull];
     SensitivityRow {
         setting,
-        savings: designs
-            .iter()
-            .map(|&d| (d.label().to_string(), eval.energy_savings(d)))
-            .collect(),
+        savings: designs.iter().map(|&d| (d.label().to_string(), eval.energy_savings(d))).collect(),
         overhead: designs
             .iter()
             .map(|&d| (d.label().to_string(), eval.performance_overhead(d)))
@@ -248,7 +262,10 @@ fn sensitivity_row(
 
 /// Figure 23: energy savings of each design on every NPU generation.
 #[must_use]
-pub fn generation_sweep(workload: &Workload, num_chips: usize) -> Vec<(NpuGeneration, Vec<(String, f64)>)> {
+pub fn generation_sweep(
+    workload: &Workload,
+    num_chips: usize,
+) -> Vec<(NpuGeneration, Vec<(String, f64)>)> {
     NpuGeneration::ALL
         .iter()
         .map(|&generation| {
@@ -278,7 +295,11 @@ pub struct LifespanSweep {
 
 /// Runs the lifespan sweep for one workload deployment.
 #[must_use]
-pub fn lifespan_sweep(workload: &Workload, generation: NpuGeneration, num_chips: usize) -> LifespanSweep {
+pub fn lifespan_sweep(
+    workload: &Workload,
+    generation: NpuGeneration,
+    num_chips: usize,
+) -> LifespanSweep {
     let evaluator = Evaluator::new(generation);
     let eval = evaluator.evaluate(workload, num_chips);
     let carbon = CarbonModel::default();
@@ -330,7 +351,7 @@ pub fn best_config(
             continue;
         }
         let energy = eval.energy_per_work(Design::NoPg);
-        if best.map_or(true, |(_, e)| energy < e) {
+        if best.is_none_or(|(_, e)| energy < e) {
             best = Some((chips, energy));
         }
     }
@@ -355,8 +376,7 @@ mod tests {
         assert!(row.hbm_temporal_util > 0.8, "decode HBM util {}", row.hbm_temporal_util);
         assert!(row.sa_temporal_util < 0.3);
         assert_eq!(row.component_energy_shares.len(), ComponentKind::ALL.len());
-        let share_sum: f64 =
-            row.component_energy_shares.iter().map(|(_, s, d)| s + d).sum();
+        let share_sum: f64 = row.component_energy_shares.iter().map(|(_, s, d)| s + d).sum();
         assert!((share_sum - 1.0).abs() < 1e-6);
     }
 

@@ -59,7 +59,13 @@ impl PowerStateManager {
     ///
     /// Turning a component off clears its ready bit; turning it on starts a
     /// wake-up that completes after `power_on_delay` cycles.
-    pub fn set_mode(&mut self, id: ComponentId, mode: PowerMode, now_cycle: u64, power_on_delay: u64) {
+    pub fn set_mode(
+        &mut self,
+        id: ComponentId,
+        mode: PowerMode,
+        now_cycle: u64,
+        power_on_delay: u64,
+    ) {
         let entry = self.states.entry(id).or_default();
         entry.mode = mode;
         match mode {
@@ -186,6 +192,66 @@ mod tests {
         let start = mgr.dispatch(ComponentId::hbm(), 120, 60);
         assert_eq!(start, 160, "wake-up completes at 160");
         assert_eq!(mgr.exposed_stall_cycles(), 40);
+    }
+
+    #[test]
+    fn legal_transition_table() {
+        // Exhaustive (from-mode → to-mode) command table. For every pair,
+        // the resulting mode must equal the commanded mode and the ready
+        // bit must follow the §4.1 semantics: Off/Sleep clear it, On
+        // schedules a wake-up iff the component was not ready, Auto leaves
+        // readiness to the hardware policy (unchanged here).
+        const MODES: [PowerMode; 4] =
+            [PowerMode::On, PowerMode::Off, PowerMode::Auto, PowerMode::Sleep];
+        const DELAY: u64 = 8;
+        for from in MODES {
+            for to in MODES {
+                let id = ComponentId::sa(0);
+                let mut mgr = PowerStateManager::new([id]);
+                mgr.set_mode(id, from, 0, DELAY);
+                let was_ready = mgr.state(id).ready;
+                mgr.set_mode(id, to, 100, DELAY);
+                let s = mgr.state(id);
+                assert_eq!(s.mode, to, "commanded mode sticks ({from:?} -> {to:?})");
+                match to {
+                    PowerMode::Off | PowerMode::Sleep => {
+                        assert!(!s.ready, "{from:?} -> {to:?} must clear the ready bit");
+                        assert_eq!(s.ready_at_cycle, None);
+                    }
+                    PowerMode::On => {
+                        if was_ready {
+                            assert!(s.ready, "{from:?} -> On keeps a ready component ready");
+                            assert_eq!(s.ready_at_cycle, None, "no spurious wake-up");
+                        } else {
+                            assert!(!s.ready, "not ready until the wake-up completes");
+                            assert_eq!(
+                                s.ready_at_cycle,
+                                Some(100 + DELAY),
+                                "{from:?} -> On schedules a wake-up"
+                            );
+                        }
+                    }
+                    PowerMode::Auto => {
+                        assert_eq!(s.ready, was_ready, "{from:?} -> Auto leaves readiness alone");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_on_command_does_not_restart_wakeup() {
+        let id = ComponentId::vu(0);
+        let mut mgr = PowerStateManager::new([id]);
+        mgr.set_mode(id, PowerMode::Off, 0, 10);
+        mgr.set_mode(id, PowerMode::On, 20, 10);
+        assert_eq!(mgr.state(id).ready_at_cycle, Some(30));
+        // A second `On` while the wake-up is in flight must not push the
+        // completion time out.
+        mgr.set_mode(id, PowerMode::On, 25, 10);
+        assert_eq!(mgr.state(id).ready_at_cycle, Some(30));
+        assert_eq!(mgr.dispatch(id, 28, 10), 30);
+        assert_eq!(mgr.exposed_stall_cycles(), 2);
     }
 
     #[test]

@@ -265,10 +265,7 @@ mod tests {
             ComponentKind::Sa
         );
         assert_eq!(PowerDomain::SramSegment { segment: 7 }.kind(), ComponentKind::Sram);
-        assert_eq!(
-            PowerDomain::Component(ComponentId::ici()).kind(),
-            ComponentKind::Ici
-        );
+        assert_eq!(PowerDomain::Component(ComponentId::ici()).kind(), ComponentKind::Ici);
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl SramGeometry {
     pub fn new(total_bytes: u64, segment_bytes: u64) -> Self {
         assert!(segment_bytes > 0, "segment size must be non-zero");
         assert!(
-            total_bytes % segment_bytes == 0,
+            total_bytes.is_multiple_of(segment_bytes),
             "segment size {segment_bytes} must divide total capacity {total_bytes}"
         );
         SramGeometry { total_bytes, segment_bytes }

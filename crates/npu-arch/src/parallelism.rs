@@ -79,11 +79,11 @@ impl ParallelismConfig {
         }
         let mut tensor = 1;
         while tensor <= num_chips {
-            if num_chips % tensor == 0 {
+            if num_chips.is_multiple_of(tensor) {
                 let rest = num_chips / tensor;
                 let mut pipeline = 1;
                 while pipeline <= rest && pipeline <= max_pipeline {
-                    if rest % pipeline == 0 {
+                    if rest.is_multiple_of(pipeline) {
                         let data = rest / pipeline;
                         out.push(ParallelismConfig { data, tensor, pipeline });
                     }

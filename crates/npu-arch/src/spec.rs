@@ -112,22 +112,13 @@ pub enum NpuGeneration {
 
 impl NpuGeneration {
     /// All generations in deployment order.
-    pub const ALL: [NpuGeneration; 5] = [
-        NpuGeneration::A,
-        NpuGeneration::B,
-        NpuGeneration::C,
-        NpuGeneration::D,
-        NpuGeneration::E,
-    ];
+    pub const ALL: [NpuGeneration; 5] =
+        [NpuGeneration::A, NpuGeneration::B, NpuGeneration::C, NpuGeneration::D, NpuGeneration::E];
 
     /// The four generations evaluated in the paper's characterization (§3),
     /// which excludes the projected NPU-E.
-    pub const DEPLOYED: [NpuGeneration; 4] = [
-        NpuGeneration::A,
-        NpuGeneration::B,
-        NpuGeneration::C,
-        NpuGeneration::D,
-    ];
+    pub const DEPLOYED: [NpuGeneration; 4] =
+        [NpuGeneration::A, NpuGeneration::B, NpuGeneration::C, NpuGeneration::D];
 
     /// Single-letter label used in the paper's figures.
     #[must_use]
@@ -444,10 +435,7 @@ mod tests {
         let mut prev = 0.0;
         for generation in NpuGeneration::ALL {
             let flops = NpuSpec::generation(generation).peak_flops();
-            assert!(
-                flops > prev,
-                "{generation} peak FLOPs {flops} should exceed previous {prev}"
-            );
+            assert!(flops > prev, "{generation} peak FLOPs {flops} should exceed previous {prev}");
             prev = flops;
         }
     }
@@ -495,7 +483,8 @@ mod tests {
         assert!(TechnologyNode::N7.density_vs_16nm() > TechnologyNode::N16.density_vs_16nm());
         assert!(TechnologyNode::N4.density_vs_16nm() > TechnologyNode::N7.density_vs_16nm());
         assert!(
-            TechnologyNode::N4.dynamic_energy_vs_16nm() < TechnologyNode::N7.dynamic_energy_vs_16nm()
+            TechnologyNode::N4.dynamic_energy_vs_16nm()
+                < TechnologyNode::N7.dynamic_energy_vs_16nm()
         );
         assert!(
             TechnologyNode::N4.leakage_per_area_vs_16nm()

@@ -200,7 +200,7 @@ fn balanced_factor2(n: usize) -> (usize, usize) {
     let mut best = (1, n);
     let mut x = 1;
     while x * x <= n {
-        if n % x == 0 {
+        if n.is_multiple_of(x) {
             best = (x, n / x);
         }
         x += 1;
@@ -214,7 +214,7 @@ fn balanced_factor3(n: usize) -> (usize, usize, usize) {
     let mut best_score = usize::MAX;
     let mut x = 1;
     while x * x * x <= n {
-        if n % x == 0 {
+        if n.is_multiple_of(x) {
             let (y, z) = balanced_factor2(n / x);
             let dims = [x, y, z];
             let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();

@@ -50,10 +50,7 @@ impl FusionPlan {
                     | npu_models::OpKind::LayerNorm { .. }
             );
             let fuse = pure_vector
-                && matches!(
-                    current_anchor_unit,
-                    Some(ExecutionUnit::Sa) | Some(ExecutionUnit::Vu)
-                );
+                && matches!(current_anchor_unit, Some(ExecutionUnit::Sa) | Some(ExecutionUnit::Vu));
             if fuse {
                 group.push(current_group.expect("fusing requires an open group"));
             } else {

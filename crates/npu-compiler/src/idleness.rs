@@ -67,9 +67,7 @@ impl IdlenessReport {
         for (index, bundle) in program.iter() {
             let issue_cycle = cycle;
             let bundle_cycles = 1 + u64::from(bundle.extra_issue_cycles());
-            let dma_in_bundle = bundle
-                .iter()
-                .any(|(_, op)| matches!(op, SlotOp::Dma { .. }));
+            let dma_in_bundle = bundle.iter().any(|(_, op)| matches!(op, SlotOp::Dma { .. }));
             if dma_in_bundle {
                 for flag in dma_since.values_mut() {
                     *flag = true;
@@ -189,10 +187,16 @@ mod tests {
         let mut p = Program::new("fig15");
         for _ in 0..4 {
             // 2 cycles of VU work (1024 elements/cycle).
-            p.push(VliwBundle::new().with_sa(0, SlotOp::sa_pop(8)).with_vu(0, SlotOp::vu_add(1024)));
+            p.push(
+                VliwBundle::new().with_sa(0, SlotOp::sa_pop(8)).with_vu(0, SlotOp::vu_add(1024)),
+            );
             p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
             // 14 idle cycles for the VU while the SA streams the next tile.
-            p.push(VliwBundle::new().with_sa(0, SlotOp::sa_push(8)).with_misc(SlotOp::Nop { cycles: 14 }));
+            p.push(
+                VliwBundle::new()
+                    .with_sa(0, SlotOp::sa_push(8))
+                    .with_misc(SlotOp::Nop { cycles: 14 }),
+            );
         }
         p
     }

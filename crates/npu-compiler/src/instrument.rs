@@ -37,8 +37,7 @@ impl SetPmPolicy {
     #[must_use]
     pub fn should_gate(&self, interval: &IdleInterval) -> bool {
         interval.unbounded
-            || (interval.len() > self.bet_cycles
-                && interval.len() > 2 * self.on_off_delay_cycles)
+            || (interval.len() > self.bet_cycles && interval.len() > 2 * self.on_off_delay_cycles)
     }
 }
 
@@ -128,7 +127,7 @@ pub fn instrument_slots(
     }
 
     // Apply in descending bundle order so insertions do not shift pending indices.
-    planned.sort_by(|a, b| b.bundle_index.cmp(&a.bundle_index));
+    planned.sort_by_key(|p| std::cmp::Reverse(p.bundle_index));
     let mut instrumented = program.clone();
     let mut inserted = 0usize;
     for plan in planned {
@@ -167,10 +166,7 @@ pub fn instrument_slots(
 /// Returns the planned `(anchor_index, SetPm)` pairs; the number of entries
 /// is the Figure 20 "SRAM setpm" count.
 #[must_use]
-pub fn plan_sram_setpm(
-    live_bytes_per_anchor: &[u64],
-    total_bytes: u64,
-) -> Vec<(usize, SetPm)> {
+pub fn plan_sram_setpm(live_bytes_per_anchor: &[u64], total_bytes: u64) -> Vec<(usize, SetPm)> {
     let mut plans = Vec::new();
     let mut current = total_bytes; // SRAM starts fully on.
     for (index, &live) in live_bytes_per_anchor.iter().enumerate() {
@@ -193,7 +189,11 @@ mod tests {
         let mut p = Program::new("gappy");
         for _ in 0..repeats {
             p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
-            p.push(VliwBundle::new().with_sa(0, SlotOp::sa_push(8)).with_misc(SlotOp::Nop { cycles: gap }));
+            p.push(
+                VliwBundle::new()
+                    .with_sa(0, SlotOp::sa_push(8))
+                    .with_misc(SlotOp::Nop { cycles: gap }),
+            );
         }
         p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
         p
@@ -222,7 +222,11 @@ mod tests {
     fn instrumentation_inserts_matching_off_on_pairs() {
         let program = vu_program_with_gaps(100, 3);
         let result = instrument_vu(&program, SetPmPolicy::new(32, 2));
-        assert!(result.setpm_inserted >= 6, "3 gaps -> 3 off/on pairs, got {}", result.setpm_inserted);
+        assert!(
+            result.setpm_inserted >= 6,
+            "3 gaps -> 3 off/on pairs, got {}",
+            result.setpm_inserted
+        );
         assert!(result.gated_cycles > 200);
         let offs = result
             .program

@@ -37,11 +37,7 @@ impl Default for ExpansionLimits {
 /// Returns the program and the number of tiles it covers (which may be
 /// less than the operator's total tile count when capped by `limits`).
 #[must_use]
-pub fn expand_operator(
-    op: &CompiledOp,
-    spec: &NpuSpec,
-    limits: ExpansionLimits,
-) -> (Program, u64) {
+pub fn expand_operator(op: &CompiledOp, spec: &NpuSpec, limits: ExpansionLimits) -> (Program, u64) {
     let mut program = Program::new(op.op.name.clone());
     let tiles = op.tile.num_tiles.min(limits.max_tiles).max(1);
     let sa_rows = spec.sa_width as u32;
@@ -53,7 +49,8 @@ pub fn expand_operator(
             // `sa_rows` rows, a pop of `sa_rows` rows, and the fused VU
             // post-processing spread over the pop.
             let fused_per_tile = op.fused_vu_elements / op.tile.num_tiles.max(1);
-            let vu_cycles_per_tile = fused_per_tile.div_ceil(vu_capacity.max(1)).min(u64::from(sa_rows));
+            let vu_cycles_per_tile =
+                fused_per_tile.div_ceil(vu_capacity.max(1)).min(u64::from(sa_rows));
             for tile in 0..tiles {
                 if tile == 0 {
                     program.push(
@@ -69,7 +66,10 @@ pub fn expand_operator(
                 // Idle gap while the next tile's operands are DMA'd in.
                 program.push(
                     VliwBundle::new()
-                        .with_dma(SlotOp::Dma { bytes: op.tile.sram_used_bytes / tiles.max(1), remote: false })
+                        .with_dma(SlotOp::Dma {
+                            bytes: op.tile.sram_used_bytes / tiles.max(1),
+                            remote: false,
+                        })
                         .with_misc(SlotOp::Nop { cycles: (sa_rows / 8).max(1) }),
                 );
             }
@@ -81,15 +81,17 @@ pub fn expand_operator(
             let per_tile = total.div_ceil(tiles);
             let busy_cycles = per_tile.div_ceil(vu_capacity.max(1)).max(1);
             for _ in 0..tiles {
-                program.push(
-                    VliwBundle::new()
-                        .with_dma(SlotOp::Dma { bytes: op.tile.hbm_bytes / tiles.max(1), remote: false }),
-                );
-                program.push(VliwBundle::new().with_misc(SlotOp::Nop {
-                    cycles: (busy_cycles as u32).max(4),
+                program.push(VliwBundle::new().with_dma(SlotOp::Dma {
+                    bytes: op.tile.hbm_bytes / tiles.max(1),
+                    remote: false,
                 }));
                 program.push(
-                    VliwBundle::new().with_vu(0, SlotOp::vu_add((busy_cycles * vu_capacity) as u32)),
+                    VliwBundle::new()
+                        .with_misc(SlotOp::Nop { cycles: (busy_cycles as u32).max(4) }),
+                );
+                program.push(
+                    VliwBundle::new()
+                        .with_vu(0, SlotOp::vu_add((busy_cycles * vu_capacity) as u32)),
                 );
             }
         }
@@ -104,9 +106,10 @@ pub fn expand_operator(
         }
         ExecutionUnit::Ici => {
             for _ in 0..tiles {
-                program.push(VliwBundle::new().with_ici(SlotOp::Ici {
-                    bytes: op.op.ici_bytes() / tiles.max(1),
-                }));
+                program.push(
+                    VliwBundle::new()
+                        .with_ici(SlotOp::Ici { bytes: op.op.ici_bytes() / tiles.max(1) }),
+                );
                 program.push(VliwBundle::new().with_misc(SlotOp::Nop { cycles: 32 }));
             }
         }
@@ -177,8 +180,7 @@ mod tests {
             .filter(|o| o.is_anchor() && o.unit == ExecutionUnit::Sa)
             .max_by_key(|o| o.tile.num_tiles)
             .unwrap();
-        let (program, tiles) =
-            expand_operator(big, &spec, ExpansionLimits { max_tiles: 8 });
+        let (program, tiles) = expand_operator(big, &spec, ExpansionLimits { max_tiles: 8 });
         assert!(tiles <= 8);
         assert!(program.len() <= 8 * 4 + 1);
     }

@@ -274,7 +274,8 @@ mod tests {
 
     #[test]
     fn setpm_lives_in_misc_slot() {
-        let pm = SetPm::functional_units(FuBitmap::first(2), FunctionalUnitType::Vu, PowerMode::Off);
+        let pm =
+            SetPm::functional_units(FuBitmap::first(2), FunctionalUnitType::Vu, PowerMode::Off);
         let b = VliwBundle::new().with_misc(SlotOp::SetPm(pm));
         assert_eq!(b.setpm(), Some(&pm));
         assert!(b.slot(Slot::Misc).unwrap().is_setpm());
@@ -291,9 +292,7 @@ mod tests {
 
     #[test]
     fn disassembly_lists_slots_in_order() {
-        let b = VliwBundle::new()
-            .with_vu(1, SlotOp::vu_add(128))
-            .with_sa(0, SlotOp::sa_pop(8));
+        let b = VliwBundle::new().with_vu(1, SlotOp::vu_add(128)).with_sa(0, SlotOp::sa_pop(8));
         let text = b.disassemble();
         assert!(text.starts_with("{sa0: pop 8"), "{text}");
         assert!(text.contains("vu1: vop 128"));

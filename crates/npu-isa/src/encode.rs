@@ -104,8 +104,7 @@ pub fn decode_setpm(word: EncodedSetPm) -> Result<SetPm, DecodeError> {
     let variant = w & 0b111;
     let mode = PowerMode::decode(((w >> 11) & 0b11) as u8).expect("2-bit mode always decodes");
     let fu_bits = ((w >> 13) & 0b111) as u8;
-    let fu_type =
-        FunctionalUnitType::decode(fu_bits).ok_or(DecodeError::UnknownFuType(fu_bits))?;
+    let fu_type = FunctionalUnitType::decode(fu_bits).ok_or(DecodeError::UnknownFuType(fu_bits))?;
     match variant {
         VARIANT_SRAM => Ok(SetPm::SramRange {
             start_reg: ScalarReg(((w >> 24) & 0xFF) as u8),
@@ -120,11 +119,9 @@ pub fn decode_setpm(word: EncodedSetPm) -> Result<SetPm, DecodeError> {
             fu_type,
             mode,
         }),
-        VARIANT_FU_IMM => Ok(SetPm::FuImmediate {
-            bitmap: FuBitmap::from_bits((w >> 3) & 0xFF),
-            fu_type,
-            mode,
-        }),
+        VARIANT_FU_IMM => {
+            Ok(SetPm::FuImmediate { bitmap: FuBitmap::from_bits((w >> 3) & 0xFF), fu_type, mode })
+        }
         other => Err(DecodeError::UnknownVariant(other as u8)),
     }
 }
@@ -216,38 +213,44 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn immediate_setpm_roundtrips(bits in 0u32..=0xFF, fu in 0u8..6, mode in 0u8..4) {
-            let pm = SetPm::functional_units(
-                FuBitmap::from_bits(bits),
-                FunctionalUnitType::decode(fu).unwrap(),
-                PowerMode::decode(mode).unwrap(),
-            );
+    // The immediate-variant domain (256 bitmaps x 6 FU types x 4 modes) is
+    // small enough to sweep exhaustively, which is strictly stronger than
+    // the random sampling a property-testing framework would do.
+
+    fn all_immediates() -> impl Iterator<Item = SetPm> {
+        (0u32..=0xFF).flat_map(|bits| {
+            (0u8..6).flat_map(move |fu| {
+                (0u8..4).map(move |mode| {
+                    SetPm::functional_units(
+                        FuBitmap::from_bits(bits),
+                        FunctionalUnitType::decode(fu).unwrap(),
+                        PowerMode::decode(mode).unwrap(),
+                    )
+                })
+            })
+        })
+    }
+
+    #[test]
+    fn immediate_setpm_roundtrips_exhaustively() {
+        for pm in all_immediates() {
             let dec = decode_setpm(encode_setpm(&pm).unwrap()).unwrap();
-            prop_assert_eq!(dec, pm);
+            assert_eq!(dec, pm);
         }
+    }
 
-        #[test]
-        fn encoding_is_injective_for_immediates(
-            a_bits in 0u32..=0xFF, a_fu in 0u8..6, a_mode in 0u8..4,
-            b_bits in 0u32..=0xFF, b_fu in 0u8..6, b_mode in 0u8..4,
-        ) {
-            let a = SetPm::functional_units(
-                FuBitmap::from_bits(a_bits),
-                FunctionalUnitType::decode(a_fu).unwrap(),
-                PowerMode::decode(a_mode).unwrap(),
-            );
-            let b = SetPm::functional_units(
-                FuBitmap::from_bits(b_bits),
-                FunctionalUnitType::decode(b_fu).unwrap(),
-                PowerMode::decode(b_mode).unwrap(),
-            );
-            let ea = encode_setpm(&a).unwrap();
-            let eb = encode_setpm(&b).unwrap();
-            prop_assert_eq!(a == b, ea == eb);
+    #[test]
+    fn encoding_is_injective_for_immediates() {
+        // Injectivity over the full domain: no two distinct SetPm values may
+        // share an encoding. A map from encoding to value checks every pair.
+        use std::collections::HashMap;
+        let mut seen: HashMap<u32, SetPm> = HashMap::new();
+        for pm in all_immediates() {
+            let bits = encode_setpm(&pm).unwrap().0;
+            if let Some(prev) = seen.insert(bits, pm) {
+                assert_eq!(prev, pm, "distinct SetPm values share encoding {bits:#010x}");
+            }
         }
     }
 }

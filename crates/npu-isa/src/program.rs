@@ -76,10 +76,7 @@ impl Program {
     /// explicit `nop N` stalls (the baseline, hazard-free schedule length).
     #[must_use]
     pub fn issue_cycles(&self) -> u64 {
-        self.bundles
-            .iter()
-            .map(|b| 1 + u64::from(b.extra_issue_cycles()))
-            .sum()
+        self.bundles.iter().map(|b| 1 + u64::from(b.extra_issue_cycles())).sum()
     }
 
     /// Number of `setpm` instructions in the program.
@@ -91,11 +88,7 @@ impl Program {
     /// Number of `setpm` instructions targeting a specific unit type.
     #[must_use]
     pub fn setpm_count_for(&self, fu_type: FunctionalUnitType) -> usize {
-        self.bundles
-            .iter()
-            .filter_map(|b| b.setpm())
-            .filter(|pm| pm.fu_type() == fu_type)
-            .count()
+        self.bundles.iter().filter_map(|b| b.setpm()).filter(|pm| pm.fu_type() == fu_type).count()
     }
 
     /// `setpm` instructions executed per 1,000 issue cycles (Figure 20's
@@ -112,9 +105,11 @@ impl Program {
     /// Gathers per-slot occupancy statistics.
     #[must_use]
     pub fn stats(&self) -> ProgramStats {
-        let mut stats = ProgramStats::default();
-        stats.bundles = self.bundles.len();
-        stats.issue_cycles = self.issue_cycles();
+        let mut stats = ProgramStats {
+            bundles: self.bundles.len(),
+            issue_cycles: self.issue_cycles(),
+            ..Default::default()
+        };
         for bundle in &self.bundles {
             for (slot, op) in bundle.iter() {
                 match slot {

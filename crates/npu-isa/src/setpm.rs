@@ -67,7 +67,11 @@ pub enum SetPm {
 impl SetPm {
     /// Convenience constructor for the immediate functional-unit variant.
     #[must_use]
-    pub fn functional_units(bitmap: FuBitmap, fu_type: FunctionalUnitType, mode: PowerMode) -> Self {
+    pub fn functional_units(
+        bitmap: FuBitmap,
+        fu_type: FunctionalUnitType,
+        mode: PowerMode,
+    ) -> Self {
         SetPm::FuImmediate { bitmap, fu_type, mode }
     }
 

@@ -82,12 +82,8 @@ impl DiffusionConfig {
     /// all-reduces.
     #[must_use]
     pub fn build_graph(&self, parallelism: &ParallelismConfig) -> OperatorGraph {
-        let mut graph = OperatorGraph::new(format!(
-            "{}-b{}-{}",
-            self.model.label(),
-            self.batch,
-            parallelism
-        ));
+        let mut graph =
+            OperatorGraph::new(format!("{}-b{}-{}", self.model.label(), self.batch, parallelism));
         let dp = parallelism.data as u64;
         let tp = parallelism.tensor as u64;
         let local_batch = (self.batch / dp).max(1);
@@ -196,17 +192,33 @@ impl DiffusionConfig {
             ));
             graph.push(Operator::new(
                 format!("{p}.mlp_fc1"),
-                OpKind::MatMul { batch: 1, m: tokens, k: hidden, n: ffn_local, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: hidden,
+                    n: ffn_local,
+                    weights_resident: true,
+                },
                 dt,
             ));
             graph.push(Operator::new(
                 format!("{p}.gelu"),
-                OpKind::Elementwise { elements: tokens * ffn_local, flops_per_element: 8, num_inputs: 1 },
+                OpKind::Elementwise {
+                    elements: tokens * ffn_local,
+                    flops_per_element: 8,
+                    num_inputs: 1,
+                },
                 dt,
             ));
             graph.push(Operator::new(
                 format!("{p}.mlp_fc2"),
-                OpKind::MatMul { batch: 1, m: tokens, k: ffn_local, n: hidden, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: ffn_local,
+                    n: hidden,
+                    weights_resident: true,
+                },
                 dt,
             ));
             if tp > 1 {
@@ -221,7 +233,11 @@ impl DiffusionConfig {
             }
             graph.push(Operator::new(
                 format!("{p}.residual"),
-                OpKind::Elementwise { elements: tokens * hidden, flops_per_element: 2, num_inputs: 2 },
+                OpKind::Elementwise {
+                    elements: tokens * hidden,
+                    flops_per_element: 2,
+                    num_inputs: 2,
+                },
                 dt,
             ));
         }
@@ -247,126 +263,127 @@ impl DiffusionConfig {
         let stages: [(u64, u64, bool); 4] =
             [(1, 320, false), (2, 640, true), (4, 1280, true), (8, 1280, true)];
 
-        let push_stage = |graph: &mut OperatorGraph, dir: &str, (div, ch, attn): (u64, u64, bool)| {
-            let res = (latent / div).max(1);
-            let ch_local = (ch / tp).max(1);
-            let p = format!("step{step}.{dir}.res{res}");
-            // Two ResNet blocks: conv3x3 -> groupnorm -> silu -> conv3x3.
-            for block in 0..2u64 {
-                graph.push(Operator::new(
-                    format!("{p}.resnet{block}.conv1"),
-                    OpKind::Conv2d {
-                        batch: local_batch,
-                        h_out: res,
-                        w_out: res,
-                        c_in: ch,
-                        c_out: ch_local,
-                        kh: 3,
-                        kw: 3,
-                    },
-                    dt,
-                ));
-                graph.push(Operator::new(
-                    format!("{p}.resnet{block}.norm_silu"),
-                    OpKind::Elementwise {
-                        elements: local_batch * res * res * ch_local,
-                        flops_per_element: 6,
-                        num_inputs: 1,
-                    },
-                    dt,
-                ));
-                graph.push(Operator::new(
-                    format!("{p}.resnet{block}.conv2"),
-                    OpKind::Conv2d {
-                        batch: local_batch,
-                        h_out: res,
-                        w_out: res,
-                        c_in: ch_local,
-                        c_out: ch,
-                        kh: 3,
-                        kw: 3,
-                    },
-                    dt,
-                ));
-            }
-            if attn {
-                let seq = res * res;
-                let heads = 8u64;
-                let head_dim = ch / heads; // 80 or 160: partially underutilizes a 128-wide SA
-                let heads_local = (heads / tp).max(1);
-                graph.push(Operator::new(
-                    format!("{p}.attn_qkv"),
-                    OpKind::MatMul {
-                        batch: 1,
-                        m: local_batch * seq,
-                        k: ch,
-                        n: 3 * heads_local * head_dim,
-                        weights_resident: true,
-                    },
-                    dt,
-                ));
-                graph.push(Operator::new(
-                    format!("{p}.attn_scores"),
-                    OpKind::MatMul {
-                        batch: local_batch * heads_local,
-                        m: seq,
-                        k: head_dim,
-                        n: seq,
-                        weights_resident: false,
-                    },
-                    dt,
-                ));
-                graph.push(Operator::new(
-                    format!("{p}.attn_softmax"),
-                    OpKind::Softmax { rows: local_batch * heads_local * seq, cols: seq },
-                    dt,
-                ));
-                graph.push(Operator::new(
-                    format!("{p}.attn_context"),
-                    OpKind::MatMul {
-                        batch: local_batch * heads_local,
-                        m: seq,
-                        k: seq,
-                        n: head_dim,
-                        weights_resident: false,
-                    },
-                    dt,
-                ));
-                // GLIGEN's gated self-attention over grounding tokens (30 boxes).
-                graph.push(Operator::new(
-                    format!("{p}.gated_attn"),
-                    OpKind::MatMul {
-                        batch: local_batch * heads_local,
-                        m: seq,
-                        k: head_dim,
-                        n: 30,
-                        weights_resident: false,
-                    },
-                    dt,
-                ));
-                graph.push(Operator::new(
-                    format!("{p}.attn_proj"),
-                    OpKind::MatMul {
-                        batch: 1,
-                        m: local_batch * seq,
-                        k: heads_local * head_dim,
-                        n: ch,
-                        weights_resident: true,
-                    },
-                    dt,
-                ));
-                if tp > 1 {
+        let push_stage =
+            |graph: &mut OperatorGraph, dir: &str, (div, ch, attn): (u64, u64, bool)| {
+                let res = (latent / div).max(1);
+                let ch_local = (ch / tp).max(1);
+                let p = format!("step{step}.{dir}.res{res}");
+                // Two ResNet blocks: conv3x3 -> groupnorm -> silu -> conv3x3.
+                for block in 0..2u64 {
                     graph.push(Operator::new(
-                        format!("{p}.attn_allreduce"),
-                        OpKind::Collective {
-                            kind: CollectiveKind::AllReduce,
-                            bytes_per_chip: local_batch * seq * ch * dt.size_bytes(),
+                        format!("{p}.resnet{block}.conv1"),
+                        OpKind::Conv2d {
+                            batch: local_batch,
+                            h_out: res,
+                            w_out: res,
+                            c_in: ch,
+                            c_out: ch_local,
+                            kh: 3,
+                            kw: 3,
+                        },
+                        dt,
+                    ));
+                    graph.push(Operator::new(
+                        format!("{p}.resnet{block}.norm_silu"),
+                        OpKind::Elementwise {
+                            elements: local_batch * res * res * ch_local,
+                            flops_per_element: 6,
+                            num_inputs: 1,
+                        },
+                        dt,
+                    ));
+                    graph.push(Operator::new(
+                        format!("{p}.resnet{block}.conv2"),
+                        OpKind::Conv2d {
+                            batch: local_batch,
+                            h_out: res,
+                            w_out: res,
+                            c_in: ch_local,
+                            c_out: ch,
+                            kh: 3,
+                            kw: 3,
                         },
                         dt,
                     ));
                 }
-            }
-        };
+                if attn {
+                    let seq = res * res;
+                    let heads = 8u64;
+                    let head_dim = ch / heads; // 80 or 160: partially underutilizes a 128-wide SA
+                    let heads_local = (heads / tp).max(1);
+                    graph.push(Operator::new(
+                        format!("{p}.attn_qkv"),
+                        OpKind::MatMul {
+                            batch: 1,
+                            m: local_batch * seq,
+                            k: ch,
+                            n: 3 * heads_local * head_dim,
+                            weights_resident: true,
+                        },
+                        dt,
+                    ));
+                    graph.push(Operator::new(
+                        format!("{p}.attn_scores"),
+                        OpKind::MatMul {
+                            batch: local_batch * heads_local,
+                            m: seq,
+                            k: head_dim,
+                            n: seq,
+                            weights_resident: false,
+                        },
+                        dt,
+                    ));
+                    graph.push(Operator::new(
+                        format!("{p}.attn_softmax"),
+                        OpKind::Softmax { rows: local_batch * heads_local * seq, cols: seq },
+                        dt,
+                    ));
+                    graph.push(Operator::new(
+                        format!("{p}.attn_context"),
+                        OpKind::MatMul {
+                            batch: local_batch * heads_local,
+                            m: seq,
+                            k: seq,
+                            n: head_dim,
+                            weights_resident: false,
+                        },
+                        dt,
+                    ));
+                    // GLIGEN's gated self-attention over grounding tokens (30 boxes).
+                    graph.push(Operator::new(
+                        format!("{p}.gated_attn"),
+                        OpKind::MatMul {
+                            batch: local_batch * heads_local,
+                            m: seq,
+                            k: head_dim,
+                            n: 30,
+                            weights_resident: false,
+                        },
+                        dt,
+                    ));
+                    graph.push(Operator::new(
+                        format!("{p}.attn_proj"),
+                        OpKind::MatMul {
+                            batch: 1,
+                            m: local_batch * seq,
+                            k: heads_local * head_dim,
+                            n: ch,
+                            weights_resident: true,
+                        },
+                        dt,
+                    ));
+                    if tp > 1 {
+                        graph.push(Operator::new(
+                            format!("{p}.attn_allreduce"),
+                            OpKind::Collective {
+                                kind: CollectiveKind::AllReduce,
+                                bytes_per_chip: local_batch * seq * ch * dt.size_bytes(),
+                            },
+                            dt,
+                        ));
+                    }
+                }
+            };
 
         for stage in stages {
             push_stage(graph, "down", stage);
@@ -406,10 +423,7 @@ mod tests {
         let mut cfg = DiffusionConfig::default_config(DiffusionModel::Gligen);
         cfg.steps = 1;
         let g = cfg.build_graph(&ParallelismConfig::single());
-        let convs = g
-            .iter()
-            .filter(|op| matches!(op.kind, OpKind::Conv2d { .. }))
-            .count();
+        let convs = g.iter().filter(|op| matches!(op.kind, OpKind::Conv2d { .. })).count();
         assert!(convs >= 16, "expected U-Net convs, found {convs}");
         assert!(g.count_by_unit(ExecutionUnit::Sa) > convs);
     }

@@ -124,7 +124,8 @@ impl DlrmConfig {
     pub fn build_graph(&self, parallelism: &ParallelismConfig) -> OperatorGraph {
         let chips = parallelism.num_chips() as u64;
         let dt = self.dtype;
-        let mut graph = OperatorGraph::new(format!("{}-b{}-{}", self.size.label(), self.batch, parallelism));
+        let mut graph =
+            OperatorGraph::new(format!("{}-b{}-{}", self.size.label(), self.batch, parallelism));
 
         let local_batch = (self.batch / chips).max(1);
         let local_tables = (self.num_tables / chips).max(1);
@@ -134,12 +135,22 @@ impl DlrmConfig {
         for (i, &width) in self.bottom_mlp.iter().enumerate() {
             graph.push(Operator::new(
                 format!("bottom_mlp.{i}"),
-                OpKind::MatMul { batch: 1, m: local_batch, k: prev, n: width, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: local_batch,
+                    k: prev,
+                    n: width,
+                    weights_resident: true,
+                },
                 dt,
             ));
             graph.push(Operator::new(
                 format!("bottom_mlp.{i}.relu"),
-                OpKind::Elementwise { elements: local_batch * width, flops_per_element: 1, num_inputs: 1 },
+                OpKind::Elementwise {
+                    elements: local_batch * width,
+                    flops_per_element: 1,
+                    num_inputs: 1,
+                },
                 dt,
             ));
             prev = width;
@@ -208,12 +219,22 @@ impl DlrmConfig {
         for (i, &width) in self.top_mlp.iter().enumerate() {
             graph.push(Operator::new(
                 format!("top_mlp.{i}"),
-                OpKind::MatMul { batch: 1, m: local_batch, k: prev, n: width, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: local_batch,
+                    k: prev,
+                    n: width,
+                    weights_resident: true,
+                },
                 dt,
             ));
             graph.push(Operator::new(
                 format!("top_mlp.{i}.relu"),
-                OpKind::Elementwise { elements: local_batch * width, flops_per_element: 1, num_inputs: 1 },
+                OpKind::Elementwise {
+                    elements: local_batch * width,
+                    flops_per_element: 1,
+                    num_inputs: 1,
+                },
                 dt,
             ));
             prev = width;
@@ -290,7 +311,7 @@ mod tests {
         for size in DlrmSize::ALL {
             let cfg = DlrmConfig::default_config(size);
             let chips = cfg.min_chips_for_capacity(d.hbm_bytes());
-            assert!(chips >= 1 && chips <= 8, "{size}: {chips} chips");
+            assert!((1..=8).contains(&chips), "{size}: {chips} chips");
         }
         // DLRM-L needs at least 2 NPU-D chips (98 GB * 1.2 > 95 GB).
         assert!(

@@ -39,11 +39,11 @@ pub mod op;
 pub mod table4;
 pub mod workload;
 
-pub use diffusion::{DiffusionModel, DiffusionConfig};
+pub use diffusion::{DiffusionConfig, DiffusionModel};
 pub use dlrm::{DlrmConfig, DlrmSize};
 pub use dtype::DataType;
 pub use graph::OperatorGraph;
 pub use llm::{LlamaConfig, LlamaModel, LlmPhase};
-pub use op::{CollectiveKind, OpKind, Operator, ExecutionUnit};
+pub use op::{CollectiveKind, ExecutionUnit, OpKind, Operator};
 pub use table4::EvalConfig;
-pub use workload::{Workload, WorkUnit};
+pub use workload::{WorkUnit, Workload};

@@ -301,7 +301,16 @@ impl LlmWorkload {
 
         match self.phase {
             LlmPhase::Training => {
-                self.build_dense_pass(&mut graph, &cfg, local_batch, self.seq_len, tp, pp, layers_per_stage, true);
+                self.build_dense_pass(
+                    &mut graph,
+                    &cfg,
+                    local_batch,
+                    self.seq_len,
+                    tp,
+                    pp,
+                    layers_per_stage,
+                    true,
+                );
                 // Gradient all-reduce across data-parallel replicas (per
                 // iteration, over this stage's shard of the parameters).
                 if dp > 1 {
@@ -328,7 +337,16 @@ impl LlmWorkload {
                 ));
             }
             LlmPhase::Prefill => {
-                self.build_dense_pass(&mut graph, &cfg, local_batch, self.seq_len, tp, pp, layers_per_stage, false);
+                self.build_dense_pass(
+                    &mut graph,
+                    &cfg,
+                    local_batch,
+                    self.seq_len,
+                    tp,
+                    pp,
+                    layers_per_stage,
+                    false,
+                );
             }
             LlmPhase::Decode => {
                 self.build_decode_step(&mut graph, &cfg, local_batch, tp, pp, layers_per_stage);
@@ -375,7 +393,18 @@ impl LlmWorkload {
             for &(pass, mults) in passes {
                 for rep in 0..mults {
                     let tag = if mults > 1 { format!("{pass}{rep}") } else { pass.to_string() };
-                    self.push_layer(graph, cfg, &tag, layer, tokens, tokens_per_seq, heads_local, kv_heads_local, ffn_local, tp);
+                    self.push_layer(
+                        graph,
+                        cfg,
+                        &tag,
+                        layer,
+                        tokens,
+                        tokens_per_seq,
+                        heads_local,
+                        kv_heads_local,
+                        ffn_local,
+                        tp,
+                    );
                 }
             }
         }
@@ -435,7 +464,13 @@ impl LlmWorkload {
         let qkv_cols = (heads_local + 2 * kv_heads_local) * cfg.head_dim;
         graph.push(Operator::new(
             format!("{prefix}.qkv_proj"),
-            OpKind::MatMul { batch: 1, m: tokens, k: cfg.hidden, n: qkv_cols, weights_resident: true },
+            OpKind::MatMul {
+                batch: 1,
+                m: tokens,
+                k: cfg.hidden,
+                n: qkv_cols,
+                weights_resident: true,
+            },
             dt,
         ));
         // Attention scores: one matmul per (sequence, head).
@@ -495,22 +530,44 @@ impl LlmWorkload {
         // SwiGLU FFN: gate and up projections, elementwise activation, down projection.
         graph.push(Operator::new(
             format!("{prefix}.ffn_gate"),
-            OpKind::MatMul { batch: 1, m: tokens, k: cfg.hidden, n: ffn_local, weights_resident: true },
+            OpKind::MatMul {
+                batch: 1,
+                m: tokens,
+                k: cfg.hidden,
+                n: ffn_local,
+                weights_resident: true,
+            },
             dt,
         ));
         graph.push(Operator::new(
             format!("{prefix}.ffn_up"),
-            OpKind::MatMul { batch: 1, m: tokens, k: cfg.hidden, n: ffn_local, weights_resident: true },
+            OpKind::MatMul {
+                batch: 1,
+                m: tokens,
+                k: cfg.hidden,
+                n: ffn_local,
+                weights_resident: true,
+            },
             dt,
         ));
         graph.push(Operator::new(
             format!("{prefix}.ffn_silu_mul"),
-            OpKind::Elementwise { elements: tokens * ffn_local, flops_per_element: 5, num_inputs: 2 },
+            OpKind::Elementwise {
+                elements: tokens * ffn_local,
+                flops_per_element: 5,
+                num_inputs: 2,
+            },
             dt,
         ));
         graph.push(Operator::new(
             format!("{prefix}.ffn_down"),
-            OpKind::MatMul { batch: 1, m: tokens, k: ffn_local, n: cfg.hidden, weights_resident: true },
+            OpKind::MatMul {
+                batch: 1,
+                m: tokens,
+                k: ffn_local,
+                n: cfg.hidden,
+                weights_resident: true,
+            },
             dt,
         ));
         if tp > 1 {
@@ -525,7 +582,11 @@ impl LlmWorkload {
         }
         graph.push(Operator::new(
             format!("{prefix}.residual_add"),
-            OpKind::Elementwise { elements: tokens * cfg.hidden, flops_per_element: 1, num_inputs: 2 },
+            OpKind::Elementwise {
+                elements: tokens * cfg.hidden,
+                flops_per_element: 1,
+                num_inputs: 2,
+            },
             dt,
         ));
     }
@@ -557,7 +618,13 @@ impl LlmWorkload {
             let qkv_cols = (heads_local + 2 * kv_heads_local) * cfg.head_dim;
             graph.push(Operator::new(
                 format!("{prefix}.qkv_proj"),
-                OpKind::MatMul { batch: 1, m: tokens, k: cfg.hidden, n: qkv_cols, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: cfg.hidden,
+                    n: qkv_cols,
+                    weights_resident: true,
+                },
                 dt,
             ));
             // Attention over the KV cache: the cache acts as the (large)
@@ -612,12 +679,24 @@ impl LlmWorkload {
             }
             graph.push(Operator::new(
                 format!("{prefix}.ffn_gate"),
-                OpKind::MatMul { batch: 1, m: tokens, k: cfg.hidden, n: ffn_local, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: cfg.hidden,
+                    n: ffn_local,
+                    weights_resident: true,
+                },
                 dt,
             ));
             graph.push(Operator::new(
                 format!("{prefix}.ffn_up"),
-                OpKind::MatMul { batch: 1, m: tokens, k: cfg.hidden, n: ffn_local, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: cfg.hidden,
+                    n: ffn_local,
+                    weights_resident: true,
+                },
                 dt,
             ));
             graph.push(Operator::new(
@@ -631,7 +710,13 @@ impl LlmWorkload {
             ));
             graph.push(Operator::new(
                 format!("{prefix}.ffn_down"),
-                OpKind::MatMul { batch: 1, m: tokens, k: ffn_local, n: cfg.hidden, weights_resident: true },
+                OpKind::MatMul {
+                    batch: 1,
+                    m: tokens,
+                    k: ffn_local,
+                    n: cfg.hidden,
+                    weights_resident: true,
+                },
                 dt,
             ));
             if tp > 1 {

@@ -368,8 +368,7 @@ mod tests {
         let sm = Operator::new("softmax", OpKind::Softmax { rows: 64, cols: 4096 }, DataType::Bf16);
         assert_eq!(sm.execution_unit(), ExecutionUnit::Vu);
         assert_eq!(sm.flops(), 5.0 * 64.0 * 4096.0);
-        let ln =
-            Operator::new("ln", OpKind::LayerNorm { rows: 64, cols: 8192 }, DataType::Bf16);
+        let ln = Operator::new("ln", OpKind::LayerNorm { rows: 64, cols: 8192 }, DataType::Bf16);
         assert_eq!(ln.execution_unit(), ExecutionUnit::Vu);
         assert_eq!(ln.hbm_read_bytes(), ln.hbm_write_bytes());
     }

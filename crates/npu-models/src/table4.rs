@@ -38,11 +38,7 @@ impl EvalConfig {
             (LlamaModel::Llama3_405B, LlmPhase::Prefill) => (256, 64),
             (LlamaModel::Llama3_405B, LlmPhase::Decode) => (64, 2048),
         };
-        EvalConfig {
-            workload: Workload::llm(model, phase).with_batch(batch),
-            num_chips,
-            batch,
-        }
+        EvalConfig { workload: Workload::llm(model, phase).with_batch(batch), num_chips, batch }
     }
 
     /// Builds the Table 4 configuration for a DLRM workload

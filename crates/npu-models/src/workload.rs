@@ -220,7 +220,11 @@ impl Workload {
     /// Returns `None` if the workload cannot fit even with every chip used
     /// for model sharding.
     #[must_use]
-    pub fn default_parallelism(&self, spec: &NpuSpec, num_chips: usize) -> Option<ParallelismConfig> {
+    pub fn default_parallelism(
+        &self,
+        spec: &NpuSpec,
+        num_chips: usize,
+    ) -> Option<ParallelismConfig> {
         let hbm = spec.hbm_bytes();
         match self {
             Workload::Dlrm(_) | Workload::Diffusion(_) => {
@@ -234,7 +238,7 @@ impl Workload {
             Workload::Llm(_) => {
                 let mut tp = 1usize;
                 while tp <= num_chips {
-                    if num_chips % tp == 0 {
+                    if num_chips.is_multiple_of(tp) {
                         // Prefer pure tensor parallelism up to 8 ways, then add
                         // pipeline stages for very large models.
                         let candidates = if tp <= 8 {

@@ -81,7 +81,12 @@ impl EnergyBreakdown {
         // busy second; during that time the whole chip leaks.
         let idle_seconds = usage.busy_seconds * (1.0 - NPU_DUTY_CYCLE) / NPU_DUTY_CYCLE;
         let idle_static_j = model.idle_power_w() * idle_seconds;
-        EnergyBreakdown { components, busy_seconds: usage.busy_seconds, idle_seconds, idle_static_j }
+        EnergyBreakdown {
+            components,
+            busy_seconds: usage.busy_seconds,
+            idle_seconds,
+            idle_static_j,
+        }
     }
 
     /// Energy of one component.
@@ -184,7 +189,6 @@ mod tests {
             ici_bytes: 0.0,
             sram_bytes: spec.hbm_bandwidth_gbps * 1e9 * 1.8,
             dma_bytes: spec.hbm_bandwidth_gbps * 1e9 * 0.9,
-            ..Default::default()
         };
         let mem_bound = EnergyBreakdown::no_power_gating(&model, &light);
         assert!(mem_bound.static_fraction() > busy_heavy.static_fraction());
@@ -221,7 +225,7 @@ mod tests {
         let b = EnergyBreakdown::no_power_gating(&model, &usage_compute_bound(&spec));
         let sum: f64 = ComponentKind::ALL.iter().map(|&k| b.component(k).total_j()).sum();
         assert!((sum - b.total_j()).abs() < 1e-9);
-        assert_eq!(b.component(ComponentKind::Other).dynamic_j > 0.0, true);
+        assert!(b.component(ComponentKind::Other).dynamic_j > 0.0);
     }
 
     #[test]

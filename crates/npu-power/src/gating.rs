@@ -243,8 +243,11 @@ mod tests {
 
     #[test]
     fn leakage_override() {
-        let leaky = GatingParams::default()
-            .with_leakage(LeakageRatios { logic_off: 0.6, sram_sleep: 0.8, sram_off: 0.4 });
+        let leaky = GatingParams::default().with_leakage(LeakageRatios {
+            logic_off: 0.6,
+            sram_sleep: 0.8,
+            sram_off: 0.4,
+        });
         assert!((leaky.leakage.logic_off - 0.6).abs() < 1e-12);
         assert_eq!(leaky.vu_bet, 32, "timing parameters are unchanged");
     }

@@ -92,10 +92,8 @@ impl PowerModel {
         let total_units: f64 = units.values().sum();
 
         let total_static = static_fraction(spec.technology) * spec.tdp_watts;
-        let static_power_w = units
-            .iter()
-            .map(|(&kind, &u)| (kind, total_static * u / total_units))
-            .collect();
+        let static_power_w =
+            units.iter().map(|(&kind, &u)| (kind, total_static * u / total_units)).collect();
         let dynamic_budget_w = spec.tdp_watts - total_static;
         PowerModel { spec: spec.clone(), static_power_w, dynamic_budget_w }
     }
@@ -265,7 +263,8 @@ mod tests {
         let hbm = model.hbm_energy_per_byte() * spec.hbm_bandwidth_gbps * 1e9;
         let ici = model.ici_energy_per_byte() * spec.ici_total_gbps() * 1e9;
         let sram = model.sram_energy_per_byte() * 4.0 * spec.hbm_bandwidth_gbps * 1e9;
-        let dma = model.dma_energy_per_byte() * (spec.hbm_bandwidth_gbps + spec.ici_total_gbps()) * 1e9;
+        let dma =
+            model.dma_energy_per_byte() * (spec.hbm_bandwidth_gbps + spec.ici_total_gbps()) * 1e9;
         let total = sa + vu + hbm + ici + sram + dma + model.other_dynamic_power_w();
         assert!((total - model.dynamic_budget_w()).abs() / model.dynamic_budget_w() < 1e-9);
     }

@@ -78,8 +78,7 @@ impl Simulator {
     fn time_operator(&self, op: &CompiledOp) -> OpTiming {
         let spec = self.chip.spec();
         let hbm_bpc = spec.hbm_bytes_per_cycle();
-        let hbm_latency_cycles =
-            spec.seconds_to_cycles(spec.hbm_kind.access_latency_ns() * 1e-9);
+        let hbm_latency_cycles = spec.seconds_to_cycles(spec.hbm_kind.access_latency_ns() * 1e-9);
         let vu_total_per_cycle = (spec.vu_elems_per_cycle() * spec.num_vu) as f64;
 
         let mut sa_active = 0u64;
@@ -114,8 +113,7 @@ impl Simulator {
                 let peak_macs = sa_active as f64 * sas_used as f64 * (w * w) as f64;
                 sa_spatial = ((op.op.flops() / 2.0) / peak_macs).min(1.0);
                 // Fused vector post-processing overlaps with the SA drain.
-                let fused_cycles =
-                    (op.fused_vu_elements as f64 / vu_total_per_cycle).ceil() as u64;
+                let fused_cycles = (op.fused_vu_elements as f64 / vu_total_per_cycle).ceil() as u64;
                 vu_active = fused_cycles;
                 hbm_active = hbm_cycles;
                 sa_cycles.max(hbm_cycles).max(fused_cycles)
@@ -145,13 +143,9 @@ impl Simulator {
                             spec.ici_link_gbps,
                             ICI_HOP_LATENCY_S,
                         ),
-                        CollectiveKind::ReduceScatter | CollectiveKind::AllGather => {
-                            self.topology.reduce_scatter_seconds(
-                                bytes,
-                                spec.ici_link_gbps,
-                                ICI_HOP_LATENCY_S,
-                            )
-                        }
+                        CollectiveKind::ReduceScatter | CollectiveKind::AllGather => self
+                            .topology
+                            .reduce_scatter_seconds(bytes, spec.ici_link_gbps, ICI_HOP_LATENCY_S),
                         CollectiveKind::AllToAll => {
                             let wire = self.topology.alltoall_seconds(
                                 bytes,
@@ -161,11 +155,9 @@ impl Simulator {
                             let messages = bytes / ALLTOALL_MESSAGE_BYTES;
                             wire.max(messages * ALLTOALL_PER_MESSAGE_OVERHEAD_S)
                         }
-                        CollectiveKind::PointToPoint => self.topology.p2p_seconds(
-                            bytes,
-                            spec.ici_link_gbps,
-                            ICI_HOP_LATENCY_S,
-                        ),
+                        CollectiveKind::PointToPoint => {
+                            self.topology.p2p_seconds(bytes, spec.ici_link_gbps, ICI_HOP_LATENCY_S)
+                        }
                     },
                     _ => 0.0,
                 };

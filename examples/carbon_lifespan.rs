@@ -26,11 +26,16 @@ fn main() {
             sweep.nopg_optimal_years,
             sweep.regate_optimal_years,
         );
-        println!("  carbon per work unit vs lifespan (NoPG / ReGate-Full):");
+        println!("  carbon per 1M work units vs lifespan (NoPG / ReGate-Full):");
         for (a, b) in sweep.nopg.iter().zip(sweep.regate.iter()) {
+            // Per-unit carbon is ~1e-8 kg; scale to grams per million work
+            // units so the sweep's shape is visible at fixed precision.
+            let scale = 1e6 * 1e3;
             println!(
-                "    {:>2} yr: {:>10.6} / {:>10.6} kgCO2e",
-                a.lifespan_years, a.carbon_kg_per_work, b.carbon_kg_per_work
+                "    {:>2} yr: {:>10.3} / {:>10.3} gCO2e",
+                a.lifespan_years,
+                a.carbon_kg_per_work * scale,
+                b.carbon_kg_per_work * scale,
             );
         }
     }

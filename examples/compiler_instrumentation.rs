@@ -27,7 +27,12 @@ fn main() {
     println!("operator: {} (fused VU elements: {})", anchor.op.name, anchor.fused_vu_elements);
 
     let (program, tiles) = expand_operator(anchor, &spec, ExpansionLimits { max_tiles: 4 });
-    println!("expanded {} tiles into {} bundles ({} cycles)\n", tiles, program.len(), program.issue_cycles());
+    println!(
+        "expanded {} tiles into {} bundles ({} cycles)\n",
+        tiles,
+        program.len(),
+        program.issue_cycles()
+    );
 
     let report = IdlenessReport::analyze(&program);
     println!("VU0 utilization: {:.1}%", report.utilization(Slot::Vu(0)) * 100.0);

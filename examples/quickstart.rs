@@ -12,7 +12,10 @@ fn main() {
     let evaluator = Evaluator::new(NpuGeneration::D);
     let eval = evaluator.evaluate(&workload, 1);
 
-    println!("workload: {} on {} x{} ({})", workload, eval.generation, eval.num_chips, eval.parallelism);
+    println!(
+        "workload: {} on {} x{} ({})",
+        workload, eval.generation, eval.num_chips, eval.parallelism
+    );
     println!("execution time: {:.3} ms", eval.design(Design::NoPg).energy.busy_seconds * 1e3);
     println!();
     println!(

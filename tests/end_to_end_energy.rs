@@ -39,7 +39,8 @@ fn static_energy_never_increases_with_more_capable_designs() {
         Workload::dlrm(DlrmSize::Large),
     ] {
         let eval = evaluator.evaluate(&workload, 8);
-        let chain = [Design::NoPg, Design::ReGateBase, Design::ReGateHw, Design::ReGateFull, Design::Ideal];
+        let chain =
+            [Design::NoPg, Design::ReGateBase, Design::ReGateHw, Design::ReGateFull, Design::Ideal];
         for pair in chain.windows(2) {
             let before = eval.design(pair[0]).energy.static_j();
             let after = eval.design(pair[1]).energy.static_j();
@@ -96,10 +97,8 @@ fn ideal_savings_bounded_by_static_fraction() {
 #[test]
 fn memory_bound_workloads_save_more_than_compute_bound() {
     let evaluator = Evaluator::new(NpuGeneration::D);
-    let decode =
-        evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
-    let prefill =
-        evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1);
+    let decode = evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
+    let prefill = evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1);
     assert!(
         decode.energy_savings(Design::ReGateFull) > prefill.energy_savings(Design::ReGateFull),
         "decode ({}) should save more than prefill ({})",

@@ -1,0 +1,162 @@
+//! Golden-value regression net over the Table-4-style per-workload
+//! evaluation (paper §6, Figure 17).
+//!
+//! Each row pins the ReGate design points' energy savings and the NoPG
+//! static-energy fraction to the values produced by the analytical model
+//! at the time this net was recorded, with a ±3-percentage-point band.
+//! The bands are intentionally tighter than the claim ranges in
+//! `paper_claims.rs`: their job is to catch *silent drift* of the energy
+//! model during refactors, not to re-validate the paper. If a deliberate
+//! model improvement moves a number, re-record the row and say why in the
+//! commit message.
+
+use npu_arch::NpuGeneration;
+use npu_models::{DiffusionModel, DlrmSize, LlamaModel, LlmPhase, Workload};
+use regate::{Design, Evaluator};
+
+/// Absolute tolerance on every recorded fraction (3 percentage points).
+const TOL: f64 = 0.03;
+
+/// One golden row: workload, chip count, then the recorded
+/// (ReGate-Base, ReGate-HW, ReGate-Full, Ideal) energy savings and the
+/// NoPG static-energy fraction.
+struct GoldenRow {
+    workload: Workload,
+    chips: usize,
+    base: f64,
+    hw: f64,
+    full: f64,
+    ideal: f64,
+    static_fraction: f64,
+}
+
+fn golden_rows() -> Vec<GoldenRow> {
+    let row = |workload, chips, base, hw, full, ideal, static_fraction| GoldenRow {
+        workload,
+        chips,
+        base,
+        hw,
+        full,
+        ideal,
+        static_fraction,
+    };
+    vec![
+        // Recorded on NPU-D with the workloads' default batches (small chip
+        // counts so the net stays fast; the full Table 4 scale is exercised
+        // by the `evaluation` harness binary).
+        row(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Training),
+            4,
+            0.1166,
+            0.1264,
+            0.1430,
+            0.1446,
+            0.5586,
+        ),
+        row(
+            Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Training),
+            4,
+            0.1183,
+            0.1272,
+            0.1414,
+            0.1431,
+            0.5616,
+        ),
+        row(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill),
+            1,
+            0.1084,
+            0.1187,
+            0.1341,
+            0.1366,
+            0.5504,
+        ),
+        row(
+            Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill),
+            1,
+            0.1132,
+            0.1223,
+            0.1360,
+            0.1387,
+            0.5561,
+        ),
+        row(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            1,
+            0.2131,
+            0.2131,
+            0.2757,
+            0.2810,
+            0.6720,
+        ),
+        row(
+            Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode),
+            1,
+            0.2132,
+            0.2132,
+            0.2757,
+            0.2808,
+            0.6717,
+        ),
+        row(
+            Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode),
+            8,
+            0.2165,
+            0.2165,
+            0.2787,
+            0.2839,
+            0.6769,
+        ),
+        row(Workload::dlrm(DlrmSize::Small), 8, 0.3723, 0.3741, 0.4233, 0.4327, 0.9191),
+        row(Workload::dlrm(DlrmSize::Medium), 8, 0.3748, 0.3762, 0.4239, 0.4322, 0.9226),
+        row(Workload::dlrm(DlrmSize::Large), 8, 0.3702, 0.3715, 0.4182, 0.4261, 0.9185),
+        row(Workload::diffusion(DiffusionModel::DitXl), 4, 0.1525, 0.1760, 0.2152, 0.2175, 0.5647),
+        row(Workload::diffusion(DiffusionModel::Gligen), 4, 0.1672, 0.1896, 0.2217, 0.2272, 0.5937),
+    ]
+}
+
+fn assert_close(workload: &Workload, what: &str, got: f64, recorded: f64) {
+    assert!(
+        (got - recorded).abs() <= TOL,
+        "{workload}: {what} drifted from golden value: got {got:.4}, recorded {recorded:.4} \
+         (tolerance ±{TOL})"
+    );
+}
+
+#[test]
+fn energy_savings_match_recorded_golden_values() {
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    for row in golden_rows() {
+        let eval = evaluator.evaluate(&row.workload, row.chips);
+        let w = &row.workload;
+        assert_close(w, "ReGate-Base savings", eval.energy_savings(Design::ReGateBase), row.base);
+        assert_close(w, "ReGate-HW savings", eval.energy_savings(Design::ReGateHw), row.hw);
+        assert_close(w, "ReGate-Full savings", eval.energy_savings(Design::ReGateFull), row.full);
+        assert_close(w, "Ideal savings", eval.energy_savings(Design::Ideal), row.ideal);
+        assert_close(
+            w,
+            "NoPG static fraction",
+            eval.design(Design::NoPg).energy.static_fraction(),
+            row.static_fraction,
+        );
+    }
+}
+
+#[test]
+fn design_points_are_ordered_base_hw_full_ideal() {
+    // Structural invariant behind every golden row: adding mechanisms can
+    // only add savings, and Ideal upper-bounds everything.
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    for row in golden_rows() {
+        let eval = evaluator.evaluate(&row.workload, row.chips);
+        let base = eval.energy_savings(Design::ReGateBase);
+        let hw = eval.energy_savings(Design::ReGateHw);
+        let full = eval.energy_savings(Design::ReGateFull);
+        let ideal = eval.energy_savings(Design::Ideal);
+        let w = &row.workload;
+        assert!(base <= hw + 1e-9, "{w}: Base {base} > HW {hw}");
+        assert!(hw <= full + 1e-9, "{w}: HW {hw} > Full {full}");
+        assert!(full <= ideal + 1e-9, "{w}: Full {full} > Ideal {ideal}");
+        assert!(eval.energy_savings(Design::NoPg).abs() < 1e-12, "NoPG is the baseline");
+    }
+}

@@ -58,10 +58,7 @@ fn regate_full_saves_8_to_35_percent_with_a_15_percent_mean() {
         savings.push(s);
     }
     let mean = savings.iter().sum::<f64>() / savings.len() as f64;
-    assert!(
-        (0.08..=0.30).contains(&mean),
-        "mean savings {mean} should be in the ~15% ballpark"
-    );
+    assert!((0.08..=0.30).contains(&mean), "mean savings {mean} should be in the ~15% ballpark");
 }
 
 #[test]
@@ -82,8 +79,7 @@ fn regate_full_overhead_is_below_half_percent() {
 fn dlrm_saves_most_and_prefill_saves_least() {
     let evaluator = Evaluator::new(NpuGeneration::D);
     let dlrm = evaluator.evaluate(&Workload::dlrm(DlrmSize::Medium), 8);
-    let prefill =
-        evaluator.evaluate(&Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill), 1);
+    let prefill = evaluator.evaluate(&Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill), 1);
     let decode = evaluator.evaluate(&Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), 1);
     let s_dlrm = dlrm.energy_savings(Design::ReGateFull);
     let s_prefill = prefill.energy_savings(Design::ReGateFull);

@@ -1,0 +1,234 @@
+//! Minimal Criterion-compatible benchmark harness for offline builds.
+//!
+//! Implements the subset of the Criterion API used by
+//! `crates/bench/benches/*.rs`: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group` / `bench_function`, `BenchmarkGroup`
+//! with `sample_size` / `throughput` / `finish`, `Bencher::iter`, and
+//! `black_box`. Instead of Criterion's statistical analysis it runs a
+//! short warm-up plus a fixed number of timed samples and reports the
+//! mean and minimum wall time per iteration.
+//!
+//! Benches must set `harness = false` in the manifest, exactly as with
+//! the real Criterion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted and echoed, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and an input parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up batch then `samples` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also sizes the batch so one sample takes >= ~1ms.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// Benchmark registry/runner standing in for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> u64 {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.effective_samples();
+        run_one(&id.into().id, samples, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.effective_samples(), _parent: self }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Declares the throughput of subsequent benches (echoed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("group {}: throughput {t:?}", self.name);
+        self
+    }
+
+    /// Runs a single named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u64, mut f: F) {
+    let mut bencher = Bencher { samples, elapsed: Vec::new() };
+    f(&mut bencher);
+    if bencher.elapsed.is_empty() {
+        println!("{name:<52} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.elapsed.iter().sum();
+    let mean = total / bencher.elapsed.len() as u32;
+    let min = bencher.elapsed.iter().min().copied().unwrap_or_default();
+    println!(
+        "{name:<52} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+        bencher.elapsed.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).id, "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,33 @@
+//! Minimal stand-in for `serde` used by the offline build.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so that downstream consumers can
+//! serialize evaluation results, but nothing in the repo serializes at
+//! runtime yet. This stub keeps those annotations compiling without
+//! network access: the traits are blanket-implemented and the derives
+//! (re-exported from the stub `serde_derive`) expand to nothing.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stub of serde's `de` module (trait re-exports only).
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stub of serde's `ser` module (trait re-exports only).
+pub mod ser {
+    pub use super::Serialize;
+}

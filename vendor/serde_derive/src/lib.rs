@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The stub `serde` crate blanket-implements `Serialize`/`Deserialize`,
+//! so the derives only need to exist for `#[derive(Serialize)]`
+//! attributes to resolve; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
