@@ -29,6 +29,10 @@ fn bench_simulator(c: &mut Criterion) {
         group.bench_function(format!("graph_build/{name}"), |b| {
             b.iter(|| std::hint::black_box(workload.build_graph(&parallelism)));
         });
+        group.bench_function(format!("idle_histogram/{name}"), |b| {
+            let result = Simulator::new(chip.clone()).run(&compiled);
+            b.iter(|| std::hint::black_box(result.idle_histogram()));
+        });
     }
     group.finish();
 }

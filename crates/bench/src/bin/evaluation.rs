@@ -5,43 +5,68 @@
 //! * Figure 19 — performance overhead per design;
 //! * Figure 20 — `setpm` instructions per 1,000 cycles.
 //!
-//! Run with `cargo run --release -p regate-bench --bin evaluation`.
-//! Pass `--full` to use the exact Table 4 chip counts (slower).
+//! Run with `cargo run --release -p regate_bench --bin evaluation`.
+//! Pass `--full` to use the exact Table 4 chip counts (slower), or
+//! `--quick` for the minimal CI smoke subset.
 
 use npu_arch::{ChipConfig, NpuGeneration, ParallelismConfig};
 use npu_compiler::Compiler;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
 use npu_sim::{Simulator, ValidationReport};
-use regate::experiments::{evaluate_config, setpm_rate};
+use regate::experiments::{parallel_evaluation_sweep, setpm_rate};
 use regate_bench::{pct, section};
 
-fn eval_set(full: bool) -> Vec<npu_models::EvalConfig> {
-    if full {
-        npu_models::EvalConfig::all()
-    } else {
-        // Representative subset with modest chip counts so the default run
-        // finishes quickly.
-        vec![
+/// How much of the figure set to regenerate.
+#[derive(Clone, Copy, PartialEq)]
+enum Scale {
+    /// Minimal subset: the CI smoke run.
+    Quick,
+    /// Representative subset with modest chip counts (the default).
+    Default,
+    /// The exact Table 4 chip counts.
+    Full,
+}
+
+fn eval_set(scale: Scale) -> Vec<npu_models::EvalConfig> {
+    match scale {
+        Scale::Full => npu_models::EvalConfig::all(),
+        Scale::Default => vec![
             npu_models::EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Training),
             npu_models::EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill),
             npu_models::EvalConfig::llm(LlamaModel::Llama2_13B, LlmPhase::Decode),
             npu_models::EvalConfig::llm(LlamaModel::Llama3_70B, LlmPhase::Training),
             npu_models::EvalConfig::dlrm(DlrmSize::Small),
             npu_models::EvalConfig::dlrm(DlrmSize::Large),
-        ]
+        ],
+        Scale::Quick => vec![
+            npu_models::EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill),
+            npu_models::EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            npu_models::EvalConfig::dlrm(DlrmSize::Small),
+        ],
     }
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Default
+    };
 
     section("Figure 16: simulator validation vs. analytical roofline");
-    for (workload, label) in [
-        (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill), "Llama2-13B Prefill"),
-        (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), "Llama2-13B Decode"),
-        (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Prefill), "Llama3-70B Prefill"),
-        (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode), "Llama3-70B Decode"),
-    ] {
+    let validation_set: Vec<(Workload, &str)> = if scale == Scale::Quick {
+        vec![(Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), "Llama2-13B Decode")]
+    } else {
+        vec![
+            (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill), "Llama2-13B Prefill"),
+            (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), "Llama2-13B Decode"),
+            (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Prefill), "Llama3-70B Prefill"),
+            (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode), "Llama3-70B Decode"),
+        ]
+    };
+    for (workload, label) in validation_set {
         let chip = ChipConfig::new(NpuGeneration::D, 8);
         let parallelism =
             workload.default_parallelism(chip.spec(), 8).unwrap_or(ParallelismConfig::new(8, 1, 1));
@@ -49,25 +74,33 @@ fn main() {
         let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
         let result = Simulator::new(chip.clone()).run(&compiled);
         let report = ValidationReport::for_simulation(&result, chip.spec());
+        let hidden = result.serial_cycles().saturating_sub(result.total_cycles());
         println!(
-            "{:<22} R^2 = {:.4}  (n = {} operators, mean sim/ref ratio {:.3})",
+            "{:<22} R^2 = {:.4}  (n = {} operators, mean sim/ref ratio {:.3}, \
+             DMA overlap hides {} of the serial time)",
             label,
             report.r_squared,
             report.points.len(),
-            report.mean_ratio
+            report.mean_ratio,
+            pct(hidden as f64 / result.serial_cycles().max(1) as f64),
+        );
+        assert!(
+            result.total_cycles() <= result.serial_cycles(),
+            "{label}: overlapped makespan exceeds the serial sum"
         );
     }
 
-    let configs = eval_set(full);
+    let configs = eval_set(scale);
 
     section("Figure 17: energy savings vs NoPG");
     println!(
         "{:<28} {:>6} {:>12} {:>12} {:>12} {:>12}",
         "workload", "chips", "Base", "HW", "Full", "Ideal"
     );
-    let mut rows = Vec::new();
-    for config in &configs {
-        let row = evaluate_config(config, NpuGeneration::D);
+    // One worker thread per workload; each evaluates every design point.
+    let sweep = parallel_evaluation_sweep(&configs, &[NpuGeneration::D]);
+    let rows: Vec<_> = sweep.into_iter().map(|mut per_gen| per_gen.remove(0)).collect();
+    for row in &rows {
         println!(
             "{:<28} {:>6} {:>12} {:>12} {:>12} {:>12}",
             row.workload,
@@ -77,7 +110,6 @@ fn main() {
             pct(row.energy_savings[2].1),
             pct(row.energy_savings[3].1),
         );
-        rows.push(row);
     }
 
     section("Figure 17 (stacking): ReGate-Full savings by component");
@@ -117,12 +149,17 @@ fn main() {
     }
 
     section("Figure 20: setpm instructions per 1,000 cycles (VU, ReGate-Full)");
-    for (workload, chips) in [
-        (Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Training), 4usize),
-        (Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1),
-        (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), 1),
-        (Workload::dlrm(DlrmSize::Medium), 8),
-    ] {
+    let setpm_set: Vec<(Workload, usize)> = if scale == Scale::Quick {
+        vec![(Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1)]
+    } else {
+        vec![
+            (Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Training), 4),
+            (Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1),
+            (Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Decode), 1),
+            (Workload::dlrm(DlrmSize::Medium), 8),
+        ]
+    };
+    for (workload, chips) in setpm_set {
         let rate = setpm_rate(&workload, NpuGeneration::D, chips, 32);
         println!("{:<28} {:>8.2} setpm / 1k cycles", workload.label(), rate);
     }

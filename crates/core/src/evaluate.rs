@@ -1,13 +1,19 @@
 //! End-to-end evaluation engine: workload → compile → simulate → per-design
 //! energy, power, performance, and carbon (paper §6).
 //!
-//! For every design point the engine converts the simulator's per-operator
-//! component activity into *equivalent full-power cycles* per component:
-//! cycles the component spends fully on, plus gated cycles weighted by the
-//! residual leakage of the gated state, plus idle-detection windows spent
-//! observing idleness before gating. Static energy is the component's
-//! leakage power times those equivalent cycles; dynamic energy is identical
-//! across designs (the same work is performed).
+//! For every design point the engine converts the simulator's activity
+//! into *equivalent full-power cycles* per component: busy cycles at the
+//! design's rate (with PE-level spatial gating applied to active systolic
+//! arrays), plus the component's **real idle intervals** — the gaps of the
+//! simulator's merged busy timeline — walked one by one against the
+//! design's break-even times, detection windows, and wake-up latencies
+//! ([`npu_power::GatingParams::walk_idle_intervals`],
+//! [`crate::pe_gating::sa_idle_intervals_cost`]). An interval shorter than
+//! the break-even time stays at full power no matter how much aggregate
+//! idleness exists, which is exactly the distribution sensitivity of the
+//! paper's Figures 9/15. Static energy is the component's leakage power
+//! times the equivalent cycles; dynamic energy is identical across designs
+//! (the same work is performed).
 
 use std::collections::BTreeMap;
 
@@ -17,15 +23,20 @@ use npu_arch::{ChipConfig, ComponentKind, NpuGeneration, ParallelismConfig};
 use npu_compiler::{CompiledGraph, Compiler};
 use npu_models::{ExecutionUnit, Workload};
 use npu_power::energy::ChipUsage;
-use npu_power::{CarbonModel, ComponentEnergy, EnergyBreakdown, GatingParams, PowerModel};
+use npu_power::{CarbonModel, EnergyBreakdown, GatePolicy, GatingParams, PowerModel};
 use npu_sim::{OpTiming, SimulationResult, Simulator};
 
 use crate::designs::Design;
-use crate::pe_gating::SaGatingPlan;
+use crate::pe_gating::{sa_idle_intervals_cost, SaGatingPlan};
 
 /// Residual power of a PE in the weight-retaining `W_on` mode, as a
 /// fraction of its fully-on static power.
 const W_ON_RESIDUAL: f64 = 0.10;
+
+/// Number of idle intervals long enough to gate under a break-even time.
+fn gated_count(interval_lens: &[u64], bet: u64) -> u64 {
+    interval_lens.iter().filter(|&&len| GatingParams::gates_interval(bet, len)).count() as u64
+}
 
 /// Evaluation of one design point for one workload deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -230,7 +241,9 @@ impl Evaluator {
         }
     }
 
-    /// Evaluates one design point.
+    /// Evaluates one design point by walking the simulation's real
+    /// per-component idle intervals against the design's gating
+    /// mechanisms.
     fn evaluate_design(
         &self,
         design: Design,
@@ -239,79 +252,162 @@ impl Evaluator {
         model: &PowerModel,
         baseline: &EnergyBreakdown,
     ) -> DesignEvaluation {
+        if design == Design::NoPg {
+            let peak_power_w = self.peak_power(model, sim.timings(), baseline, sim.total_cycles());
+            return DesignEvaluation {
+                design,
+                energy: baseline.clone(),
+                performance_overhead: 0.0,
+                peak_power_w,
+            };
+        }
+
         let spec = model.spec();
         let cycle_s = spec.cycle_seconds();
+        let timeline = sim.busy_timeline();
+        let total_cycles = sim.total_cycles();
         let anchors: Vec<_> = compiled.anchors().collect();
         let timings = sim.timings();
-        let total_cycles: u64 = timings.iter().map(|t| t.duration_cycles).sum();
         let leak = self.gating.leakage;
 
-        // Equivalent full-power cycles per component.
+        // Equivalent full-power cycles per component: busy time at its
+        // design-specific rate, plus the component's *real* idle intervals
+        // walked against the design's break-even times and wake-up
+        // latencies.
         let mut equivalent: BTreeMap<ComponentKind, f64> = BTreeMap::new();
         let mut overhead_cycles: f64 = 0.0;
 
-        for (op, timing) in anchors.iter().zip(timings.iter()) {
-            let d = timing.duration_cycles as f64;
-            // --- Systolic arrays ---
-            let sa_eq = self.sa_equivalent_cycles(design, op, timing);
-            *equivalent.entry(ComponentKind::Sa).or_default() += sa_eq;
-            // --- Vector units ---
-            let vu_eq = self.vu_equivalent_cycles(design, timing);
-            *equivalent.entry(ComponentKind::Vu).or_default() += vu_eq;
-            // --- SRAM ---
-            let live_frac = if spec.sram_bytes() == 0 {
-                1.0
-            } else {
-                (timing.sram_live_bytes as f64 / spec.sram_bytes() as f64).min(1.0)
-            };
-            let sram_eq = match design {
-                Design::NoPg => d,
-                Design::ReGateBase | Design::ReGateHw => {
-                    d * (live_frac + (1.0 - live_frac) * leak.sram_sleep)
-                }
-                Design::ReGateFull => d * (live_frac + (1.0 - live_frac) * leak.sram_off),
-                Design::Ideal => d * live_frac,
-            };
-            *equivalent.entry(ComponentKind::Sram).or_default() += sram_eq;
-            // --- HBM controller, ICI controller, DMA engine ---
-            *equivalent.entry(ComponentKind::Hbm).or_default() += self.idle_detect_equivalent(
-                design,
-                d,
-                timing.hbm_active_cycles as f64,
-                self.gating.hbm_bet as f64,
-            );
-            *equivalent.entry(ComponentKind::Ici).or_default() += self.idle_detect_equivalent(
-                design,
-                d,
-                timing.ici_active_cycles as f64,
-                self.gating.ici_bet as f64,
-            );
-            let dma_active = (timing.hbm_active_cycles + timing.ici_active_cycles)
-                .min(timing.duration_cycles) as f64;
-            *equivalent.entry(ComponentKind::Dma).or_default() +=
-                self.idle_detect_equivalent(design, d, dma_active, self.gating.hbm_bet as f64);
-            // --- Peripheral logic is never gated ---
-            *equivalent.entry(ComponentKind::Other).or_default() += d;
+        // Interval lengths per component: all of them (for the energy
+        // walk), and the subset followed by more work — a trailing
+        // interval, including the single `[0, makespan)` interval of a
+        // component the workload never touches, ends the execution and
+        // never pays a wake-up.
+        let idle_lens = |kind: ComponentKind| -> (Vec<u64>, Vec<u64>) {
+            let gaps = timeline.idle_intervals(kind, total_cycles);
+            let all = gaps.iter().map(npu_sim::CycleInterval::len).collect();
+            let waking =
+                gaps.iter().filter(|iv| iv.end < total_cycles).map(|iv| iv.len()).collect();
+            (all, waking)
+        };
 
-            overhead_cycles += self.op_overhead_cycles(design, op, timing);
+        // --- Systolic arrays: spatially gated while active (per-operator
+        //     shapes), interval-gated while idle. ---
+        let mut sa_busy_eq = 0.0f64;
+        for (op, timing) in anchors.iter().zip(timings.iter()) {
+            sa_busy_eq += self.sa_active_equivalent_cycles(design, op, timing);
         }
+        let (sa_lens, sa_waking) = idle_lens(ComponentKind::Sa);
+        let sa_idle = sa_idle_intervals_cost(design, &self.gating, &sa_lens, &sa_waking);
+        equivalent.insert(ComponentKind::Sa, sa_busy_eq + sa_idle.equivalent_cycles);
+        overhead_cycles += sa_idle.wakeup_stall_cycles;
+
+        // --- Vector units: full power while computing, interval-gated
+        //     while idle (hardware detection, or compiler `setpm` for
+        //     ReGate-Full). ---
+        let vu_busy = timeline.busy_cycles(ComponentKind::Vu) as f64;
+        let (vu_idle_eq, vu_stall) = if design == Design::Ideal {
+            (0.0, 0.0)
+        } else {
+            let policy = if design == Design::ReGateFull {
+                GatePolicy::CompilerDirected
+            } else {
+                GatePolicy::IdleDetect
+            };
+            let (lens, waking) = idle_lens(ComponentKind::Vu);
+            let walk = GatingParams::walk_idle_intervals(
+                lens.into_iter(),
+                self.gating.vu_bet,
+                self.gating.vu_delay,
+                leak.logic_off,
+                policy,
+            );
+            // Under ReGate-Full, `setpm on` is issued ahead of the next
+            // use, hiding the wake-up behind the preceding instructions.
+            let stall = if design == Design::ReGateFull {
+                0.0
+            } else {
+                (gated_count(&waking, self.gating.vu_bet) * self.gating.vu_delay) as f64
+            };
+            (walk.equivalent_cycles, stall)
+        };
+        equivalent.insert(ComponentKind::Vu, vu_busy + vu_idle_eq);
+        overhead_cycles += vu_stall;
+
+        // --- HBM / ICI controllers and the DMA engine: hardware idle
+        //     detection in every ReGate design; the compiler's prefetch
+        //     knowledge hides part of the wake-up in ReGate-Full. ---
+        let wake_exposure = match design {
+            Design::ReGateBase => 1.0,
+            Design::ReGateHw => 0.5,
+            Design::ReGateFull => 0.25,
+            Design::NoPg | Design::Ideal => 0.0,
+        };
+        for kind in [ComponentKind::Hbm, ComponentKind::Ici, ComponentKind::Dma] {
+            // The DMA engine keeps the memory interface's gating timing (it
+            // wakes with the HBM path it feeds), as in the pre-timeline
+            // model.
+            let (bet, delay) = match kind {
+                ComponentKind::Dma => (self.gating.hbm_bet, self.gating.hbm_delay),
+                _ => (self.gating.component_bet(kind), self.gating.component_delay(kind)),
+            };
+            let busy = timeline.busy_cycles(kind) as f64;
+            let (idle_eq, stall) = if design == Design::Ideal {
+                (0.0, 0.0)
+            } else {
+                let (lens, waking) = idle_lens(kind);
+                let walk = GatingParams::walk_idle_intervals(
+                    lens.into_iter(),
+                    bet,
+                    delay,
+                    leak.logic_off,
+                    GatePolicy::IdleDetect,
+                );
+                (
+                    walk.equivalent_cycles,
+                    gated_count(&waking, bet) as f64 * delay as f64 * wake_exposure,
+                )
+            };
+            equivalent.insert(kind, busy + idle_eq);
+            overhead_cycles += stall;
+        }
+
+        // --- SRAM: gated by *capacity* (dead 4 KiB segments sleep or power
+        //     off), weighted by each operator's share of the execution. ---
+        let span_sum: f64 = timings.iter().map(|t| t.duration_cycles as f64).sum();
+        let sram_eq = if span_sum == 0.0 {
+            total_cycles as f64
+        } else {
+            let mut weighted = 0.0;
+            for timing in timings {
+                let live_frac = if spec.sram_bytes() == 0 {
+                    1.0
+                } else {
+                    (timing.sram_live_bytes as f64 / spec.sram_bytes() as f64).min(1.0)
+                };
+                let factor = match design {
+                    Design::NoPg => 1.0,
+                    Design::ReGateBase | Design::ReGateHw => {
+                        live_frac + (1.0 - live_frac) * leak.sram_sleep
+                    }
+                    Design::ReGateFull => live_frac + (1.0 - live_frac) * leak.sram_off,
+                    Design::Ideal => live_frac,
+                };
+                weighted += timing.duration_cycles as f64 * factor;
+            }
+            // Operator spans overlap on the global clock; normalize the
+            // span-weighted average onto the makespan.
+            total_cycles as f64 * weighted / span_sum
+        };
+        equivalent.insert(ComponentKind::Sram, sram_eq);
+
+        // --- Peripheral logic is never gated. ---
+        equivalent.insert(ComponentKind::Other, total_cycles as f64);
 
         let performance_overhead =
             if total_cycles == 0 { 0.0 } else { overhead_cycles / total_cycles as f64 };
-        // Wake-up stalls extend the execution; every component leaks at its
-        // design-specific *average* rate for those extra cycles. We charge
-        // them at full power, which is conservative.
-        let overhead_seconds = overhead_cycles * cycle_s;
 
-        // Assemble the energy breakdown: dynamic energy is unchanged,
-        // static energy uses the equivalent cycles.
-        let mut components = BTreeMap::new();
-        for kind in ComponentKind::ALL {
-            let dynamic_j = baseline.component(kind).dynamic_j;
-            let eq_cycles = equivalent.get(&kind).copied().unwrap_or(0.0);
-            let static_j = model.static_power_w(kind) * (eq_cycles * cycle_s + overhead_seconds);
-            components.insert(kind, ComponentEnergy { static_j, dynamic_j });
-        }
+        let equivalent_seconds: BTreeMap<ComponentKind, f64> =
+            equivalent.into_iter().map(|(k, cycles)| (k, cycles * cycle_s)).collect();
         // Idle (out-of-duty-cycle) leakage: gating designs keep the whole
         // chip gated while idle; the Ideal roofline leaks nothing.
         let idle_static_j = match design {
@@ -319,186 +415,51 @@ impl Evaluator {
             Design::Ideal => 0.0,
             _ => baseline.idle_static_j * leak.logic_off.max(leak.sram_off),
         };
-        let energy = EnergyBreakdown {
-            components,
-            busy_seconds: baseline.busy_seconds * (1.0 + performance_overhead),
-            idle_seconds: baseline.idle_seconds,
+        let energy = EnergyBreakdown::gated(
+            baseline,
+            model,
+            &equivalent_seconds,
+            overhead_cycles * cycle_s,
             idle_static_j,
-        };
+        );
 
-        let peak_power_w = self.peak_power(design, model, timings, &energy);
+        let peak_power_w = self.peak_power(model, timings, &energy, total_cycles);
         DesignEvaluation { design, energy, performance_overhead, peak_power_w }
     }
 
-    /// Equivalent full-power SA cycles of one operator under a design.
-    fn sa_equivalent_cycles(
+    /// Equivalent full-power SA cycles of one operator's *active* period
+    /// under a design (spatial PE gating; the idle periods between active
+    /// bursts are walked separately on the timeline).
+    fn sa_active_equivalent_cycles(
         &self,
         design: Design,
         op: &npu_compiler::CompiledOp,
         timing: &OpTiming,
     ) -> f64 {
-        let d = timing.duration_cycles as f64;
         let active = timing.sa_active_cycles as f64;
-        let idle = d - active;
+        if active == 0.0 {
+            return 0.0;
+        }
         let leak = self.gating.leakage.logic_off;
-        let bet = self.gating.sa_full_bet as f64;
-        let window = bet / 3.0;
         match design {
-            Design::NoPg => d,
-            Design::ReGateBase => {
-                if active == 0.0 {
-                    // Whole-SA idle detection at component granularity.
-                    if d > bet {
-                        window + (d - window) * leak
-                    } else {
-                        d
-                    }
-                } else {
-                    // Component-level gating cannot exploit intra-operator
-                    // idleness or spatial underutilization.
-                    d
-                }
+            Design::NoPg | Design::ReGateBase => {
+                // Component-level gating cannot exploit spatial
+                // underutilization: the whole array burns full static power
+                // while any PE computes.
+                active
             }
             Design::ReGateHw | Design::ReGateFull => {
-                if active == 0.0 {
-                    if d > bet {
-                        window + (d - window) * leak
-                    } else {
-                        d
-                    }
-                } else {
-                    // PE-level gating: rows/columns holding padded zero
-                    // weights are off, and the diagonal wavefront keeps PEs
-                    // in W_on outside the input wave.
-                    let (m, k, n) = op.op.matmul_dims().unwrap_or((1, 1, 1));
-                    let spec = npu_arch::NpuSpec::generation(self.generation);
-                    let plan =
-                        SaGatingPlan::from_matmul_dims(spec.sa_width, k as usize, n as usize);
-                    let tile_m = m.min(spec.sa_width as u64 * 32);
-                    let gated_frac = plan.gated_pe_cycle_fraction(tile_m, W_ON_RESIDUAL);
-                    let active_eq = active * ((1.0 - gated_frac) + gated_frac * leak);
-                    // Intra-operator SA idle cycles drop to W_on/off via the
-                    // dataflow-propagated PE_on de-assertion.
-                    let idle_eq = idle * leak;
-                    active_eq + idle_eq
-                }
+                // PE-level gating: rows/columns holding padded zero
+                // weights are off, and the diagonal wavefront keeps PEs
+                // in W_on outside the input wave.
+                let (m, k, n) = op.op.matmul_dims().unwrap_or((1, 1, 1));
+                let spec = npu_arch::NpuSpec::generation(self.generation);
+                let plan = SaGatingPlan::from_matmul_dims(spec.sa_width, k as usize, n as usize);
+                let tile_m = m.min(spec.sa_width as u64 * 32);
+                let gated_frac = plan.gated_pe_cycle_fraction(tile_m, W_ON_RESIDUAL);
+                active * ((1.0 - gated_frac) + gated_frac * leak)
             }
             Design::Ideal => active * timing.sa_spatial_utilization,
-        }
-    }
-
-    /// Equivalent full-power VU cycles of one operator under a design.
-    fn vu_equivalent_cycles(&self, design: Design, timing: &OpTiming) -> f64 {
-        let d = timing.duration_cycles as f64;
-        let active = timing.vu_active_cycles as f64;
-        let idle = d - active;
-        let leak = self.gating.leakage.logic_off;
-        let bet = self.gating.vu_bet as f64;
-        let delay = self.gating.vu_delay as f64;
-        match design {
-            Design::NoPg => d,
-            Design::ReGateBase | Design::ReGateHw => {
-                // Hardware idle detection only captures operators in which
-                // the VU is completely unused; fragmented idleness between
-                // SA pops is below the detection threshold.
-                if active == 0.0 && d > bet {
-                    let window = bet / 3.0;
-                    window + (d - window) * leak
-                } else {
-                    d
-                }
-            }
-            Design::ReGateFull => {
-                // The compiler knows the exact idle intervals and gates all
-                // of them longer than the BET, paying two transitions each.
-                if idle > bet {
-                    active + 2.0 * delay + (idle - 2.0 * delay).max(0.0) * leak
-                } else {
-                    d
-                }
-            }
-            Design::Ideal => active,
-        }
-    }
-
-    /// Equivalent full-power cycles for an idle-detection-gated component
-    /// (HBM controller, ICI controller, DMA engine).
-    fn idle_detect_equivalent(&self, design: Design, duration: f64, active: f64, bet: f64) -> f64 {
-        let idle = duration - active;
-        let leak = self.gating.leakage.logic_off;
-        match design {
-            Design::NoPg => duration,
-            Design::Ideal => active,
-            _ => {
-                if idle > bet {
-                    let window = bet / 3.0;
-                    active + window + (idle - window) * leak
-                } else {
-                    duration
-                }
-            }
-        }
-    }
-
-    /// Wake-up stall cycles charged to one operator under a design.
-    fn op_overhead_cycles(
-        &self,
-        design: Design,
-        op: &npu_compiler::CompiledOp,
-        timing: &OpTiming,
-    ) -> f64 {
-        let g = &self.gating;
-        match design {
-            Design::NoPg | Design::Ideal => 0.0,
-            Design::ReGateBase => {
-                let mut o = 0.0;
-                if timing.sa_active_cycles > 0 {
-                    // The whole SA must be powered on before execution, and
-                    // the naive idle-detection policy re-gates it between
-                    // tile bursts, exposing the full-array wake-up each time.
-                    let regate_events = (op.tile.num_tiles as f64
-                        / (8.0 * op.op.matmul_batch().max(1) as f64))
-                        .min(timing.sa_active_cycles as f64 / (2.0 * g.sa_full_bet as f64))
-                        .max(1.0);
-                    o += g.sa_full_delay as f64 * regate_events;
-                }
-                if timing.vu_active_cycles > 0 {
-                    // VU wake-up delays are exposed on first use per burst.
-                    let bursts = (timing.vu_active_cycles as f64 / g.vu_bet as f64).max(1.0);
-                    o += g.vu_delay as f64 * bursts;
-                }
-                if timing.hbm_active_cycles > 0 {
-                    o += g.hbm_delay as f64 * 0.5;
-                }
-                o
-            }
-            Design::ReGateHw => {
-                let mut o = 0.0;
-                if timing.sa_active_cycles > 0 {
-                    // Execution starts after the first PE wakes; the rest of
-                    // the wake-up overlaps with the dataflow.
-                    o += g.sa_pe_delay as f64;
-                }
-                if timing.vu_active_cycles > 0 {
-                    let bursts = (timing.vu_active_cycles as f64 / g.vu_bet as f64).max(1.0);
-                    o += g.vu_delay as f64 * bursts;
-                }
-                if timing.hbm_active_cycles > 0 {
-                    o += g.hbm_delay as f64 * 0.5;
-                }
-                o
-            }
-            Design::ReGateFull => {
-                let mut o = 0.0;
-                if timing.sa_active_cycles > 0 {
-                    o += g.sa_pe_delay as f64;
-                }
-                // VU and SRAM wake-ups are hidden by early `setpm on`.
-                if timing.hbm_active_cycles > 0 {
-                    o += g.hbm_delay as f64 * 0.25;
-                }
-                o
-            }
         }
     }
 
@@ -506,21 +467,19 @@ impl Evaluator {
     /// operator under the design's static-power scaling.
     fn peak_power(
         &self,
-        design: Design,
         model: &PowerModel,
         timings: &[OpTiming],
         energy: &EnergyBreakdown,
+        total_cycles: u64,
     ) -> f64 {
         let spec = model.spec();
         // Static power scales with the design's overall static reduction.
-        let total_cycles: f64 = timings.iter().map(|t| t.duration_cycles as f64).sum();
         let nopg_static_w = model.total_static_power_w();
-        let design_static_w = if total_cycles == 0.0 {
+        let design_static_w = if total_cycles == 0 {
             nopg_static_w
         } else {
-            energy.static_j() / (total_cycles * spec.cycle_seconds())
+            energy.static_j() / (total_cycles as f64 * spec.cycle_seconds())
         };
-        let _ = design;
         let mut peak = 0.0f64;
         for t in timings {
             let secs = t.duration_seconds(spec.frequency_hz());
@@ -535,7 +494,10 @@ impl Evaluator {
             let power = dynamic_j / secs + design_static_w;
             peak = peak.max(power.min(spec.tdp_watts * 1.2));
         }
-        peak
+        // Operator spans on the global clock include scheduling stalls,
+        // which can dilute every per-operator average below the whole-run
+        // average; the peak can never physically undercut it.
+        peak.max(energy.average_power_w().min(spec.tdp_watts * 1.2))
     }
 }
 

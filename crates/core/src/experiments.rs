@@ -164,6 +164,40 @@ fn evaluation_row(eval: &WorkloadEvaluation) -> EvaluationRow {
     }
 }
 
+/// Runs the full workload × design × generation evaluation sweep with one
+/// worker thread per workload (`std::thread::scope`). Each worker
+/// compiles, simulates, and evaluates its workload on every requested
+/// generation across all design points; the result rows come back in
+/// `configs × generations` order, identical to the serial sweep.
+///
+/// The sweep is embarrassingly parallel across workloads (each owns its
+/// graph, compiled stream, and timeline), which is what makes the Table 4
+/// scale tractable on a laptop.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the underlying evaluation failed).
+#[must_use]
+pub fn parallel_evaluation_sweep(
+    configs: &[EvalConfig],
+    generations: &[NpuGeneration],
+) -> Vec<Vec<EvaluationRow>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|config| {
+                scope.spawn(move || {
+                    generations
+                        .iter()
+                        .map(|&generation| evaluate_config(config, generation))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    })
+}
+
 /// Figure 20: `setpm` instructions per 1,000 cycles for a workload, derived
 /// by expanding a sample of its compiled operators into VLIW schedules and
 /// running the instrumentation pass over them.
@@ -402,6 +436,24 @@ mod tests {
         );
         assert!(rate >= 0.0);
         assert!(rate < 2.0 * 1000.0 / 32.0, "setpm rate {rate} exceeds the Figure 20 bound");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_evaluation() {
+        let configs = [
+            EvalConfig::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            EvalConfig::dlrm(DlrmSize::Small),
+        ];
+        let generations = [NpuGeneration::C, NpuGeneration::D];
+        let parallel = parallel_evaluation_sweep(&configs, &generations);
+        assert_eq!(parallel.len(), configs.len());
+        for (config, rows) in configs.iter().zip(&parallel) {
+            assert_eq!(rows.len(), generations.len());
+            for (&generation, row) in generations.iter().zip(rows) {
+                let serial = evaluate_config(config, generation);
+                assert_eq!(row, &serial, "{config}: parallel row diverges from serial");
+            }
+        }
     }
 
     #[test]

@@ -59,7 +59,12 @@ impl IdlenessReport {
     #[must_use]
     pub fn analyze(program: &Program) -> Self {
         let mut last_busy_end: BTreeMap<Slot, (u64, usize)> = BTreeMap::new();
-        let mut dma_since: BTreeMap<Slot, bool> = BTreeMap::new();
+        // Index of the most recent bundle containing a DMA. An interval is
+        // unbounded iff a DMA bundle falls *strictly after* the bundle that
+        // started the interval — tracked by index rather than by per-slot
+        // flags so that DMAs issued before a slot's very first instruction
+        // also mark its leading idle interval.
+        let mut last_dma_bundle: Option<usize> = None;
         let mut intervals: BTreeMap<Slot, Vec<IdleInterval>> = BTreeMap::new();
         let mut busy_cycles: BTreeMap<Slot, u64> = BTreeMap::new();
 
@@ -67,11 +72,8 @@ impl IdlenessReport {
         for (index, bundle) in program.iter() {
             let issue_cycle = cycle;
             let bundle_cycles = 1 + u64::from(bundle.extra_issue_cycles());
-            let dma_in_bundle = bundle.iter().any(|(_, op)| matches!(op, SlotOp::Dma { .. }));
-            if dma_in_bundle {
-                for flag in dma_since.values_mut() {
-                    *flag = true;
-                }
+            if bundle.iter().any(|(_, op)| matches!(op, SlotOp::Dma { .. })) {
+                last_dma_bundle = Some(index);
             }
             for (slot, op) in bundle.iter() {
                 let duration = slot_busy_cycles(slot, op);
@@ -84,7 +86,7 @@ impl IdlenessReport {
                         intervals.entry(slot).or_default().push(IdleInterval {
                             start_cycle: prev_end,
                             end_cycle: issue_cycle,
-                            unbounded: *dma_since.get(&slot).unwrap_or(&false),
+                            unbounded: last_dma_bundle.is_some_and(|dma| dma > prev_bundle),
                             ending_bundle: Some(index),
                             starting_bundle: prev_bundle,
                         });
@@ -93,13 +95,12 @@ impl IdlenessReport {
                     intervals.entry(slot).or_default().push(IdleInterval {
                         start_cycle: 0,
                         end_cycle: issue_cycle,
-                        unbounded: *dma_since.get(&slot).unwrap_or(&false),
+                        unbounded: last_dma_bundle.is_some(),
                         ending_bundle: Some(index),
                         starting_bundle: 0,
                     });
                 }
                 last_busy_end.insert(slot, (issue_cycle + duration, index));
-                dma_since.insert(slot, false);
                 *busy_cycles.entry(slot).or_default() += duration;
             }
             cycle += bundle_cycles;
@@ -111,7 +112,7 @@ impl IdlenessReport {
                 intervals.entry(slot).or_default().push(IdleInterval {
                     start_cycle: end,
                     end_cycle: total_cycles,
-                    unbounded: *dma_since.get(&slot).unwrap_or(&false),
+                    unbounded: last_dma_bundle.is_some_and(|dma| dma > bundle),
                     ending_bundle: None,
                     starting_bundle: bundle,
                 });
@@ -227,6 +228,31 @@ mod tests {
         let intervals = report.intervals(Slot::Vu(0));
         assert_eq!(intervals.len(), 1);
         assert!(intervals[0].unbounded, "a DMA inside the gap makes it unbounded");
+    }
+
+    #[test]
+    fn dma_before_first_instruction_marks_leading_interval_unbounded() {
+        // Regression: a DMA that issues before a slot's *first* instruction
+        // used to leave the leading interval bounded, because the DMA flag
+        // was only flipped for slots that had already issued at least once.
+        let mut p = Program::new("dma-before-first-vu");
+        p.push(VliwBundle::new().with_dma(SlotOp::Dma { bytes: 1 << 20, remote: false }));
+        p.push(VliwBundle::new().with_misc(SlotOp::Nop { cycles: 6 }));
+        p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
+        let report = IdlenessReport::analyze(&p);
+        let intervals = report.intervals(Slot::Vu(0));
+        assert_eq!(intervals[0].start_cycle, 0);
+        assert!(
+            intervals[0].unbounded,
+            "a DMA in bundle 0 must make the VU's leading idle interval unbounded"
+        );
+        // The same DMA must not taint intervals that start after it.
+        p.push(VliwBundle::new().with_misc(SlotOp::Nop { cycles: 6 }));
+        p.push(VliwBundle::new().with_vu(0, SlotOp::vu_add(1024)));
+        let report = IdlenessReport::analyze(&p);
+        let intervals = report.intervals(Slot::Vu(0));
+        assert_eq!(intervals.len(), 2);
+        assert!(!intervals[1].unbounded, "no DMA inside the second interval");
     }
 
     #[test]

@@ -89,6 +89,39 @@ impl EnergyBreakdown {
         }
     }
 
+    /// Builds a gated design's breakdown from the `NoPG` baseline.
+    ///
+    /// Power gating removes leakage, not useful work: each component keeps
+    /// the baseline's dynamic energy, while its static energy is charged
+    /// over its *equivalent full-power seconds* — busy time, plus gated
+    /// time weighted by the residual leakage, plus idle-detection windows
+    /// and transition costs, as accumulated by walking the component's
+    /// real idle intervals. Wake-up stalls extend the execution by
+    /// `stall_seconds`; every component is (conservatively) charged full
+    /// static power for them.
+    #[must_use]
+    pub fn gated(
+        baseline: &EnergyBreakdown,
+        model: &PowerModel,
+        equivalent_seconds: &BTreeMap<ComponentKind, f64>,
+        stall_seconds: f64,
+        idle_static_j: f64,
+    ) -> Self {
+        let mut components = BTreeMap::new();
+        for kind in ComponentKind::ALL {
+            let dynamic_j = baseline.component(kind).dynamic_j;
+            let eq_s = equivalent_seconds.get(&kind).copied().unwrap_or(0.0);
+            let static_j = model.static_power_w(kind) * (eq_s + stall_seconds);
+            components.insert(kind, ComponentEnergy { static_j, dynamic_j });
+        }
+        EnergyBreakdown {
+            components,
+            busy_seconds: baseline.busy_seconds + stall_seconds,
+            idle_seconds: baseline.idle_seconds,
+            idle_static_j,
+        }
+    }
+
     /// Energy of one component.
     #[must_use]
     pub fn component(&self, kind: ComponentKind) -> ComponentEnergy {
@@ -216,6 +249,27 @@ mod tests {
         // The paper: 17%-32% of total energy is wasted on chip idleness.
         let idle_fraction = b.idle_static_j / b.total_with_idle_j();
         assert!((0.1..=0.45).contains(&idle_fraction), "idle fraction {idle_fraction}");
+    }
+
+    #[test]
+    fn gated_breakdown_preserves_dynamic_and_scales_static() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let baseline = EnergyBreakdown::no_power_gating(&model, &usage_compute_bound(&spec));
+        // Every component fully powered for half the baseline time.
+        let mut eq = BTreeMap::new();
+        for kind in ComponentKind::ALL {
+            eq.insert(kind, 0.5 * baseline.busy_seconds);
+        }
+        let gated = EnergyBreakdown::gated(&baseline, &model, &eq, 0.0, 1.0);
+        assert!((gated.dynamic_j() - baseline.dynamic_j()).abs() < 1e-9);
+        assert!((gated.static_j() - 0.5 * baseline.static_j()).abs() < 1e-6);
+        assert!((gated.idle_static_j - 1.0).abs() < 1e-12);
+        // A wake-up stall charges every component at full static power.
+        let stalled = EnergyBreakdown::gated(&baseline, &model, &eq, 0.1, 1.0);
+        let expected = 0.5 * baseline.static_j() + 0.1 * model.total_static_power_w();
+        assert!((stalled.static_j() - expected).abs() < 1e-6);
+        assert!(stalled.busy_seconds > gated.busy_seconds);
     }
 
     #[test]

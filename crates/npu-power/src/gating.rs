@@ -165,6 +165,101 @@ impl GatingParams {
     pub fn with_leakage(&self, leakage: LeakageRatios) -> Self {
         GatingParams { leakage, ..self.clone() }
     }
+
+    /// Whether an idle interval of `len` cycles is worth gating against a
+    /// break-even time: gating shorter intervals costs more transition
+    /// energy than the leakage it saves.
+    #[must_use]
+    pub fn gates_interval(bet: u64, len: u64) -> bool {
+        len > bet
+    }
+
+    /// Equivalent full-power cycles of *one* idle interval of `len` cycles
+    /// under a gating policy with break-even time `bet`, transition delay
+    /// `delay`, and residual leakage `leak` (fraction of full static
+    /// power).
+    ///
+    /// Intervals at or below the break-even time stay powered: the
+    /// component leaks at full power for the whole interval. Longer
+    /// intervals pay the policy's entry cost at full power and leak at
+    /// `leak` for the remainder.
+    #[must_use]
+    pub fn idle_interval_equivalent_cycles(
+        len: u64,
+        bet: u64,
+        delay: u64,
+        leak: f64,
+        policy: GatePolicy,
+    ) -> f64 {
+        let len_f = len as f64;
+        if !Self::gates_interval(bet, len) {
+            return len_f;
+        }
+        let entry = match policy {
+            // Hardware idle detection must *observe* idleness before
+            // committing: the detection window (a third of the BET, as in
+            // the synthesized prototype's counter configuration) is spent
+            // at full power.
+            GatePolicy::IdleDetect => (bet as f64 / 3.0).min(len_f),
+            // The compiler knows the interval bounds exactly and issues
+            // `setpm off` at its start and `setpm on` ahead of the next
+            // use; both transitions burn full power but no window.
+            GatePolicy::CompilerDirected => (2.0 * delay as f64).min(len_f),
+        };
+        entry + (len_f - entry) * leak
+    }
+
+    /// Walks a component's real idle intervals and accumulates the
+    /// equivalent full-power cycles plus gating statistics — the
+    /// interval-accurate replacement for scaling aggregate idle-cycle
+    /// counts.
+    #[must_use]
+    pub fn walk_idle_intervals(
+        interval_lens: impl Iterator<Item = u64>,
+        bet: u64,
+        delay: u64,
+        leak: f64,
+        policy: GatePolicy,
+    ) -> GatedIdleSummary {
+        let mut summary = GatedIdleSummary::default();
+        for len in interval_lens {
+            summary.idle_cycles += len;
+            summary.equivalent_cycles +=
+                Self::idle_interval_equivalent_cycles(len, bet, delay, leak, policy);
+            if Self::gates_interval(bet, len) {
+                summary.gated_intervals += 1;
+                summary.gated_cycles += len;
+            }
+        }
+        summary
+    }
+}
+
+/// How a gating mechanism decides to gate an idle interval (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatePolicy {
+    /// Hardware idle detection: a counter observes idleness for a
+    /// confirmation window before gating, and the component wakes on
+    /// demand (exposing its wake-up delay unless hidden by the dataflow).
+    IdleDetect,
+    /// Compiler-directed `setpm`: the interval bounds are known statically,
+    /// so the component is gated immediately and woken ahead of its next
+    /// use.
+    CompilerDirected,
+}
+
+/// Result of walking a component's idle intervals under one gating policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GatedIdleSummary {
+    /// Total idle cycles walked.
+    pub idle_cycles: u64,
+    /// Equivalent full-power cycles those idle cycles cost.
+    pub equivalent_cycles: f64,
+    /// Number of intervals long enough to gate (above the break-even
+    /// time); each one implies a power-down/power-up transition pair.
+    pub gated_intervals: u64,
+    /// Idle cycles inside gated intervals.
+    pub gated_cycles: u64,
 }
 
 /// Chip-area overhead of the ReGate power-gating logic (paper §4.4).
@@ -250,6 +345,88 @@ mod tests {
         });
         assert!((leaky.leakage.logic_off - 0.6).abs() < 1e-12);
         assert_eq!(leaky.vu_bet, 32, "timing parameters are unchanged");
+    }
+
+    #[test]
+    fn short_intervals_stay_at_full_power() {
+        for policy in [GatePolicy::IdleDetect, GatePolicy::CompilerDirected] {
+            let eq = GatingParams::idle_interval_equivalent_cycles(30, 32, 2, 0.03, policy);
+            assert!((eq - 30.0).abs() < 1e-12, "{policy:?}: below-BET interval not gated");
+        }
+        assert!(!GatingParams::gates_interval(32, 32), "the BET itself does not break even");
+        assert!(GatingParams::gates_interval(32, 33));
+    }
+
+    #[test]
+    fn compiler_directed_beats_idle_detection_on_long_intervals() {
+        // VU parameters: BET 32, delay 2. A 1,000-cycle interval costs a
+        // 10.7-cycle detection window under hardware detection but only two
+        // 2-cycle transitions under setpm.
+        let hw = GatingParams::idle_interval_equivalent_cycles(
+            1000,
+            32,
+            2,
+            0.03,
+            GatePolicy::IdleDetect,
+        );
+        let sw = GatingParams::idle_interval_equivalent_cycles(
+            1000,
+            32,
+            2,
+            0.03,
+            GatePolicy::CompilerDirected,
+        );
+        assert!(sw < hw, "setpm ({sw}) must beat idle detection ({hw})");
+        assert!(hw < 1000.0, "both must beat staying on");
+        let expected_hw = 32.0 / 3.0 + (1000.0 - 32.0 / 3.0) * 0.03;
+        assert!((hw - expected_hw).abs() < 1e-9);
+        let expected_sw = 4.0 + 996.0 * 0.03;
+        assert!((sw - expected_sw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_walk_accumulates_statistics() {
+        // Three intervals: 10 (below BET), 100 and 1,000 (gated).
+        let summary = GatingParams::walk_idle_intervals(
+            [10u64, 100, 1000].into_iter(),
+            32,
+            2,
+            0.0,
+            GatePolicy::CompilerDirected,
+        );
+        assert_eq!(summary.idle_cycles, 1110);
+        assert_eq!(summary.gated_intervals, 2);
+        assert_eq!(summary.gated_cycles, 1100);
+        // With zero residual leakage only the short interval and the two
+        // transition pairs burn power.
+        assert!((summary.equivalent_cycles - (10.0 + 4.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_walk_beats_aggregate_scaling_when_idleness_is_fragmented() {
+        // 1,000 idle cycles in 100 ten-cycle fragments cannot be gated at
+        // all (every fragment is below the VU's 32-cycle BET), while the
+        // same 1,000 cycles in one interval nearly vanish — the effect the
+        // aggregate-scaling model could never represent.
+        let fragmented = GatingParams::walk_idle_intervals(
+            std::iter::repeat_n(10u64, 100),
+            32,
+            2,
+            0.03,
+            GatePolicy::IdleDetect,
+        );
+        let contiguous = GatingParams::walk_idle_intervals(
+            std::iter::once(1000u64),
+            32,
+            2,
+            0.03,
+            GatePolicy::IdleDetect,
+        );
+        assert_eq!(fragmented.idle_cycles, contiguous.idle_cycles);
+        assert!((fragmented.equivalent_cycles - 1000.0).abs() < 1e-9);
+        assert!(contiguous.equivalent_cycles < 50.0);
+        assert_eq!(fragmented.gated_intervals, 0);
+        assert_eq!(contiguous.gated_intervals, 1);
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub mod power;
 
 pub use carbon::{CarbonModel, LifespanPoint};
 pub use energy::{ComponentEnergy, EnergyBreakdown};
-pub use gating::{GatingParams, LeakageRatios};
+pub use gating::{GatePolicy, GatedIdleSummary, GatingParams, LeakageRatios};
 pub use power::{PowerModel, DATACENTER_PUE, NPU_DUTY_CYCLE};

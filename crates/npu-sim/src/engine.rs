@@ -1,5 +1,16 @@
 //! The simulator engine: executes a compiled graph on one chip of a
-//! deployment and produces per-operator timings.
+//! deployment and produces per-operator timings, a per-component busy
+//! timeline on the global clock, and the aggregated component activity.
+//!
+//! Since the event-timeline rewrite the engine no longer walks anchors
+//! serially: each operator's phase durations are computed analytically
+//! (as before), but issue is dependency-aware — an operator waits on its
+//! producer, on the start of its own double-buffered HBM prefetch, and on
+//! its execution resource, so the DMA stream of operator `k+1` overlaps
+//! the compute of operator `k` (see [`crate::timeline`]). Within an
+//! operator, compute consumes the stream tile by tile and the operator
+//! completes at `max(compute, stream)` — the same intra-operator
+//! double-buffering idealization the serial cost model makes.
 
 use serde::{Deserialize, Serialize};
 
@@ -8,11 +19,12 @@ use npu_compiler::{CompiledGraph, CompiledOp, SramAllocation};
 use npu_models::{CollectiveKind, ExecutionUnit, OpKind};
 
 use crate::activity::ComponentActivity;
+use crate::timeline::{BusyTimeline, IdleHistogram, OpPhases, Resource, TimelineEngine};
 use crate::timing::OpTiming;
 
 /// Fixed per-operator dispatch overhead in cycles (instruction fetch,
 /// scalar setup, DMA descriptor programming).
-const DISPATCH_OVERHEAD_CYCLES: u64 = 100;
+pub(crate) const DISPATCH_OVERHEAD_CYCLES: u64 = 100;
 
 /// Effective HBM bandwidth fraction achieved by random-access embedding
 /// gathers (row-granularity accesses cannot use the full burst bandwidth).
@@ -43,6 +55,13 @@ pub struct Simulator {
     topology: PodTopology,
 }
 
+/// Per-operator phase durations plus the timing template the schedule
+/// completes.
+struct OpProfile {
+    phases: OpPhases,
+    timing: OpTiming,
+}
+
 impl Simulator {
     /// Creates a simulator for the given chip deployment.
     #[must_use]
@@ -57,25 +76,48 @@ impl Simulator {
         &self.chip
     }
 
-    /// Runs a compiled graph and returns the per-operator timings and the
-    /// aggregated component activity.
+    /// Runs a compiled graph and returns the per-operator timings, the
+    /// merged per-component busy timeline, and the aggregated activity.
     #[must_use]
     pub fn run(&self, graph: &CompiledGraph) -> SimulationResult {
         let spec = self.chip.spec();
         let allocation = SramAllocation::allocate(graph, spec.sram_geometry());
-        let mut timings = Vec::with_capacity(graph.num_anchors());
+
+        let mut profiles: Vec<OpProfile> = Vec::with_capacity(graph.num_anchors());
         for (anchor_index, op) in graph.anchors().enumerate() {
-            let mut timing = self.time_operator(op);
-            timing.op_index = anchor_index;
-            timing.sram_live_bytes = allocation.live_bytes_at(anchor_index);
+            let mut profile = self.profile_operator(op);
+            profile.timing.op_index = anchor_index;
+            profile.timing.sram_live_bytes = allocation.live_bytes_at(anchor_index);
+            profiles.push(profile);
+        }
+
+        let schedule = TimelineEngine::new(profiles.iter().map(|p| p.phases).collect()).run();
+        let mut timings = Vec::with_capacity(profiles.len());
+        let mut sa_weighted_spatial = 0.0f64;
+        for (profile, scheduled) in profiles.into_iter().zip(schedule.ops.iter()) {
+            let mut timing = profile.timing;
+            timing.start_cycle = scheduled.span_start();
+            timing.compute_start_cycle = scheduled.main_start;
+            timing.duration_cycles = scheduled.span_cycles();
+            sa_weighted_spatial += timing.sa_spatial_utilization * timing.sa_active_cycles as f64;
             timings.push(timing);
         }
-        let activity = ComponentActivity::from_timings(&timings);
-        SimulationResult { chip: self.chip.clone(), timings, activity }
+        let activity = ComponentActivity::from_timeline(
+            &schedule.timeline,
+            schedule.makespan,
+            sa_weighted_spatial,
+        );
+        SimulationResult {
+            chip: self.chip.clone(),
+            timings,
+            activity,
+            timeline: schedule.timeline,
+            makespan_cycles: schedule.makespan,
+        }
     }
 
-    /// Times a single anchor operator.
-    fn time_operator(&self, op: &CompiledOp) -> OpTiming {
+    /// Computes the phase durations of a single anchor operator.
+    fn profile_operator(&self, op: &CompiledOp) -> OpProfile {
         let spec = self.chip.spec();
         let hbm_bpc = spec.hbm_bytes_per_cycle();
         let hbm_latency_cycles = spec.seconds_to_cycles(spec.hbm_kind.access_latency_ns() * 1e-9);
@@ -86,14 +128,24 @@ impl Simulator {
         let mut vu_active = 0u64;
         let mut hbm_active = 0u64;
         let mut ici_active = 0u64;
+        let mut fused_vu = 0u64;
 
-        let hbm_cycles = if op.tile.hbm_bytes > 0 {
-            (op.tile.hbm_bytes as f64 / hbm_bpc).ceil() as u64 + hbm_latency_cycles
+        // Streamed HBM prefetch of the operator's operands: transfer time
+        // plus the first access latency. The main phase consumes the
+        // stream tile by tile as it lands (intra-operator double
+        // buffering), so it waits for no lead portion — the same
+        // idealization the serial cost model's `max(compute, dma)` makes —
+        // and the operator completes only when both the stream and the
+        // compute are done. This keeps the overlapped makespan provably
+        // at or below the serial per-op sum.
+        let (hbm_cycles, hbm_lead) = if op.tile.hbm_bytes > 0 {
+            let transfer = (op.tile.hbm_bytes as f64 / hbm_bpc).ceil() as u64;
+            (transfer + hbm_latency_cycles, 0)
         } else {
-            0
+            (0, 0)
         };
 
-        let duration = match op.unit {
+        let (unit, main_cycles, dma_cycles, dma_lead) = match op.unit {
             ExecutionUnit::Sa => {
                 let (m, k, n) = op.op.matmul_dims().unwrap_or((1, 1, 1));
                 let batch = op.op.matmul_batch().max(1);
@@ -115,24 +167,26 @@ impl Simulator {
                 // Fused vector post-processing overlaps with the SA drain.
                 let fused_cycles = (op.fused_vu_elements as f64 / vu_total_per_cycle).ceil() as u64;
                 vu_active = fused_cycles;
+                fused_vu = fused_cycles;
                 hbm_active = hbm_cycles;
-                sa_cycles.max(hbm_cycles).max(fused_cycles)
+                (Resource::Sa, sa_cycles, hbm_cycles, hbm_lead)
             }
             ExecutionUnit::Vu => {
                 let flops = op.op.flops() + op.fused_vu_flops;
                 let vu_cycles = ((flops / vu_total_per_cycle).ceil() as u64).max(1);
                 vu_active = vu_cycles;
                 hbm_active = hbm_cycles;
-                vu_cycles.max(hbm_cycles)
+                (Resource::Vu, vu_cycles, hbm_cycles, hbm_lead)
             }
             ExecutionUnit::Hbm => {
                 // Random-access gathers achieve a fraction of the peak
-                // bandwidth.
+                // bandwidth; the gather *is* the transfer, so there is no
+                // separate prefetch phase to overlap.
                 let bytes = op.tile.hbm_bytes as f64;
                 let cycles =
                     (bytes / (hbm_bpc * GATHER_EFFICIENCY)).ceil() as u64 + hbm_latency_cycles;
                 hbm_active = cycles;
-                cycles
+                (Resource::HbmDma, cycles, 0, 0)
             }
             ExecutionUnit::Ici => {
                 let bytes = op.op.ici_bytes() as f64;
@@ -163,27 +217,44 @@ impl Simulator {
                 };
                 let cycles = spec.seconds_to_cycles(seconds);
                 ici_active = cycles;
-                cycles
+                (Resource::Ici, cycles, 0, 0)
             }
         };
-        let duration = duration + DISPATCH_OVERHEAD_CYCLES;
 
-        OpTiming {
+        // The serial-engine cost of the operator: intra-operator overlap of
+        // compute, fused post-processing, and DMA, but no overlap across
+        // operators. Kept for the overlap accounting (`serial_cycles`).
+        let serial = main_cycles.max(dma_cycles).max(fused_vu) + DISPATCH_OVERHEAD_CYCLES;
+
+        let phases = OpPhases {
+            unit,
+            main_cycles,
+            dma_cycles,
+            dma_lead_cycles: dma_lead,
+            fused_vu_cycles: fused_vu,
+            dispatch_cycles: DISPATCH_OVERHEAD_CYCLES,
+            sa_active_cycles: sa_active,
+        };
+        let timing = OpTiming {
             op_index: 0,
             name: op.op.name.clone(),
             unit: op.unit,
-            duration_cycles: duration,
-            sa_active_cycles: sa_active.min(duration),
+            start_cycle: 0,
+            compute_start_cycle: 0,
+            duration_cycles: serial,
+            serial_duration_cycles: serial,
+            sa_active_cycles: sa_active.min(serial),
             sa_spatial_utilization: sa_spatial,
-            vu_active_cycles: vu_active.min(duration),
-            hbm_active_cycles: hbm_active.min(duration),
-            ici_active_cycles: ici_active.min(duration),
+            vu_active_cycles: vu_active.min(serial),
+            hbm_active_cycles: hbm_active.min(serial),
+            ici_active_cycles: ici_active.min(serial),
             hbm_bytes: op.tile.hbm_bytes,
             ici_bytes: op.op.ici_bytes(),
             flops: op.op.flops() + op.fused_vu_flops,
             sram_live_bytes: 0,
             sram_demand_bytes: op.tile.sram_demand_bytes,
-        }
+        };
+        OpProfile { phases, timing }
     }
 }
 
@@ -193,6 +264,8 @@ pub struct SimulationResult {
     chip: ChipConfig,
     timings: Vec<OpTiming>,
     activity: ComponentActivity,
+    timeline: BusyTimeline,
+    makespan_cycles: u64,
 }
 
 impl SimulationResult {
@@ -214,10 +287,31 @@ impl SimulationResult {
         &self.activity
     }
 
-    /// Total execution length in cycles.
+    /// Merged per-component busy intervals on the global clock.
+    #[must_use]
+    pub fn busy_timeline(&self) -> &BusyTimeline {
+        &self.timeline
+    }
+
+    /// Chip-level histogram of idle-interval lengths per component — the
+    /// distribution interval-accurate gating decisions are made against.
+    #[must_use]
+    pub fn idle_histogram(&self) -> IdleHistogram {
+        IdleHistogram::from_timeline(&self.timeline, self.makespan_cycles)
+    }
+
+    /// Total execution length in cycles (the timeline makespan).
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
-        self.activity.total_cycles()
+        self.makespan_cycles
+    }
+
+    /// What the execution would cost with the old serial engine (each
+    /// operator in isolation, no cross-operator overlap). The makespan is
+    /// at most this; the difference is the hidden DMA/dispatch time.
+    #[must_use]
+    pub fn serial_cycles(&self) -> u64 {
+        self.timings.iter().map(|t| t.serial_duration_cycles).sum()
     }
 
     /// Total execution time in seconds.
@@ -263,6 +357,11 @@ impl SimulationResult {
         }
         profile.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("demand is finite"));
         let total: u64 = profile.iter().map(|p| p.1).sum();
+        if total == 0 {
+            // No execution time to weight by: every demand has zero weight,
+            // so every percentile of the CDF is zero.
+            return 0.0;
+        }
         let target = (percentile.clamp(0.0, 100.0) / 100.0 * total as f64).ceil() as u64;
         let mut acc = 0u64;
         for (demand, cycles) in profile {
@@ -280,7 +379,7 @@ mod tests {
     use super::*;
     use npu_arch::{ComponentKind, NpuGeneration, NpuSpec, ParallelismConfig};
     use npu_compiler::Compiler;
-    use npu_models::{DiffusionModel, DlrmSize, LlamaModel, LlmPhase, Workload};
+    use npu_models::{DiffusionModel, DlrmSize, EvalConfig, LlamaModel, LlmPhase, Workload};
 
     fn simulate(workload: Workload, chips: usize) -> SimulationResult {
         let chip = ChipConfig::new(NpuGeneration::D, chips);
@@ -424,6 +523,120 @@ mod tests {
             assert!(t.duration_cycles >= DISPATCH_OVERHEAD_CYCLES);
             assert!(t.sa_active_cycles <= t.duration_cycles);
             assert!(t.hbm_active_cycles <= t.duration_cycles);
+            assert!(t.compute_start_cycle >= t.start_cycle);
+        }
+    }
+
+    // ---- Timeline-engine invariants (event-driven issue, overlap) ----
+
+    /// Every Table-4 workload, at a modest chip count so the net stays
+    /// fast, with its default batch. Simulated once and shared by all the
+    /// invariant tests below.
+    fn table4_simulations() -> &'static [(String, SimulationResult)] {
+        static SIMS: std::sync::OnceLock<Vec<(String, SimulationResult)>> =
+            std::sync::OnceLock::new();
+        SIMS.get_or_init(|| {
+            EvalConfig::all()
+                .into_iter()
+                .map(|config| {
+                    let chips = config.num_chips.min(8);
+                    (config.workload.label(), simulate(config.workload, chips))
+                })
+                .collect()
+        })
+    }
+
+    #[test]
+    fn overlap_never_starts_an_op_before_its_producer_finishes() {
+        for (label, result) in table4_simulations() {
+            for pair in result.timings().windows(2) {
+                let producer_finish = pair[0].start_cycle + pair[0].duration_cycles;
+                assert!(
+                    pair[1].compute_start_cycle >= producer_finish,
+                    "{label}: {} computes at {} before producer {} finishes at {}",
+                    pair[1].name,
+                    pair[1].compute_start_cycle,
+                    pair[0].name,
+                    producer_finish
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn busy_intervals_are_disjoint_sorted_and_bounded() {
+        for (label, result) in table4_simulations() {
+            let total = result.total_cycles();
+            for kind in ComponentKind::ALL {
+                let intervals = result.busy_timeline().intervals(kind);
+                for iv in intervals {
+                    assert!(iv.start < iv.end, "{label}/{kind:?}: empty interval");
+                    assert!(iv.end <= total, "{label}/{kind:?}: interval past makespan");
+                }
+                for pair in intervals.windows(2) {
+                    assert!(
+                        pair[0].end < pair[1].start,
+                        "{label}/{kind:?}: intervals overlap or abut: {pair:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_total_never_exceeds_the_serial_sum() {
+        let mut any_strictly_better = false;
+        for (label, result) in table4_simulations() {
+            assert!(
+                result.total_cycles() <= result.serial_cycles(),
+                "{label}: makespan {} exceeds serial sum {}",
+                result.total_cycles(),
+                result.serial_cycles()
+            );
+            if result.total_cycles() < result.serial_cycles() {
+                any_strictly_better = true;
+            }
+        }
+        assert!(any_strictly_better, "no workload shows any HBM/compute overlap");
+    }
+
+    #[test]
+    fn decode_overlap_hides_measurable_time() {
+        // LLM decode streams weights continuously: the DMA prefetch of
+        // operator k+1 overlaps the compute of operator k, so the makespan
+        // must be strictly below the serial per-op sum.
+        let result = simulate(Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
+        assert!(
+            result.total_cycles() < result.serial_cycles(),
+            "decode shows no overlap: makespan {} vs serial {}",
+            result.total_cycles(),
+            result.serial_cycles()
+        );
+    }
+
+    #[test]
+    fn idle_histogram_matches_activity_idle_cycles() {
+        for (label, result) in table4_simulations() {
+            let histogram = result.idle_histogram();
+            for kind in ComponentKind::ALL {
+                assert_eq!(
+                    histogram.total_idle_cycles(kind),
+                    result.activity().idle_cycles(kind),
+                    "{label}/{kind:?}: histogram does not cover the idle cycles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activity_totals_match_timeline() {
+        let result = simulate(Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill), 1);
+        assert_eq!(result.activity().total_cycles(), result.total_cycles());
+        for kind in ComponentKind::ALL {
+            assert_eq!(
+                result.activity().busy_cycles(kind),
+                result.busy_timeline().busy_cycles(kind)
+            );
         }
     }
 }

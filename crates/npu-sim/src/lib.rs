@@ -11,9 +11,17 @@
 //! The simulator follows the paper's methodology (§4.4): "the simulator
 //! backend models the execution of operators at tile granularity and
 //! reports statistics on each component, including the execution time in
-//! cycles, memory/ICI traffic, and FLOPs utilization". Operators execute in
-//! order (the NPU core is an in-order, statically scheduled pipeline);
-//! double buffering overlaps DMA transfers with compute inside an operator.
+//! cycles, memory/ICI traffic, and FLOPs utilization". Execution is
+//! event-driven on a global clock (see [`timeline`]): operators issue in
+//! order (the NPU core is an in-order, statically scheduled pipeline), but
+//! an operator waits only on its producer, the start of its own HBM
+//! prefetch, and its execution resource (completing at
+//! `max(compute, stream)`, the intra-operator double-buffering
+//! idealization) — so the double-buffered DMA
+//! stream of operator `k+1` overlaps the compute of operator `k`, and the
+//! result carries merged per-component busy intervals
+//! ([`SimulationResult::busy_timeline`]) plus an idle-interval histogram
+//! ([`SimulationResult::idle_histogram`]) for interval-accurate gating.
 //!
 //! ## Example
 //!
@@ -38,10 +46,13 @@
 
 pub mod activity;
 pub mod engine;
+pub mod events;
+pub mod timeline;
 pub mod timing;
 pub mod validation;
 
 pub use activity::ComponentActivity;
 pub use engine::{SimulationResult, Simulator};
+pub use timeline::{BusyTimeline, CycleInterval, IdleBucket, IdleHistogram, Schedule};
 pub use timing::OpTiming;
 pub use validation::{correlation_r2, ValidationPoint, ValidationReport};

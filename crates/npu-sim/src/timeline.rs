@@ -1,0 +1,735 @@
+//! Event-timeline scheduling: per-resource occupancy tracks, merged busy
+//! intervals on the global clock, and the idle-interval statistics the
+//! ReGate gating model consumes.
+//!
+//! The engine replaces the old serial anchor walk: every operator is split
+//! into a DMA prefetch phase and a main (compute / gather / collective)
+//! phase, each phase waits only on its *dependencies* — the operator's
+//! producer, its input data, and its execution resource — and phases of
+//! different operators overlap freely. HBM prefetch is double buffered:
+//! while operator `k` computes, the DMA engine may already stream operator
+//! `k+1`'s operands into the second SRAM buffer, and the prefetch of
+//! operator `k+2` waits until operator `k` releases its buffer.
+//!
+//! The output is a [`Schedule`]: per-operator phase times plus a
+//! [`BusyTimeline`] of merged `[start, end)` busy intervals per component
+//! on the global clock. Gating analyses walk the *gaps* of that timeline
+//! ([`BusyTimeline::idle_intervals`], [`IdleHistogram`]) instead of
+//! aggregate busy-cycle counts, which is what makes break-even filtering
+//! and wake-up latency hiding representable (paper §4–§6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::ComponentKind;
+
+use crate::events::{EventKind, EventQueue};
+
+/// A schedulable hardware resource with a single in-order issue port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Resource {
+    /// The systolic arrays (issued as one gang).
+    Sa,
+    /// The vector units (issued as one gang).
+    Vu,
+    /// The HBM DMA queue (weight/activation streams and gathers).
+    HbmDma,
+    /// The inter-chip interconnect.
+    Ici,
+}
+
+/// A half-open busy interval `[start, end)` in cycles on the global clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleInterval {
+    /// First busy cycle.
+    pub start: u64,
+    /// First cycle after the interval.
+    pub end: u64,
+}
+
+impl CycleInterval {
+    /// Length of the interval in cycles.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the interval is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Merged, sorted, disjoint busy intervals per component on the global
+/// clock — the timeline the interval-accurate gating model walks.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BusyTimeline {
+    intervals: BTreeMap<ComponentKind, Vec<CycleInterval>>,
+}
+
+impl BusyTimeline {
+    /// Records a raw (possibly overlapping) busy interval. Call
+    /// [`BusyTimeline::finalize`] once after recording everything.
+    pub fn record(&mut self, kind: ComponentKind, start: u64, end: u64) {
+        if end > start {
+            self.intervals.entry(kind).or_default().push(CycleInterval { start, end });
+        }
+    }
+
+    /// Sorts and merges every component's intervals into a disjoint,
+    /// sorted sequence (overlapping and abutting intervals coalesce).
+    pub fn finalize(&mut self) {
+        for list in self.intervals.values_mut() {
+            list.sort_by_key(|iv| (iv.start, iv.end));
+            let mut merged: Vec<CycleInterval> = Vec::with_capacity(list.len());
+            for iv in list.drain(..) {
+                match merged.last_mut() {
+                    Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+                    _ => merged.push(iv),
+                }
+            }
+            *list = merged;
+        }
+    }
+
+    /// Merged busy intervals of one component (empty if never busy).
+    #[must_use]
+    pub fn intervals(&self, kind: ComponentKind) -> &[CycleInterval] {
+        self.intervals.get(&kind).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total busy cycles of one component (sum of merged interval lengths).
+    #[must_use]
+    pub fn busy_cycles(&self, kind: ComponentKind) -> u64 {
+        self.intervals(kind).iter().map(CycleInterval::len).sum()
+    }
+
+    /// The idle gaps of one component over `[0, total_cycles)`, including
+    /// the leading interval before first use and the trailing interval
+    /// after last use. Complements [`BusyTimeline::intervals`] exactly:
+    /// busy plus idle lengths sum to `total_cycles`.
+    #[must_use]
+    pub fn idle_intervals(&self, kind: ComponentKind, total_cycles: u64) -> Vec<CycleInterval> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0u64;
+        for iv in self.intervals(kind) {
+            if iv.start > cursor {
+                gaps.push(CycleInterval { start: cursor, end: iv.start.min(total_cycles) });
+            }
+            cursor = cursor.max(iv.end);
+        }
+        if total_cycles > cursor {
+            gaps.push(CycleInterval { start: cursor, end: total_cycles });
+        }
+        gaps
+    }
+}
+
+/// One bucket of the idle-interval histogram: intervals with length in
+/// `[lower, upper)` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleBucket {
+    /// Smallest interval length in this bucket (inclusive), in cycles.
+    pub lower: u64,
+    /// Smallest length *not* in this bucket (exclusive), in cycles.
+    pub upper: u64,
+    /// Number of idle intervals in the bucket.
+    pub count: u64,
+    /// Total idle cycles contributed by intervals in the bucket.
+    pub total_cycles: u64,
+}
+
+/// Chip-level histogram of idle-interval lengths per component, in
+/// power-of-two buckets — the distribution §3 and Figure 15 argue gating
+/// decisions must be made against.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IdleHistogram {
+    buckets: BTreeMap<ComponentKind, Vec<IdleBucket>>,
+}
+
+impl IdleHistogram {
+    /// Builds the histogram from a finalized timeline over
+    /// `[0, total_cycles)`.
+    #[must_use]
+    pub fn from_timeline(timeline: &BusyTimeline, total_cycles: u64) -> Self {
+        let mut buckets: BTreeMap<ComponentKind, Vec<IdleBucket>> = BTreeMap::new();
+        for kind in ComponentKind::ALL {
+            let mut per_exp: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+            for gap in timeline.idle_intervals(kind, total_cycles) {
+                let len = gap.len();
+                if len == 0 {
+                    continue;
+                }
+                let exp = 63 - len.leading_zeros();
+                let entry = per_exp.entry(exp).or_default();
+                entry.0 += 1;
+                entry.1 += len;
+            }
+            let list = per_exp
+                .into_iter()
+                .map(|(exp, (count, total))| IdleBucket {
+                    lower: 1 << exp,
+                    upper: if exp >= 63 { u64::MAX } else { 1 << (exp + 1) },
+                    count,
+                    total_cycles: total,
+                })
+                .collect();
+            buckets.insert(kind, list);
+        }
+        IdleHistogram { buckets }
+    }
+
+    /// Buckets of one component, sorted by ascending interval length.
+    #[must_use]
+    pub fn buckets(&self, kind: ComponentKind) -> &[IdleBucket] {
+        self.buckets.get(&kind).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total idle cycles of one component (sum over buckets).
+    #[must_use]
+    pub fn total_idle_cycles(&self, kind: ComponentKind) -> u64 {
+        self.buckets(kind).iter().map(|b| b.total_cycles).sum()
+    }
+
+    /// Number of idle intervals of one component.
+    #[must_use]
+    pub fn interval_count(&self, kind: ComponentKind) -> u64 {
+        self.buckets(kind).iter().map(|b| b.count).sum()
+    }
+
+    /// Idle cycles of one component sitting in intervals at least
+    /// `min_len` cycles long (bucket-resolution approximation of the
+    /// cycles a gating policy with break-even `min_len` could recover).
+    #[must_use]
+    pub fn gateable_cycles(&self, kind: ComponentKind, min_len: u64) -> u64 {
+        self.buckets(kind).iter().filter(|b| b.lower >= min_len).map(|b| b.total_cycles).sum()
+    }
+}
+
+/// Phase durations of one operator, as computed by the per-operator timing
+/// model — the input to the timeline engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpPhases {
+    /// Execution resource of the main phase.
+    pub unit: Resource,
+    /// Main-phase duration in cycles (compute for SA/VU operators, the
+    /// gather for HBM operators, the collective for ICI operators),
+    /// excluding dispatch.
+    pub main_cycles: u64,
+    /// HBM prefetch cycles issued ahead of the main phase (zero for
+    /// gathers, which *are* their transfer, and for collectives).
+    pub dma_cycles: u64,
+    /// Cycles of the prefetch the main phase must wait for before it can
+    /// start consuming data (the first tile of a double-buffered stream).
+    pub dma_lead_cycles: u64,
+    /// Fused vector post-processing overlapped with an SA main phase.
+    pub fused_vu_cycles: u64,
+    /// Instruction fetch / scalar setup charged at main-phase issue.
+    pub dispatch_cycles: u64,
+    /// Cycles within the main phase the systolic arrays actually compute.
+    pub sa_active_cycles: u64,
+}
+
+/// Scheduled phase times of one operator on the global clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// DMA prefetch interval (equal `start`/`end` when the operator has no
+    /// prefetch).
+    pub dma_start: u64,
+    /// End of the DMA prefetch.
+    pub dma_end: u64,
+    /// Main-phase issue cycle (dispatch begins here).
+    pub main_start: u64,
+    /// End of the main phase.
+    pub main_end: u64,
+    /// Completion of the operator (all phases done); successors may start.
+    pub finish: u64,
+}
+
+impl ScheduledOp {
+    /// First cycle at which any phase of the operator occupies hardware.
+    #[must_use]
+    pub fn span_start(&self) -> u64 {
+        if self.dma_end > self.dma_start {
+            self.dma_start.min(self.main_start)
+        } else {
+            self.main_start
+        }
+    }
+
+    /// Occupancy span of the operator on the global clock.
+    #[must_use]
+    pub fn span_cycles(&self) -> u64 {
+        self.finish.saturating_sub(self.span_start())
+    }
+}
+
+/// Result of scheduling a compiled operator stream on the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per-operator phase times, in anchor order.
+    pub ops: Vec<ScheduledOp>,
+    /// Completion time of the last phase (total execution length).
+    pub makespan: u64,
+    /// Merged per-component busy intervals (finalized).
+    pub timeline: BusyTimeline,
+}
+
+/// Scheduling state of one operator inside the engine.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpState {
+    producer_ready: bool,
+    buffer_ready: bool,
+    lead_ready: bool,
+    dma_issued: bool,
+    main_issued: bool,
+    main_done: bool,
+    dma_done: bool,
+    finished: bool,
+    dma_start: u64,
+    dma_end: u64,
+    main_start: u64,
+    main_end: u64,
+    finish: u64,
+}
+
+/// The event-driven timeline engine.
+///
+/// Dependency rules, per operator `k` (anchor order):
+///
+/// * **DMA prefetch** waits for the DMA engine's *prefetch channel* and
+///   for a free input buffer — with double buffering, the buffer released
+///   when the second-to-last DMA-using predecessor finishes. Demand
+///   traffic (embedding gathers, whose main phase *is* the transfer) runs
+///   on a separate demand channel with its own queue, so a speculative
+///   prefetch never delays a gather on the producer chain — which keeps
+///   the overlapped makespan provably at or below the serial per-op sum.
+/// * **Main phase** waits for its producer (operator `k-1` — the graph is
+///   a topologically ordered chain), for the lead portion of its own DMA,
+///   and for its execution unit. It does *not* wait for unrelated phases
+///   of other operators, and never for successors' prefetches.
+/// * The operator **finishes** when both its DMA stream and its main phase
+///   (including fused vector post-processing) are complete.
+#[derive(Debug)]
+pub struct TimelineEngine {
+    phases: Vec<OpPhases>,
+    state: Vec<OpState>,
+    /// `buffer_dep[k]`: operator whose completion frees `k`'s input buffer.
+    buffer_dep: Vec<Option<usize>>,
+    /// Reverse edges of `buffer_dep`.
+    buffer_dependents: Vec<Vec<usize>>,
+    queue: EventQueue,
+    timeline: BusyTimeline,
+    free_at: BTreeMap<Resource, u64>,
+    /// When the DMA engine's prefetch channel frees up. Demand traffic
+    /// (gather main phases) queues on [`Resource::HbmDma`] in `free_at`.
+    prefetch_free: u64,
+}
+
+impl TimelineEngine {
+    /// How many operators' input buffers may be in flight at once
+    /// (double buffering: compute tile `k` while prefetching `k+1`).
+    pub const DMA_BUFFER_DEPTH: usize = 2;
+
+    /// Builds the engine over a compiled operator stream.
+    #[must_use]
+    pub fn new(phases: Vec<OpPhases>) -> Self {
+        let n = phases.len();
+        let mut buffer_dep = vec![None; n];
+        let mut buffer_dependents = vec![Vec::new(); n];
+        // The DMA of the j-th DMA-using operator waits for the
+        // (j - DMA_BUFFER_DEPTH)-th DMA-using operator to release its
+        // buffer.
+        let dma_users: Vec<usize> = (0..n).filter(|&k| phases[k].dma_cycles > 0).collect();
+        for (j, &k) in dma_users.iter().enumerate() {
+            if j >= Self::DMA_BUFFER_DEPTH {
+                let owner = dma_users[j - Self::DMA_BUFFER_DEPTH];
+                buffer_dep[k] = Some(owner);
+                buffer_dependents[owner].push(k);
+            }
+        }
+        TimelineEngine {
+            state: vec![OpState::default(); n],
+            buffer_dep,
+            buffer_dependents,
+            phases,
+            queue: EventQueue::new(),
+            timeline: BusyTimeline::default(),
+            free_at: BTreeMap::new(),
+            prefetch_free: 0,
+        }
+    }
+
+    /// Runs the event loop to completion and returns the schedule.
+    #[must_use]
+    pub fn run(mut self) -> Schedule {
+        let n = self.phases.len();
+        // Seed the queue: buffer-free prefetches and the first operator.
+        for k in 0..n {
+            self.state[k].buffer_ready = self.buffer_dep[k].is_none();
+            if self.phases[k].dma_cycles > 0 {
+                self.try_issue_dma(k, 0);
+            }
+        }
+        if n > 0 {
+            self.state[0].producer_ready = true;
+            self.try_issue_main(0, 0);
+        }
+        while let Some(ev) = self.queue.pop() {
+            let t = ev.at;
+            match ev.kind {
+                EventKind::IssueDma { op } => self.issue_dma(op, t),
+                EventKind::DmaLeadArrived { op } => {
+                    self.state[op].lead_ready = true;
+                    self.try_issue_main(op, t);
+                }
+                EventKind::DmaComplete { op } => {
+                    self.state[op].dma_done = true;
+                    self.check_finish(op, t);
+                }
+                EventKind::IssueMain { op } => self.issue_main(op, t),
+                EventKind::MainComplete { op } => {
+                    self.state[op].main_done = true;
+                    self.check_finish(op, t);
+                }
+            }
+        }
+        let makespan = self.state.iter().map(|s| s.finish).max().unwrap_or(0);
+        let ops = self
+            .state
+            .iter()
+            .map(|s| ScheduledOp {
+                dma_start: s.dma_start,
+                dma_end: s.dma_end,
+                main_start: s.main_start,
+                main_end: s.main_end,
+                finish: s.finish,
+            })
+            .collect();
+        let mut timeline = self.timeline;
+        timeline.record(ComponentKind::Sram, 0, makespan);
+        timeline.record(ComponentKind::Other, 0, makespan);
+        timeline.finalize();
+        Schedule { ops, makespan, timeline }
+    }
+
+    fn resource_free(&self, r: Resource) -> u64 {
+        self.free_at.get(&r).copied().unwrap_or(0)
+    }
+
+    fn try_issue_dma(&mut self, op: usize, now: u64) {
+        if self.state[op].dma_issued || !self.state[op].buffer_ready {
+            return;
+        }
+        self.state[op].dma_issued = true;
+        self.queue.schedule(now, EventKind::IssueDma { op });
+    }
+
+    fn issue_dma(&mut self, op: usize, now: u64) {
+        let p = self.phases[op];
+        // Prefetches queue on the DMA engine's prefetch channel only:
+        // demand traffic (gathers) is never stuck behind speculation.
+        let start = now.max(self.prefetch_free);
+        let end = start + p.dma_cycles;
+        self.prefetch_free = end;
+        self.state[op].dma_start = start;
+        self.state[op].dma_end = end;
+        self.timeline.record(ComponentKind::Hbm, start, end);
+        self.timeline.record(ComponentKind::Dma, start, end);
+        let lead = start + p.dma_lead_cycles.min(p.dma_cycles);
+        self.queue.schedule(lead, EventKind::DmaLeadArrived { op });
+        self.queue.schedule(end, EventKind::DmaComplete { op });
+    }
+
+    fn try_issue_main(&mut self, op: usize, now: u64) {
+        let s = &self.state[op];
+        let needs_lead = self.phases[op].dma_cycles > 0;
+        if s.main_issued || !s.producer_ready || (needs_lead && !s.lead_ready) {
+            return;
+        }
+        self.state[op].main_issued = true;
+        self.queue.schedule(now, EventKind::IssueMain { op });
+    }
+
+    fn issue_main(&mut self, op: usize, now: u64) {
+        let p = self.phases[op];
+        let start = now.max(self.resource_free(p.unit));
+        let active_start = start + p.dispatch_cycles;
+        let unit_end = active_start + p.main_cycles;
+        // Fused vector post-processing overlaps the SA drain but can
+        // outlast it; the operator is complete only when both are done.
+        let end = match p.unit {
+            Resource::Sa => active_start + p.main_cycles.max(p.fused_vu_cycles),
+            _ => unit_end,
+        };
+        self.free_at.insert(p.unit, unit_end);
+        self.state[op].main_start = start;
+        self.state[op].main_end = end;
+        match p.unit {
+            Resource::Sa => {
+                self.timeline.record(
+                    ComponentKind::Sa,
+                    active_start,
+                    active_start + p.sa_active_cycles.min(p.main_cycles),
+                );
+                if p.fused_vu_cycles > 0 {
+                    // Fused post-processing runs on the vector units,
+                    // overlapped with the SA dataflow; it occupies the VU
+                    // gang without delaying the SA issue.
+                    let fused_end = active_start + p.fused_vu_cycles;
+                    self.timeline.record(ComponentKind::Vu, active_start, fused_end);
+                    let vu_free = self.resource_free(Resource::Vu).max(fused_end);
+                    self.free_at.insert(Resource::Vu, vu_free);
+                }
+            }
+            Resource::Vu => self.timeline.record(ComponentKind::Vu, active_start, unit_end),
+            Resource::HbmDma => {
+                self.timeline.record(ComponentKind::Hbm, active_start, unit_end);
+                self.timeline.record(ComponentKind::Dma, active_start, unit_end);
+            }
+            Resource::Ici => {
+                self.timeline.record(ComponentKind::Ici, active_start, unit_end);
+                self.timeline.record(ComponentKind::Dma, active_start, unit_end);
+            }
+        }
+        self.queue.schedule(end, EventKind::MainComplete { op });
+    }
+
+    fn check_finish(&mut self, op: usize, now: u64) {
+        let has_dma = self.phases[op].dma_cycles > 0;
+        let s = &self.state[op];
+        if s.finished || !s.main_done || (has_dma && !s.dma_done) {
+            return;
+        }
+        self.state[op].finished = true;
+        self.state[op].finish = now;
+        // Producer edge: the next operator in the chain may now start.
+        if op + 1 < self.state.len() {
+            self.state[op + 1].producer_ready = true;
+            self.try_issue_main(op + 1, now);
+        }
+        // Buffer edges: release this operator's input buffer.
+        for k in self.buffer_dependents[op].clone() {
+            self.state[k].buffer_ready = true;
+            self.try_issue_dma(k, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa_op(main: u64, dma: u64) -> OpPhases {
+        OpPhases {
+            unit: Resource::Sa,
+            main_cycles: main,
+            dma_cycles: dma,
+            dma_lead_cycles: (dma / 4).max(1).min(dma),
+            fused_vu_cycles: 0,
+            dispatch_cycles: 10,
+            sa_active_cycles: main,
+        }
+    }
+
+    #[test]
+    fn empty_stream_schedules_nothing() {
+        let schedule = TimelineEngine::new(Vec::new()).run();
+        assert_eq!(schedule.makespan, 0);
+        assert!(schedule.ops.is_empty());
+        assert!(schedule.timeline.intervals(ComponentKind::Sa).is_empty());
+    }
+
+    #[test]
+    fn dma_prefetch_overlaps_previous_compute() {
+        // Two identical ops: op 1's DMA must stream while op 0 computes.
+        let ops = vec![sa_op(1000, 400), sa_op(1000, 400)];
+        let schedule = TimelineEngine::new(ops).run();
+        let [a, b] = [schedule.ops[0], schedule.ops[1]];
+        assert!(b.dma_start < a.main_end, "op 1's prefetch starts during op 0's compute");
+        assert!(b.main_start >= a.finish, "op 1 computes only after its producer finishes");
+        // Serial cost would be 2 * (max(1000, 400) + 10); overlap beats it.
+        assert!(schedule.makespan < 2 * 1010 + 400);
+    }
+
+    #[test]
+    fn consumer_never_starts_before_producer_finishes() {
+        let ops = vec![sa_op(100, 800), sa_op(50, 20), sa_op(700, 100), sa_op(5, 5)];
+        let schedule = TimelineEngine::new(ops).run();
+        for pair in schedule.ops.windows(2) {
+            assert!(pair[1].main_start >= pair[0].finish, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn double_buffering_throttles_prefetch_depth() {
+        // Op 2's DMA may not start before op 0 releases its buffer, even
+        // though the HBM queue is free much earlier.
+        let ops = vec![sa_op(10_000, 10), sa_op(10_000, 10), sa_op(10_000, 10)];
+        let schedule = TimelineEngine::new(ops).run();
+        assert!(schedule.ops[1].dma_start < schedule.ops[0].finish, "depth-2 prefetch runs ahead");
+        assert!(
+            schedule.ops[2].dma_start >= schedule.ops[0].finish,
+            "depth-3 prefetch waits for the buffer"
+        );
+    }
+
+    #[test]
+    fn busy_intervals_are_disjoint_and_sorted() {
+        let ops = vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100), sa_op(10, 2000)];
+        let schedule = TimelineEngine::new(ops).run();
+        for kind in ComponentKind::ALL {
+            let intervals = schedule.timeline.intervals(kind);
+            for iv in intervals {
+                assert!(iv.start < iv.end, "{kind:?}: empty interval {iv:?}");
+            }
+            for pair in intervals.windows(2) {
+                assert!(pair[0].end < pair[1].start, "{kind:?}: overlapping/abutting {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_intervals_complement_busy_intervals() {
+        let ops = vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100)];
+        let schedule = TimelineEngine::new(ops).run();
+        let total = schedule.makespan;
+        for kind in ComponentKind::ALL {
+            let busy = schedule.timeline.busy_cycles(kind);
+            let idle: u64 =
+                schedule.timeline.idle_intervals(kind, total).iter().map(CycleInterval::len).sum();
+            assert_eq!(busy + idle, total, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_account_for_every_idle_cycle() {
+        let ops = vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100), sa_op(10, 90)];
+        let schedule = TimelineEngine::new(ops).run();
+        let histogram = IdleHistogram::from_timeline(&schedule.timeline, schedule.makespan);
+        for kind in ComponentKind::ALL {
+            let idle: u64 = schedule
+                .timeline
+                .idle_intervals(kind, schedule.makespan)
+                .iter()
+                .map(CycleInterval::len)
+                .sum();
+            assert_eq!(histogram.total_idle_cycles(kind), idle, "{kind:?}");
+            for bucket in histogram.buckets(kind) {
+                assert!(bucket.count > 0);
+                assert!(bucket.total_cycles >= bucket.count * bucket.lower);
+                assert!(bucket.lower < bucket.upper);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_coalesces_overlapping_records() {
+        let mut tl = BusyTimeline::default();
+        tl.record(ComponentKind::Vu, 10, 20);
+        tl.record(ComponentKind::Vu, 15, 30);
+        tl.record(ComponentKind::Vu, 30, 40);
+        tl.record(ComponentKind::Vu, 50, 60);
+        tl.record(ComponentKind::Vu, 55, 55); // empty: dropped
+        tl.finalize();
+        assert_eq!(
+            tl.intervals(ComponentKind::Vu),
+            &[CycleInterval { start: 10, end: 40 }, CycleInterval { start: 50, end: 60 }]
+        );
+        assert_eq!(tl.busy_cycles(ComponentKind::Vu), 40);
+        let gaps = tl.idle_intervals(ComponentKind::Vu, 100);
+        assert_eq!(
+            gaps,
+            vec![
+                CycleInterval { start: 0, end: 10 },
+                CycleInterval { start: 40, end: 50 },
+                CycleInterval { start: 60, end: 100 },
+            ]
+        );
+    }
+
+    fn gather_op(main: u64) -> OpPhases {
+        OpPhases {
+            unit: Resource::HbmDma,
+            main_cycles: main,
+            dma_cycles: 0,
+            dma_lead_cycles: 0,
+            fused_vu_cycles: 0,
+            dispatch_cycles: 10,
+            sa_active_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn prefetch_never_delays_a_gather() {
+        // Regression: op 1's prefetch used to be seeded at cycle 0 and
+        // occupy the single HBM/DMA track before op 0 — a gather whose
+        // *main* phase is the transfer — could issue, delaying the
+        // producer chain by the entire prefetch. Demand traffic now runs
+        // on its own channel.
+        let schedule = TimelineEngine::new(vec![gather_op(1000), sa_op(800, 500)]).run();
+        let [g, s] = [schedule.ops[0], schedule.ops[1]];
+        assert_eq!(g.main_start, 0, "the gather issues immediately");
+        assert!(s.main_start >= g.finish, "the consumer still waits for its producer");
+        // Serial: (1000 + 10) + (max(800, 500) + 10).
+        assert!(schedule.makespan <= 1010 + 810, "makespan {} exceeds serial", schedule.makespan);
+    }
+
+    #[test]
+    fn gathers_are_not_stuck_behind_a_long_speculative_prefetch() {
+        // A huge prefetch admitted early (op 1, buffer-free) must not push
+        // back the demand gathers of ops 2-3 on the producer chain.
+        let ops = vec![sa_op(50, 40), sa_op(50, 100_000), gather_op(200), gather_op(200)];
+        let schedule = TimelineEngine::new(ops).run();
+        let serial: u64 = (50 + 10) + (100_000 + 10) + (200 + 10) + (200 + 10);
+        assert!(
+            schedule.makespan <= serial,
+            "makespan {} exceeds serial {serial}",
+            schedule.makespan
+        );
+        // Each gather issues as soon as its producer finishes.
+        assert_eq!(schedule.ops[2].main_start, schedule.ops[1].finish);
+        assert_eq!(schedule.ops[3].main_start, schedule.ops[2].finish);
+    }
+
+    #[test]
+    fn fused_vu_longer_than_compute_extends_the_op() {
+        // Regression: fused post-processing outlasting the SA compute used
+        // to leak a VU busy interval past the operator's finish (and, on
+        // the last operator, past the makespan).
+        let mut op = sa_op(100, 50);
+        op.fused_vu_cycles = 700;
+        let schedule = TimelineEngine::new(vec![op]).run();
+        let s = schedule.ops[0];
+        assert!(s.finish >= s.main_start + 10 + 700, "finish covers the fused tail");
+        assert_eq!(schedule.makespan, s.finish);
+        let total = schedule.makespan;
+        for kind in ComponentKind::ALL {
+            let busy = schedule.timeline.busy_cycles(kind);
+            assert!(busy <= total, "{kind:?}: busy {busy} leaks past makespan {total}");
+            let idle: u64 =
+                schedule.timeline.idle_intervals(kind, total).iter().map(CycleInterval::len).sum();
+            assert_eq!(busy + idle, total, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ici_op_does_not_prefetch() {
+        let ops = vec![OpPhases {
+            unit: Resource::Ici,
+            main_cycles: 500,
+            dma_cycles: 0,
+            dma_lead_cycles: 0,
+            fused_vu_cycles: 0,
+            dispatch_cycles: 10,
+            sa_active_cycles: 0,
+        }];
+        let schedule = TimelineEngine::new(ops).run();
+        assert_eq!(schedule.makespan, 510);
+        assert_eq!(schedule.timeline.busy_cycles(ComponentKind::Ici), 500);
+        assert_eq!(schedule.timeline.busy_cycles(ComponentKind::Hbm), 0);
+        assert_eq!(schedule.timeline.busy_cycles(ComponentKind::Dma), 500);
+    }
+}

@@ -13,8 +13,19 @@ pub struct OpTiming {
     pub name: String,
     /// Execution unit the operator ran on.
     pub unit: ExecutionUnit,
-    /// Wall-clock duration of the operator in chip cycles.
+    /// First cycle (global clock) at which any phase of the operator —
+    /// including its DMA prefetch — occupies hardware.
+    pub start_cycle: u64,
+    /// Cycle (global clock) at which the main compute/transfer phase is
+    /// dispatched; never earlier than the producer's completion.
+    pub compute_start_cycle: u64,
+    /// Wall-clock duration of the operator in chip cycles: its occupancy
+    /// span on the global clock, from `start_cycle` to completion.
     pub duration_cycles: u64,
+    /// What the operator would cost in isolation on the old serial engine
+    /// (intra-operator overlap only). The sum of these over a graph is the
+    /// serial baseline the overlapped makespan is compared against.
+    pub serial_duration_cycles: u64,
     /// Cycles during which at least one systolic array was computing.
     pub sa_active_cycles: u64,
     /// Average fraction of processing elements doing useful work while the
@@ -76,7 +87,10 @@ mod tests {
             op_index: 0,
             name: "mm".into(),
             unit: ExecutionUnit::Sa,
+            start_cycle: 0,
+            compute_start_cycle: 0,
             duration_cycles: 1000,
+            serial_duration_cycles: 1000,
             sa_active_cycles: 800,
             sa_spatial_utilization: 0.9,
             vu_active_cycles: 100,

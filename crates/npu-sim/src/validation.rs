@@ -45,9 +45,16 @@ impl ValidationReport {
             let memory_s = t.hbm_bytes as f64 / (spec.hbm_bandwidth_gbps * 1.0e9);
             let ici_s = t.ici_bytes as f64 / (spec.ici_total_gbps() * 1.0e9);
             let reference_s = compute_s.max(memory_s).max(ici_s).max(1e-9);
+            // The roofline models an operator in isolation, so it is
+            // compared against the operator's serial service time — its
+            // global-clock span also contains scheduling stalls (waiting
+            // for a producer while the prefetch already streamed), which a
+            // per-operator profile on hardware would not attribute to the
+            // operator either.
+            let simulated_s = t.serial_duration_cycles as f64 / spec.frequency_hz();
             points.push(ValidationPoint {
                 reference_us: reference_s * 1.0e6,
-                simulated_us: t.duration_seconds(spec.frequency_hz()) * 1.0e6,
+                simulated_us: simulated_s * 1.0e6,
             });
         }
         let r_squared = correlation_r2(

@@ -64,10 +64,18 @@ fn component_activity_is_consistent_across_crates() {
     let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
     let sim = Simulator::new(chip).run(&compiled);
     assert_eq!(sim.timings().len(), compiled.num_anchors());
-    let total: u64 = sim.timings().iter().map(|t| t.duration_cycles).sum();
-    assert_eq!(total, sim.total_cycles());
+    // Operator spans overlap on the global clock (prefetch of operator k+1
+    // during compute of operator k), so their sum is an upper bound of the
+    // makespan; the serial per-op sum bounds it from above as well.
+    let span_sum: u64 = sim.timings().iter().map(|t| t.duration_cycles).sum();
+    assert!(span_sum >= sim.total_cycles());
+    assert!(sim.total_cycles() <= sim.serial_cycles());
     for kind in ComponentKind::ALL {
-        assert!(sim.activity().busy_cycles(kind) <= sim.total_cycles() * 2);
+        assert!(
+            sim.activity().busy_cycles(kind) <= sim.total_cycles(),
+            "{kind:?}: merged busy intervals cannot exceed the makespan"
+        );
+        assert_eq!(sim.activity().busy_cycles(kind), sim.busy_timeline().busy_cycles(kind));
     }
 }
 
