@@ -27,19 +27,21 @@ impl FusionPlan {
     /// Builds the fusion plan for a graph.
     ///
     /// A *pure* vector operator (elementwise, softmax, layer normalization)
-    /// is fused into the immediately preceding operator's group when that
-    /// group is anchored by a compute operator (post-processing fusion,
+    /// with exactly one producer is fused into that producer's group when
+    /// the group is anchored by a compute operator (post-processing fusion,
     /// e.g. MatMul→ReLU or Conv→GeLU), and chains of such vector operators
     /// fuse together. Matrix multiplications and convolutions always anchor
     /// their own group — even when they are small enough to execute on the
     /// vector unit — and collectives and embedding lookups always break a
-    /// chain.
+    /// chain. The decision follows the real producer edges, not adjacency
+    /// in the operator stream: a vector operator that joins two branches
+    /// (fan-in) or reads a gather/collective output anchors its own group.
     #[must_use]
     pub fn for_graph(graph: &OperatorGraph) -> Self {
-        let mut group = Vec::with_capacity(graph.len());
+        let mut group: Vec<usize> = Vec::with_capacity(graph.len());
         let mut anchors = Vec::new();
-        let mut current_group: Option<usize> = None;
-        let mut current_anchor_unit: Option<ExecutionUnit> = None;
+        // Execution unit of each group's anchor, indexed by group id.
+        let mut anchor_unit: Vec<ExecutionUnit> = Vec::new();
 
         for op in graph.iter() {
             let unit = op.execution_unit();
@@ -49,16 +51,20 @@ impl FusionPlan {
                     | npu_models::OpKind::Softmax { .. }
                     | npu_models::OpKind::LayerNorm { .. }
             );
-            let fuse = pure_vector
-                && matches!(current_anchor_unit, Some(ExecutionUnit::Sa) | Some(ExecutionUnit::Vu));
-            if fuse {
-                group.push(current_group.expect("fusing requires an open group"));
+            let producers = graph.producers_of(op.id);
+            let fuse_into = if pure_vector && producers.len() == 1 {
+                let g = group[producers[0]];
+                matches!(anchor_unit[g], ExecutionUnit::Sa | ExecutionUnit::Vu).then_some(g)
+            } else {
+                None
+            };
+            if let Some(g) = fuse_into {
+                group.push(g);
             } else {
                 let g = anchors.len();
                 anchors.push(op.id);
+                anchor_unit.push(unit);
                 group.push(g);
-                current_group = Some(g);
-                current_anchor_unit = Some(unit);
             }
         }
         FusionPlan { group, anchors }
@@ -199,6 +205,50 @@ mod tests {
         // relu follows the collective, so it cannot fuse into the matmul.
         assert_eq!(plan.num_groups(), 3);
         assert!(!plan.is_fused(2));
+    }
+
+    #[test]
+    fn fan_in_vector_op_anchors_its_own_group() {
+        // A join with two producers cannot be folded into either branch:
+        // its inputs only exist once *both* producers have finished.
+        let mut g = OperatorGraph::new("t");
+        let mm = |name: &str| {
+            Operator::new(
+                name,
+                OpKind::MatMul { batch: 1, m: 512, k: 512, n: 512, weights_resident: true },
+                DataType::Bf16,
+            )
+        };
+        let a = g.push_source(mm("a"));
+        let b = g.push_source(mm("b"));
+        let join = g.push_with_producers(
+            Operator::new(
+                "join",
+                OpKind::Elementwise { elements: 512 * 512, flops_per_element: 1, num_inputs: 2 },
+                DataType::Bf16,
+            ),
+            vec![a, b],
+        );
+        let plan = FusionPlan::for_graph(&g);
+        assert_eq!(plan.num_groups(), 3);
+        assert!(!plan.is_fused(join));
+    }
+
+    #[test]
+    fn vector_op_after_gather_is_not_fused() {
+        let mut g = OperatorGraph::new("t");
+        g.push_source(Operator::new(
+            "gather",
+            OpKind::EmbeddingLookup { lookups: 1024, dim: 128, table_bytes: 1 << 30 },
+            DataType::Bf16,
+        ));
+        g.push(Operator::new(
+            "pool",
+            OpKind::Elementwise { elements: 1024 * 128, flops_per_element: 1, num_inputs: 1 },
+            DataType::Bf16,
+        ));
+        let plan = FusionPlan::for_graph(&g);
+        assert_eq!(plan.num_groups(), 2, "HBM-anchored groups accept no fused VU work");
     }
 
     #[test]

@@ -66,6 +66,12 @@ fn own_vu_elements(op: &Operator) -> u64 {
 pub struct CompiledGraph {
     name: String,
     ops: Vec<CompiledOp>,
+    /// `producers[id]`: anchor ids the fusion group anchored at `id`
+    /// consumes from (deduplicated, ascending; empty for folded operators
+    /// and for source anchors). Edges of folded operators are remapped to
+    /// their anchors, so the set is the complete dependency frontier of
+    /// the anchor's whole group.
+    producers: Vec<Vec<usize>>,
 }
 
 impl CompiledGraph {
@@ -73,6 +79,27 @@ impl CompiledGraph {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Anchor ids feeding the fusion group anchored at operator `id`
+    /// (empty for folded operators and source anchors).
+    #[must_use]
+    pub fn producers_of(&self, id: usize) -> &[usize] {
+        self.producers.get(id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Per-anchor producer sets remapped to *anchor positions* (indices
+    /// into the [`CompiledGraph::anchors`] iteration order) — the layout
+    /// the timeline engine consumes.
+    #[must_use]
+    pub fn anchor_producers(&self) -> Vec<Vec<usize>> {
+        let mut position = vec![usize::MAX; self.ops.len()];
+        for (index, op) in self.anchors().enumerate() {
+            position[op.op.id] = index;
+        }
+        self.anchors()
+            .map(|op| self.producers[op.op.id].iter().map(|&p| position[p]).collect())
+            .collect()
     }
 
     /// All compiled operators (anchors and folded operators) in order.
@@ -174,7 +201,23 @@ impl Compiler {
             }
         }
 
-        CompiledGraph { name: graph.name().to_string(), ops }
+        // Remap the graph's producer edges through the fusion groups: an
+        // anchor depends on every anchor that feeds any member of its
+        // group (intra-group edges collapse).
+        let mut producer_sets: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); ops.len()];
+        for (id, op) in ops.iter().enumerate() {
+            let anchor = op.folded_into.unwrap_or(id);
+            for &p in graph.producers_of(id) {
+                let producer_anchor = ops[p].folded_into.unwrap_or(p);
+                if producer_anchor != anchor {
+                    producer_sets[anchor].insert(producer_anchor);
+                }
+            }
+        }
+        let producers = producer_sets.into_iter().map(|s| s.into_iter().collect()).collect();
+
+        CompiledGraph { name: graph.name().to_string(), ops, producers }
     }
 }
 
@@ -250,6 +293,65 @@ mod tests {
         let demands = compiled.sram_demands_mib();
         assert_eq!(demands.len(), compiled.num_anchors());
         assert!(demands.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn anchor_producers_collapse_fusion_groups() {
+        use npu_models::{DataType, OpKind, Operator, OperatorGraph};
+        // mm -> relu (fused) -> add (fused) -> mm2: the anchor of mm2
+        // depends on the anchor of the group it consumes from (mm), and
+        // intra-group edges vanish.
+        let mut g = OperatorGraph::new("t");
+        let mm = |name: &str| {
+            Operator::new(
+                name,
+                OpKind::MatMul { batch: 1, m: 512, k: 512, n: 512, weights_resident: true },
+                DataType::Bf16,
+            )
+        };
+        let ew = |name: &str| {
+            Operator::new(
+                name,
+                OpKind::Elementwise { elements: 512 * 512, flops_per_element: 1, num_inputs: 1 },
+                DataType::Bf16,
+            )
+        };
+        g.push(mm("mm"));
+        g.push(ew("relu"));
+        g.push(ew("add"));
+        g.push(mm("mm2"));
+        let compiled = compiler().compile(&g);
+        assert_eq!(compiled.num_anchors(), 2);
+        assert_eq!(compiled.producers_of(0), &[] as &[usize]);
+        assert_eq!(compiled.producers_of(3), &[0]);
+        assert_eq!(compiled.anchor_producers(), vec![vec![], vec![0]]);
+    }
+
+    #[test]
+    fn anchor_producers_preserve_fan_in() {
+        use npu_models::{DataType, OpKind, Operator, OperatorGraph};
+        let mut g = OperatorGraph::new("t");
+        let mm = |name: &str| {
+            Operator::new(
+                name,
+                OpKind::MatMul { batch: 1, m: 512, k: 512, n: 512, weights_resident: true },
+                DataType::Bf16,
+            )
+        };
+        let a = g.push_source(mm("a"));
+        let b = g.push_source(mm("b"));
+        g.push_with_producers(
+            Operator::new(
+                "join",
+                OpKind::Elementwise { elements: 512 * 512, flops_per_element: 1, num_inputs: 2 },
+                DataType::Bf16,
+            ),
+            vec![a, b],
+        );
+        let compiled = compiler().compile(&g);
+        assert_eq!(compiled.num_anchors(), 3, "a fan-in join is never folded");
+        assert_eq!(compiled.producers_of(2), &[0, 1]);
+        assert_eq!(compiled.anchor_producers(), vec![vec![], vec![], vec![0, 1]]);
     }
 
     #[test]

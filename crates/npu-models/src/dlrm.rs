@@ -120,6 +120,14 @@ impl DlrmConfig {
     /// deployment): each chip looks up its local tables for the *entire*
     /// batch and then exchanges embedding vectors with an all-to-all so each
     /// chip ends up with all features for its share of the batch.
+    ///
+    /// The graph is a true DAG, not a chain: the bottom MLP and each local
+    /// table's gather→pool pair are *independent subgraphs* (the gathers
+    /// are sources — they depend only on their HBM-resident table), the
+    /// all-to-all fans in over every pooled table, and the feature
+    /// interaction joins the exchanged embeddings with the bottom-MLP
+    /// output. This is what lets the timeline engine stream gathers while
+    /// the MLP computes instead of serializing them.
     #[must_use]
     pub fn build_graph(&self, parallelism: &ParallelismConfig) -> OperatorGraph {
         let chips = parallelism.num_chips() as u64;
@@ -132,8 +140,9 @@ impl DlrmConfig {
 
         // Bottom MLP over dense features for the local share of the batch.
         let mut prev = self.dense_features;
+        let mut bottom_tail = None;
         for (i, &width) in self.bottom_mlp.iter().enumerate() {
-            graph.push(Operator::new(
+            let mm = Operator::new(
                 format!("bottom_mlp.{i}"),
                 OpKind::MatMul {
                     batch: 1,
@@ -143,67 +152,103 @@ impl DlrmConfig {
                     weights_resident: true,
                 },
                 dt,
-            ));
-            graph.push(Operator::new(
-                format!("bottom_mlp.{i}.relu"),
-                OpKind::Elementwise {
-                    elements: local_batch * width,
-                    flops_per_element: 1,
-                    num_inputs: 1,
-                },
-                dt,
+            );
+            let mm_id = match bottom_tail {
+                None => graph.push_source(mm),
+                Some(tail) => graph.push_with_producers(mm, vec![tail]),
+            };
+            bottom_tail = Some(graph.push_with_producers(
+                Operator::new(
+                    format!("bottom_mlp.{i}.relu"),
+                    OpKind::Elementwise {
+                        elements: local_batch * width,
+                        flops_per_element: 1,
+                        num_inputs: 1,
+                    },
+                    dt,
+                ),
+                vec![mm_id],
             ));
             prev = width;
         }
+        let bottom_tail = bottom_tail.expect("the bottom MLP has at least one layer");
 
-        // Embedding lookups for the local tables over the full batch
-        // (multi-hot: `lookups_per_table` rows gathered and sum-pooled).
+        // Per-table embedding lookups over the full batch (multi-hot:
+        // `lookups_per_table` rows gathered and sum-pooled per table).
+        // Each gather is a DAG source and each pool depends only on its
+        // own gather, so the lookups overlap the bottom MLP and each
+        // other's pooling.
         let table_bytes_per_chip = self.size.embedding_table_bytes() / chips.max(1);
-        graph.push(Operator::new(
-            "embedding_lookup",
-            OpKind::EmbeddingLookup {
-                lookups: self.batch * local_tables * self.lookups_per_table,
-                dim: self.embedding_dim,
-                table_bytes: table_bytes_per_chip,
-            },
-            dt,
-        ));
-        // Sum-pool the multi-hot lookups per (sample, table).
-        graph.push(Operator::new(
-            "embedding_pool",
-            OpKind::Elementwise {
-                elements: self.batch * local_tables * self.embedding_dim,
-                flops_per_element: self.lookups_per_table,
-                num_inputs: 1,
-            },
-            dt,
-        ));
-
-        // All-to-all exchange of pooled embeddings (only if distributed).
-        if chips > 1 {
-            let bytes = self.batch * local_tables * self.embedding_dim * dt.size_bytes();
-            graph.push(Operator::new(
-                "embedding_alltoall",
-                OpKind::Collective { kind: CollectiveKind::AllToAll, bytes_per_chip: bytes },
+        let table_bytes = table_bytes_per_chip / local_tables;
+        let mut pools = Vec::with_capacity(local_tables as usize);
+        for t in 0..local_tables {
+            let gather = graph.push_source(Operator::new(
+                format!("table.{t}.lookup"),
+                OpKind::EmbeddingLookup {
+                    lookups: self.batch * self.lookups_per_table,
+                    dim: self.embedding_dim,
+                    table_bytes,
+                },
                 dt,
+            ));
+            pools.push(graph.push_with_producers(
+                Operator::new(
+                    format!("table.{t}.pool"),
+                    OpKind::Elementwise {
+                        elements: self.batch * self.embedding_dim,
+                        flops_per_element: self.lookups_per_table,
+                        num_inputs: 1,
+                    },
+                    dt,
+                ),
+                vec![gather],
             ));
         }
 
+        // All-to-all exchange of pooled embeddings (only if distributed):
+        // a fan-in over every local table's pool.
+        let embeddings_ready = if chips > 1 {
+            let bytes = self.batch * local_tables * self.embedding_dim * dt.size_bytes();
+            vec![graph.push_with_producers(
+                Operator::new(
+                    "embedding_alltoall",
+                    OpKind::Collective { kind: CollectiveKind::AllToAll, bytes_per_chip: bytes },
+                    dt,
+                ),
+                pools.clone(),
+            )]
+        } else {
+            pools.clone()
+        };
+
         // Feature interaction: pairwise dot products between the bottom-MLP
-        // output and every table's embedding vector (small batched matmuls,
-        // mapped to the VU because every dimension is tiny).
+        // output and every table's embedding vector. Per sample this is a
+        // `features × dim × features` activation-activation matmul — far
+        // too small to amortize the systolic-array warm-up latency (the
+        // paper's §4.3 note on tiny MatMuls being mapped to the VU) — so
+        // it is lowered directly as batched vector dot products. The shape
+        // keeps the FLOPs exact (`2·features²·dim` per sample) and the
+        // input traffic exact (both `features × dim` operand tensors are
+        // read, as `num_inputs: 2` over `features·dim` elements); the
+        // write-back is approximated as one `features × dim` tile rather
+        // than the `features²` pair matrix (equal at dim ≈ features,
+        // i.e. DLRM-L; a few-percent traffic overstatement for the
+        // smaller sizes, dwarfed by the gather traffic either way).
         let features = self.num_tables + 1;
-        graph.push(Operator::new(
-            "interaction",
-            OpKind::MatMul {
-                batch: local_batch,
-                m: features,
-                k: self.embedding_dim,
-                n: features,
-                weights_resident: false,
-            },
-            dt,
-        ));
+        let mut interaction_inputs = embeddings_ready;
+        interaction_inputs.push(bottom_tail);
+        graph.push_with_producers(
+            Operator::new(
+                "interaction",
+                OpKind::Elementwise {
+                    elements: local_batch * features * self.embedding_dim,
+                    flops_per_element: 2 * features,
+                    num_inputs: 2,
+                },
+                dt,
+            ),
+            interaction_inputs,
+        );
         graph.push(Operator::new(
             "interaction_concat",
             OpKind::Elementwise {
@@ -298,11 +343,43 @@ mod tests {
     }
 
     #[test]
-    fn embedding_lookup_dominates_hbm_traffic() {
+    fn embedding_lookups_dominate_hbm_traffic() {
         let cfg = DlrmConfig::default_config(DlrmSize::Large);
         let g = cfg.build_graph(&ParallelismConfig::new(8, 1, 1));
-        let emb = g.iter().find(|op| op.name == "embedding_lookup").unwrap();
-        assert!(emb.hbm_bytes() as f64 > 0.3 * g.total_hbm_bytes());
+        let emb: f64 = g
+            .iter()
+            .filter(|op| op.name.ends_with(".lookup"))
+            .map(|op| op.hbm_bytes() as f64)
+            .sum();
+        assert!(emb > 0.3 * g.total_hbm_bytes());
+    }
+
+    #[test]
+    fn graph_is_a_dag_with_parallel_gathers() {
+        let cfg = DlrmConfig::default_config(DlrmSize::Medium);
+        let g = cfg.build_graph(&ParallelismConfig::new(8, 1, 1));
+        // One source per local table plus the bottom MLP head.
+        let local_tables = (cfg.num_tables / 8) as usize;
+        assert_eq!(g.sources().len(), local_tables + 1);
+        // The all-to-all fans in over every pool.
+        let a2a = g.iter().find(|op| op.name == "embedding_alltoall").unwrap();
+        assert_eq!(g.producers_of(a2a.id).len(), local_tables);
+        // The interaction joins the exchanged embeddings with the dense
+        // branch (fan-in of 2).
+        let interaction = g.iter().find(|op| op.name == "interaction").unwrap();
+        assert_eq!(g.producers_of(interaction.id).len(), 2);
+        // Still a valid topological order end to end.
+        assert_eq!(g.topological_order().len(), g.len());
+    }
+
+    #[test]
+    fn single_chip_interaction_joins_every_pool() {
+        let cfg = DlrmConfig::default_config(DlrmSize::Small);
+        let g = cfg.build_graph(&ParallelismConfig::single());
+        let interaction = g.iter().find(|op| op.name == "interaction").unwrap();
+        // No all-to-all on one chip: the interaction reads each pooled
+        // table directly, plus the bottom-MLP output.
+        assert_eq!(g.producers_of(interaction.id).len(), cfg.num_tables as usize + 1);
     }
 
     #[test]

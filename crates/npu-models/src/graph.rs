@@ -1,27 +1,37 @@
-//! Operator graph: the ordered sequence of tensor operators that make up
-//! one unit of work (a training iteration, a prefill pass, one decode step,
-//! one DLRM batch, or one diffusion step).
+//! Operator graph: the tensor operators that make up one unit of work (a
+//! training iteration, a prefill pass, one decode step, one DLRM batch, or
+//! one diffusion step), together with explicit producer→consumer edges.
 //!
 //! NPU compilers assume a static computation graph with known shapes
-//! (paper §4.3); the graph here is a topologically ordered sequence, which
-//! is what the statically scheduled, in-order NPU pipeline executes.
+//! (paper §4.3). Operator ids are assigned in insertion order and every
+//! edge points from a smaller id to a larger one, so the id order *is* a
+//! topological order — which is what the statically scheduled, in-order
+//! NPU pipeline issues from. [`OperatorGraph::push`] preserves the
+//! historical chain semantics (each operator depends on the previous one);
+//! [`OperatorGraph::push_source`], [`OperatorGraph::push_with_producers`],
+//! and [`OperatorGraph::add_edge`] express true DAG structure — fan-out
+//! (one producer feeding several independent consumers) and fan-in (a
+//! join such as DLRM's all-to-all over every per-table gather).
 
 use serde::{Deserialize, Serialize};
 
 use crate::op::{ExecutionUnit, Operator};
 
-/// An ordered, statically shaped operator graph.
+/// A statically shaped operator DAG whose id order is a topological order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OperatorGraph {
     name: String,
     operators: Vec<Operator>,
+    /// `producers[i]`: sorted, deduplicated ids the operator `i` consumes
+    /// from (empty = source).
+    producers: Vec<Vec<usize>>,
 }
 
 impl OperatorGraph {
     /// Creates an empty graph.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        OperatorGraph { name: name.into(), operators: Vec::new() }
+        OperatorGraph { name: name.into(), operators: Vec::new(), producers: Vec::new() }
     }
 
     /// Name of the graph (workload + phase).
@@ -30,12 +40,153 @@ impl OperatorGraph {
         &self.name
     }
 
-    /// Appends an operator, assigning its id, and returns the id.
-    pub fn push(&mut self, mut op: Operator) -> usize {
+    /// Appends an operator *in chain position*: it depends on the
+    /// previously pushed operator (if any), assigning and returning its id.
+    pub fn push(&mut self, op: Operator) -> usize {
+        let producers =
+            if self.operators.is_empty() { Vec::new() } else { vec![self.operators.len() - 1] };
+        self.push_with_producers(op, producers)
+    }
+
+    /// Appends an operator with no producers (a DAG source), e.g. an
+    /// embedding gather that depends on nothing but its table.
+    pub fn push_source(&mut self, op: Operator) -> usize {
+        self.push_with_producers(op, Vec::new())
+    }
+
+    /// Appends an operator with an explicit producer set and returns its
+    /// id. Producer ids are sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a producer id does not refer to an already-pushed
+    /// operator — edges must point backwards so the id order stays a
+    /// topological order.
+    pub fn push_with_producers(&mut self, mut op: Operator, mut producers: Vec<usize>) -> usize {
         let id = self.operators.len();
+        producers.sort_unstable();
+        producers.dedup();
+        if let Some(&max) = producers.last() {
+            assert!(max < id, "operator {id} ({}): producer {max} is not an earlier id", op.name);
+        }
         op.id = id;
         self.operators.push(op);
+        self.producers.push(producers);
         id
+    }
+
+    /// Adds a producer edge `from → to` between existing operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < to < len`: edges must point forwards in id
+    /// order (the validated topological order) and reference real ids.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(to < self.operators.len(), "edge {from}->{to}: {to} is not an operator id");
+        assert!(from < to, "edge {from}->{to}: edges must follow the topological id order");
+        let list =
+            self.producers.get_mut(to).expect("graph invariant: one producer list per operator");
+        // `contains` + re-sort rather than binary-search insertion: a
+        // graph deserialized from external data may carry an unsorted
+        // list, and this normalizes it instead of corrupting it.
+        if !list.contains(&from) {
+            list.push(from);
+            list.sort_unstable();
+        }
+    }
+
+    /// Producer ids of one operator (sorted, deduplicated; empty for a
+    /// source).
+    #[must_use]
+    pub fn producers_of(&self, id: usize) -> &[usize] {
+        self.producers.get(id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Consumer ids of one operator (ascending). Scans every producer
+    /// list with `contains` rather than assuming sortedness, so the query
+    /// stays correct even on graphs deserialized from external data.
+    #[must_use]
+    pub fn consumers_of(&self, id: usize) -> Vec<usize> {
+        (0..self.operators.len()).filter(|&c| self.producers[c].contains(&id)).collect()
+    }
+
+    /// Ids of the source operators (no producers), in id order.
+    #[must_use]
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.operators.len()).filter(|&id| self.producers[id].is_empty()).collect()
+    }
+
+    /// Ids of the sink operators (no consumers), in id order. A graph of
+    /// independent request subgraphs has one (or more) per request; the
+    /// batch-merge operator fans in over exactly this set.
+    #[must_use]
+    pub fn sinks(&self) -> Vec<usize> {
+        let mut has_consumer = vec![false; self.operators.len()];
+        for producers in &self.producers {
+            for &p in producers {
+                if let Some(slot) = has_consumer.get_mut(p) {
+                    *slot = true;
+                }
+            }
+        }
+        (0..self.operators.len()).filter(|&id| !has_consumer[id]).collect()
+    }
+
+    /// A validated topological order of the graph.
+    ///
+    /// By construction the id order is topological; this method re-derives
+    /// the order with Kahn's algorithm (smallest ready id first, so the
+    /// result is exactly `0..len`) and asserts that every edge was
+    /// honoured — the guard that protects deserialized or hand-assembled
+    /// graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge set contains a cycle or an out-of-range id.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.operators.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, producers) in self.producers.iter().enumerate() {
+            for &p in producers {
+                assert!(p < n, "operator {id}: producer {p} out of range");
+                indegree[id] += 1;
+                consumers[p].push(id);
+            }
+        }
+        let mut ready: std::collections::BTreeSet<usize> =
+            (0..n).filter(|&id| indegree[id] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&id) = ready.iter().next() {
+            ready.remove(&id);
+            order.push(id);
+            for &c in &consumers[id] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.insert(c);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "operator graph contains a dependency cycle");
+        order
+    }
+
+    /// Length of the critical path through the DAG when each operator
+    /// costs `cost(op)` — the lower bound no schedule can beat.
+    ///
+    /// Walks the validated [`OperatorGraph::topological_order`], so even a
+    /// hand-assembled or deserialized graph with edges that violate the id
+    /// order is evaluated correctly (or panics on a cycle) instead of
+    /// silently undercounting.
+    #[must_use]
+    pub fn critical_path_cost(&self, cost: impl Fn(&Operator) -> f64) -> f64 {
+        let mut finish = vec![0.0f64; self.operators.len()];
+        for id in self.topological_order() {
+            let ready = self.producers[id].iter().map(|&p| finish[p]).fold(0.0f64, f64::max);
+            finish[id] = ready + cost(&self.operators[id]);
+        }
+        finish.iter().copied().fold(0.0f64, f64::max)
     }
 
     /// Number of operators.
@@ -50,7 +201,7 @@ impl OperatorGraph {
         self.operators.is_empty()
     }
 
-    /// Operators in execution order.
+    /// Operators in id (topological) order.
     #[must_use]
     pub fn operators(&self) -> &[Operator] {
         &self.operators
@@ -62,7 +213,7 @@ impl OperatorGraph {
         self.operators.get(id)
     }
 
-    /// Iterator over the operators in execution order.
+    /// Iterator over the operators in id (topological) order.
     pub fn iter(&self) -> impl Iterator<Item = &Operator> {
         self.operators.iter()
     }
@@ -102,12 +253,21 @@ impl OperatorGraph {
             / self.operators.len() as f64
     }
 
-    /// Merges another graph after this one (used to build per-microbatch or
-    /// multi-layer programs); ids are reassigned.
-    pub fn extend_from(&mut self, other: &OperatorGraph) {
-        for op in other.iter() {
-            self.push(op.clone());
+    /// Appends another graph as an *independent subgraph*: ids are
+    /// reassigned and the appended producer edges are remapped by the id
+    /// offset, so `other`'s sources stay sources (no serial edge is added
+    /// between the two graphs). Returns the id range of the appended
+    /// operators.
+    ///
+    /// This is what lowers a multi-request batch into independent
+    /// per-request chains: repeated `extend_from` calls followed by a
+    /// fan-in operator over each subgraph's sink.
+    pub fn extend_from(&mut self, other: &OperatorGraph) -> std::ops::Range<usize> {
+        let base = self.operators.len();
+        for (op, producers) in other.operators.iter().zip(&other.producers) {
+            self.push_with_producers(op.clone(), producers.iter().map(|&p| p + base).collect());
         }
+        base..self.operators.len()
     }
 }
 
@@ -145,6 +305,14 @@ mod tests {
         g
     }
 
+    fn vu_op(name: &str) -> Operator {
+        Operator::new(
+            name,
+            OpKind::Elementwise { elements: 1024, flops_per_element: 1, num_inputs: 1 },
+            DataType::Bf16,
+        )
+    }
+
     #[test]
     fn ids_are_assigned_in_order() {
         let g = sample();
@@ -154,6 +322,64 @@ mod tests {
         }
         assert_eq!(g.get(1).unwrap().name, "relu");
         assert!(g.get(99).is_none());
+    }
+
+    #[test]
+    fn push_preserves_chain_edges() {
+        let g = sample();
+        assert_eq!(g.producers_of(0), &[] as &[usize]);
+        assert_eq!(g.producers_of(1), &[0]);
+        assert_eq!(g.producers_of(2), &[1]);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.consumers_of(0), vec![1]);
+        assert_eq!(g.topological_order(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn explicit_edges_build_a_diamond() {
+        let mut g = OperatorGraph::new("diamond");
+        let a = g.push_source(vu_op("a"));
+        let b = g.push_with_producers(vu_op("b"), vec![a]);
+        let c = g.push_with_producers(vu_op("c"), vec![a]);
+        let d = g.push_with_producers(vu_op("d"), vec![b, c]);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+        assert_eq!(g.consumers_of(a), vec![b, c]);
+        assert_eq!(g.producers_of(d), &[b, c]);
+        assert_eq!(g.topological_order(), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn add_edge_deduplicates_and_sorts() {
+        let mut g = OperatorGraph::new("edges");
+        let a = g.push_source(vu_op("a"));
+        let b = g.push_source(vu_op("b"));
+        let c = g.push_source(vu_op("c"));
+        g.add_edge(b, c);
+        g.add_edge(a, c);
+        g.add_edge(b, c); // duplicate: ignored
+        assert_eq!(g.producers_of(c), &[a, b]);
+        assert_eq!(g.sources(), vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges must follow the topological id order")]
+    fn backward_edges_are_rejected() {
+        let mut g = OperatorGraph::new("bad");
+        g.push_source(vu_op("a"));
+        g.push_source(vu_op("b"));
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn critical_path_ignores_parallel_branches() {
+        let mut g = OperatorGraph::new("cp");
+        let a = g.push_source(vu_op("a"));
+        let b = g.push_with_producers(vu_op("b"), vec![a]);
+        let c = g.push_with_producers(vu_op("c"), vec![a]);
+        g.push_with_producers(vu_op("d"), vec![b, c]);
+        // Unit costs: the path a -> {b|c} -> d has length 3, not 4.
+        assert!((g.critical_path_cost(|_| 1.0) - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -174,12 +400,23 @@ mod tests {
     }
 
     #[test]
-    fn extend_reassigns_ids() {
+    fn extend_reassigns_ids_and_remaps_edges() {
         let mut g = sample();
-        let other = sample();
-        g.extend_from(&other);
+        let mut other = OperatorGraph::new("dag");
+        let x = other.push_source(vu_op("x"));
+        let y = other.push_source(vu_op("y"));
+        other.push_with_producers(vu_op("join"), vec![x, y]);
+        let range = g.extend_from(&other);
+        assert_eq!(range, 3..6);
         assert_eq!(g.len(), 6);
         assert_eq!(g.operators()[5].id, 5);
+        // The appended subgraph is independent: its sources stay sources
+        // and its internal fan-in edge is remapped by the offset.
+        assert_eq!(g.producers_of(3), &[] as &[usize]);
+        assert_eq!(g.producers_of(4), &[] as &[usize]);
+        assert_eq!(g.producers_of(5), &[3, 4]);
+        assert_eq!(g.sources(), vec![0, 3, 4]);
+        assert_eq!(g.topological_order().len(), 6);
     }
 
     #[test]
@@ -188,5 +425,7 @@ mod tests {
         assert!(g.is_empty());
         assert_eq!(g.collective_fraction(), 0.0);
         assert_eq!(g.total_flops(), 0.0);
+        assert!(g.topological_order().is_empty());
+        assert!(g.sources().is_empty());
     }
 }

@@ -11,6 +11,7 @@ use crate::dlrm::{DlrmConfig, DlrmSize};
 use crate::dtype::DataType;
 use crate::graph::OperatorGraph;
 use crate::llm::{LlamaModel, LlmPhase, LlmWorkload};
+use crate::op::{CollectiveKind, OpKind, Operator};
 
 /// Unit of work used to normalize energy efficiency (paper Figure 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -175,6 +176,95 @@ impl Workload {
             Workload::Dlrm(cfg) => cfg.build_graph(parallelism),
             Workload::Diffusion(cfg) => cfg.build_graph(parallelism),
         }
+    }
+
+    /// Bytes of one request's response record in the batch-merge step of
+    /// [`Workload::build_request_graph`] (logits / CTR / image handle —
+    /// an order-of-magnitude serving-stack constant, not a model shape).
+    const RESPONSE_RECORD_BYTES: u64 = 512;
+
+    /// Lowers the workload's batch into `requests` *independent* per-chip
+    /// subgraphs merged by a final batch-merge operator that fans in over
+    /// every request's sink — the shape of request-level batched serving.
+    /// Every request carries `batch / requests` samples and the first
+    /// `batch % requests` requests carry one extra, so the whole batch is
+    /// lowered. `requests` is additionally clamped so each request's
+    /// batch covers the deployment's data-parallel shards — the per-chip
+    /// graph builders floor their local batch at one sample, and
+    /// splitting finer than one sample per shard would *inflate* the
+    /// modeled work instead of conserving it (per-request batches that do
+    /// not divide evenly across shards still inherit `build_graph`'s own
+    /// integer sharding). The per-request subgraphs share no edges, so
+    /// the timeline engine overlaps them freely (one request's HBM
+    /// streaming hides under another's compute); the merge is an
+    /// all-gather of the response records when the deployment spans
+    /// several chips and a vector concatenation on one.
+    ///
+    /// With `requests == 1` this degenerates to [`Workload::build_graph`]
+    /// plus the merge operator.
+    #[must_use]
+    pub fn build_request_graph(
+        &self,
+        parallelism: &ParallelismConfig,
+        requests: u64,
+    ) -> OperatorGraph {
+        // The degree by which the workload's own graph builder divides the
+        // batch: DLRM model-shards its tables across every chip and
+        // data-shards the MLP batch over all of them, while the LLM and
+        // diffusion builders divide the batch by the data-parallel degree
+        // only (tensor/pipeline parallelism shards weights, not samples).
+        let batch_shards = match self {
+            Workload::Dlrm(_) => parallelism.num_chips() as u64,
+            Workload::Llm(_) | Workload::Diffusion(_) => parallelism.data as u64,
+        }
+        .max(1);
+        let requests = requests.clamp(1, (self.batch() / batch_shards).max(1));
+        let base = (self.batch() / requests).max(1);
+        let extra = self.batch() % requests;
+        let small = self.with_batch(base).build_graph(parallelism);
+        let large =
+            if extra > 0 { Some(self.with_batch(base + 1).build_graph(parallelism)) } else { None };
+        // A request's results are ready when *every* sink of its subgraph
+        // has finished — derived structurally from the edges, not assumed
+        // to be the last-pushed operator.
+        let small_sinks = small.sinks();
+        let large_sinks = large.as_ref().map(OperatorGraph::sinks).unwrap_or_default();
+        let mut graph =
+            OperatorGraph::new(format!("{}-x{requests}req-{parallelism}", self.label()));
+        let mut sinks = Vec::new();
+        for r in 0..requests {
+            let (sub, sub_sinks) = if r < extra {
+                (large.as_ref().expect("extra > 0"), &large_sinks)
+            } else {
+                (&small, &small_sinks)
+            };
+            let range = graph.extend_from(sub);
+            debug_assert!(!range.is_empty(), "a request subgraph cannot be empty");
+            sinks.extend(sub_sinks.iter().map(|s| range.start + s));
+        }
+        let dt = self.dtype();
+        let merge = if parallelism.num_chips() > 1 {
+            Operator::new(
+                "batch_merge",
+                OpKind::Collective {
+                    kind: CollectiveKind::AllGather,
+                    bytes_per_chip: requests * Self::RESPONSE_RECORD_BYTES,
+                },
+                dt,
+            )
+        } else {
+            Operator::new(
+                "batch_merge",
+                OpKind::Elementwise {
+                    elements: requests * Self::RESPONSE_RECORD_BYTES / dt.size_bytes().max(1),
+                    flops_per_element: 1,
+                    num_inputs: 1,
+                },
+                dt,
+            )
+        };
+        graph.push_with_producers(merge, sinks);
+        graph
     }
 
     /// Minimum per-chip HBM bytes needed to run the workload under a
@@ -367,6 +457,99 @@ mod tests {
                 assert!(!g.is_empty(), "{} produced an empty graph", wl.label());
             }
         }
+    }
+
+    #[test]
+    fn request_graph_builds_independent_chains_with_a_final_merge() {
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode).with_batch(8);
+        let single = wl.with_batch(2).build_graph(&ParallelismConfig::single());
+        let g = wl.build_request_graph(&ParallelismConfig::single(), 4);
+        assert_eq!(g.len(), 4 * single.len() + 1);
+        // Four independent request heads, one per chain.
+        assert_eq!(g.sources().len(), 4);
+        // The merge fans in over every request's sink.
+        let merge = g.operators().last().unwrap();
+        assert_eq!(merge.name, "batch_merge");
+        assert_eq!(g.producers_of(merge.id).len(), 4);
+        assert_eq!(g.topological_order().len(), g.len());
+        // The requests are parallel branches: the hop-count critical path
+        // of the merged graph is one request's path plus the merge op,
+        // not the sum over requests.
+        let single_cp = single.critical_path_cost(|_| 1.0);
+        assert!((g.critical_path_cost(|_| 1.0) - (single_cp + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_graph_uses_a_collective_merge_across_chips() {
+        let wl = Workload::dlrm(DlrmSize::Small).with_batch(1024);
+        let g = wl.build_request_graph(&ParallelismConfig::new(8, 1, 1), 2);
+        let merge = g.operators().last().unwrap();
+        assert!(merge.is_collective(), "multi-chip merge must be a collective");
+        assert!(merge.ici_bytes() > 0);
+        // Each DLRM request subgraph contributes its own gather sources.
+        assert!(g.sources().len() >= 2 * 4);
+    }
+
+    #[test]
+    fn request_graph_clamps_requests_to_the_batch() {
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode).with_batch(2);
+        let g = wl.build_request_graph(&ParallelismConfig::single(), 64);
+        assert_eq!(g.sources().len(), 2, "at most one request per sample");
+    }
+
+    #[test]
+    fn request_graph_conserves_the_batch_across_data_parallel_shards() {
+        // DLRM shards its batch over all 8 chips; per-chip work is linear
+        // in the batch, so 16 requests of 64 samples must model exactly
+        // the FLOPs of one 1024-sample batch (minus the merge op).
+        let wl = Workload::dlrm(DlrmSize::Small).with_batch(1024);
+        let p = ParallelismConfig::new(8, 1, 1);
+        let g = wl.build_request_graph(&p, 16);
+        let merge_flops = g.operators().last().unwrap().flops();
+        let full = wl.build_graph(&p);
+        let relative =
+            ((g.total_flops() - merge_flops) - full.total_flops()).abs() / full.total_flops();
+        assert!(relative < 1e-12, "sharded request lowering drifted by {relative}");
+        // Splitting finer than one sample per shard would inflate the
+        // modeled work (local batches floor at 1): the clamp prevents it.
+        let clamped = wl.build_request_graph(&p, 100_000);
+        let clamped_merge = clamped.operators().last().unwrap().flops();
+        assert!(
+            (clamped.total_flops() - clamped_merge - full.total_flops()).abs() / full.total_flops()
+                < 1e-12,
+            "over-splitting inflated the modeled work"
+        );
+        // DLRM shards its batch by *every* chip regardless of how the
+        // parallelism is labelled — the clamp must track num_chips, not
+        // the data-parallel degree alone.
+        let tp = ParallelismConfig::new(1, 8, 1);
+        let full_tp = wl.build_graph(&tp);
+        let g_tp = wl.build_request_graph(&tp, 100_000);
+        let merge_tp = g_tp.operators().last().unwrap().flops();
+        assert!(
+            (g_tp.total_flops() - merge_tp - full_tp.total_flops()).abs() / full_tp.total_flops()
+                < 1e-12,
+            "tensor-parallel DLRM over-splitting inflated the modeled work"
+        );
+    }
+
+    #[test]
+    fn request_graph_conserves_an_indivisible_batch() {
+        // batch 7 over 3 requests must lower all 7 samples (3 + 2 + 2),
+        // not 3 × 2. DLRM work is linear in the batch on one chip, so the
+        // request graph's FLOPs (minus the merge op) must equal the
+        // monolithic graph's exactly.
+        let wl = Workload::dlrm(DlrmSize::Small).with_batch(7);
+        let p = ParallelismConfig::single();
+        let g = wl.build_request_graph(&p, 3);
+        let merge_flops = g.operators().last().unwrap().flops();
+        let full = wl.build_graph(&p);
+        assert!(
+            (g.total_flops() - merge_flops - full.total_flops()).abs() < 1e-6,
+            "request lowering dropped samples: {} vs {}",
+            g.total_flops() - merge_flops,
+            full.total_flops()
+        );
     }
 
     #[test]

@@ -12,15 +12,16 @@
 //! backend models the execution of operators at tile granularity and
 //! reports statistics on each component, including the execution time in
 //! cycles, memory/ICI traffic, and FLOPs utilization". Execution is
-//! event-driven on a global clock (see [`timeline`]): operators issue in
-//! order (the NPU core is an in-order, statically scheduled pipeline), but
-//! an operator waits only on its producer, the start of its own HBM
-//! prefetch, and its execution resource (completing at
-//! `max(compute, stream)`, the intra-operator double-buffering
-//! idealization) — so the double-buffered DMA
-//! stream of operator `k+1` overlaps the compute of operator `k`, and the
-//! result carries merged per-component busy intervals
-//! ([`SimulationResult::busy_timeline`]) plus an idle-interval histogram
+//! event-driven on a global clock (see [`timeline`]): the compiled
+//! operator DAG's producer edges are honoured directly — an operator
+//! waits only on *its* producers, the start of its own HBM prefetch, and
+//! its execution resource (completing at `max(compute, stream)`, the
+//! intra-operator double-buffering idealization) — so the double-buffered
+//! DMA stream of operator `k+1` overlaps the compute of operator `k`,
+//! independent subgraphs (DLRM's per-table gathers, the chains of a
+//! multi-request batch) overlap freely, and the result carries merged
+//! per-component busy intervals ([`SimulationResult::busy_timeline`])
+//! plus an idle-interval histogram
 //! ([`SimulationResult::idle_histogram`]) for interval-accurate gating.
 //!
 //! ## Example

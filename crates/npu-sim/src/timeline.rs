@@ -210,7 +210,7 @@ impl IdleHistogram {
 
 /// Phase durations of one operator, as computed by the per-operator timing
 /// model — the input to the timeline engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpPhases {
     /// Execution resource of the main phase.
     pub unit: Resource,
@@ -230,6 +230,23 @@ pub struct OpPhases {
     pub dispatch_cycles: u64,
     /// Cycles within the main phase the systolic arrays actually compute.
     pub sa_active_cycles: u64,
+    /// Indices of the operators whose completion this operator's main
+    /// phase must wait for (an empty set marks a source). Every index must
+    /// be smaller than the operator's own position: the phase vector is a
+    /// topological order of the DAG.
+    pub producers: Vec<usize>,
+}
+
+impl OpPhases {
+    /// Wires a phase vector into a linear chain (`k` depends on `k-1`),
+    /// the dependency structure of a single-request operator stream.
+    #[must_use]
+    pub fn chain(mut phases: Vec<OpPhases>) -> Vec<OpPhases> {
+        for (k, p) in phases.iter_mut().enumerate() {
+            p.producers = if k == 0 { Vec::new() } else { vec![k - 1] };
+        }
+        phases
+    }
 }
 
 /// Scheduled phase times of one operator on the global clock.
@@ -280,7 +297,7 @@ pub struct Schedule {
 /// Scheduling state of one operator inside the engine.
 #[derive(Debug, Clone, Copy, Default)]
 struct OpState {
-    producer_ready: bool,
+    pending_producers: usize,
     buffer_ready: bool,
     lead_ready: bool,
     dma_issued: bool,
@@ -297,25 +314,35 @@ struct OpState {
 
 /// The event-driven timeline engine.
 ///
-/// Dependency rules, per operator `k` (anchor order):
+/// The phase vector is a topologically ordered operator DAG: every
+/// operator carries an explicit [`OpPhases::producers`] set (empty for
+/// sources), so independent subgraphs — DLRM's per-table gathers feeding
+/// one all-to-all, or a batch of requests sharing a chip — overlap freely
+/// instead of being serialized into a chain.
+///
+/// Dependency rules, per operator `k` (topological order):
 ///
 /// * **DMA prefetch** waits for the DMA engine's *prefetch channel* and
 ///   for a free input buffer — with double buffering, the buffer released
-///   when the second-to-last DMA-using predecessor finishes. Demand
-///   traffic (embedding gathers, whose main phase *is* the transfer) runs
-///   on a separate demand channel with its own queue, so a speculative
-///   prefetch never delays a gather on the producer chain — which keeps
-///   the overlapped makespan provably at or below the serial per-op sum.
-/// * **Main phase** waits for its producer (operator `k-1` — the graph is
-///   a topologically ordered chain), for the lead portion of its own DMA,
-///   and for its execution unit. It does *not* wait for unrelated phases
-///   of other operators, and never for successors' prefetches.
+///   when the second-to-last DMA-using operator (in topological order)
+///   finishes. Demand traffic (embedding gathers, whose main phase *is*
+///   the transfer) runs on a separate demand channel with its own queue,
+///   so a speculative prefetch never delays a gather on the producer
+///   chain — which keeps the overlapped makespan provably at or below the
+///   serial per-op sum.
+/// * **Main phase** waits for *all* of its producers to finish, for the
+///   lead portion of its own DMA, and for its execution unit. It does
+///   *not* wait for unrelated phases of other operators, and never for
+///   successors' prefetches.
 /// * The operator **finishes** when both its DMA stream and its main phase
 ///   (including fused vector post-processing) are complete.
 #[derive(Debug)]
 pub struct TimelineEngine {
     phases: Vec<OpPhases>,
     state: Vec<OpState>,
+    /// Reverse producer edges: `dependents[k]` are the operators whose
+    /// main phase waits for `k` to finish.
+    dependents: Vec<Vec<usize>>,
     /// `buffer_dep[k]`: operator whose completion frees `k`'s input buffer.
     buffer_dep: Vec<Option<usize>>,
     /// Reverse edges of `buffer_dep`.
@@ -333,10 +360,27 @@ impl TimelineEngine {
     /// (double buffering: compute tile `k` while prefetching `k+1`).
     pub const DMA_BUFFER_DEPTH: usize = 2;
 
-    /// Builds the engine over a compiled operator stream.
+    /// Builds the engine over a compiled operator DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a producer index is not smaller than its consumer's
+    /// position — the phase vector must be a topological order, which the
+    /// graph layer guarantees by construction.
     #[must_use]
     pub fn new(phases: Vec<OpPhases>) -> Self {
         let n = phases.len();
+        let mut dependents = vec![Vec::new(); n];
+        for (k, p) in phases.iter().enumerate() {
+            for &producer in &p.producers {
+                assert!(
+                    producer < k,
+                    "operator {k}: producer {producer} does not precede it (not a topological \
+                     order)"
+                );
+                dependents[producer].push(k);
+            }
+        }
         let mut buffer_dep = vec![None; n];
         let mut buffer_dependents = vec![Vec::new(); n];
         // The DMA of the j-th DMA-using operator waits for the
@@ -352,6 +396,7 @@ impl TimelineEngine {
         }
         TimelineEngine {
             state: vec![OpState::default(); n],
+            dependents,
             buffer_dep,
             buffer_dependents,
             phases,
@@ -366,16 +411,19 @@ impl TimelineEngine {
     #[must_use]
     pub fn run(mut self) -> Schedule {
         let n = self.phases.len();
-        // Seed the queue: buffer-free prefetches and the first operator.
+        // Seed the queue: buffer-free prefetches, then every source
+        // operator (all producers already satisfied).
         for k in 0..n {
             self.state[k].buffer_ready = self.buffer_dep[k].is_none();
+            self.state[k].pending_producers = self.phases[k].producers.len();
             if self.phases[k].dma_cycles > 0 {
                 self.try_issue_dma(k, 0);
             }
         }
-        if n > 0 {
-            self.state[0].producer_ready = true;
-            self.try_issue_main(0, 0);
+        for k in 0..n {
+            if self.state[k].pending_producers == 0 {
+                self.try_issue_main(k, 0);
+            }
         }
         while let Some(ev) = self.queue.pop() {
             let t = ev.at;
@@ -428,25 +476,27 @@ impl TimelineEngine {
     }
 
     fn issue_dma(&mut self, op: usize, now: u64) {
-        let p = self.phases[op];
+        let (dma_cycles, lead_cycles) = {
+            let p = &self.phases[op];
+            (p.dma_cycles, p.dma_lead_cycles.min(p.dma_cycles))
+        };
         // Prefetches queue on the DMA engine's prefetch channel only:
         // demand traffic (gathers) is never stuck behind speculation.
         let start = now.max(self.prefetch_free);
-        let end = start + p.dma_cycles;
+        let end = start + dma_cycles;
         self.prefetch_free = end;
         self.state[op].dma_start = start;
         self.state[op].dma_end = end;
         self.timeline.record(ComponentKind::Hbm, start, end);
         self.timeline.record(ComponentKind::Dma, start, end);
-        let lead = start + p.dma_lead_cycles.min(p.dma_cycles);
-        self.queue.schedule(lead, EventKind::DmaLeadArrived { op });
+        self.queue.schedule(start + lead_cycles, EventKind::DmaLeadArrived { op });
         self.queue.schedule(end, EventKind::DmaComplete { op });
     }
 
     fn try_issue_main(&mut self, op: usize, now: u64) {
         let s = &self.state[op];
         let needs_lead = self.phases[op].dma_cycles > 0;
-        if s.main_issued || !s.producer_ready || (needs_lead && !s.lead_ready) {
+        if s.main_issued || s.pending_producers > 0 || (needs_lead && !s.lead_ready) {
             return;
         }
         self.state[op].main_issued = true;
@@ -454,34 +504,40 @@ impl TimelineEngine {
     }
 
     fn issue_main(&mut self, op: usize, now: u64) {
-        let p = self.phases[op];
-        let start = now.max(self.resource_free(p.unit));
-        let active_start = start + p.dispatch_cycles;
-        let unit_end = active_start + p.main_cycles;
+        // Copy the scalar phase durations out so the borrow on
+        // `self.phases` (whose producer list is not needed here) is
+        // released before scheduling.
+        let (unit, main_cycles, fused_vu_cycles, dispatch_cycles, sa_active_cycles) = {
+            let q = &self.phases[op];
+            (q.unit, q.main_cycles, q.fused_vu_cycles, q.dispatch_cycles, q.sa_active_cycles)
+        };
+        let start = now.max(self.resource_free(unit));
+        let active_start = start + dispatch_cycles;
+        let unit_end = active_start + main_cycles;
+        self.free_at.insert(unit, unit_end);
         // Fused vector post-processing overlaps the SA drain but can
         // outlast it; the operator is complete only when both are done.
-        let end = match p.unit {
-            Resource::Sa => active_start + p.main_cycles.max(p.fused_vu_cycles),
-            _ => unit_end,
-        };
-        self.free_at.insert(p.unit, unit_end);
-        self.state[op].main_start = start;
-        self.state[op].main_end = end;
-        match p.unit {
+        let mut end = unit_end;
+        match unit {
             Resource::Sa => {
                 self.timeline.record(
                     ComponentKind::Sa,
                     active_start,
-                    active_start + p.sa_active_cycles.min(p.main_cycles),
+                    active_start + sa_active_cycles.min(main_cycles),
                 );
-                if p.fused_vu_cycles > 0 {
+                if fused_vu_cycles > 0 {
                     // Fused post-processing runs on the vector units,
-                    // overlapped with the SA dataflow; it occupies the VU
-                    // gang without delaying the SA issue.
-                    let fused_end = active_start + p.fused_vu_cycles;
-                    self.timeline.record(ComponentKind::Vu, active_start, fused_end);
-                    let vu_free = self.resource_free(Resource::Vu).max(fused_end);
-                    self.free_at.insert(Resource::Vu, vu_free);
+                    // overlapped with the SA dataflow. It does not delay
+                    // the SA issue, but it *does* queue on the VU gang:
+                    // with DAG overlap an independent VU operator may
+                    // already be in flight, and one gang cannot run both
+                    // at once (in a chain the producer edge guarantees the
+                    // VU is free by now, so this wait never fires there).
+                    let fused_start = active_start.max(self.resource_free(Resource::Vu));
+                    let fused_end = fused_start + fused_vu_cycles;
+                    self.timeline.record(ComponentKind::Vu, fused_start, fused_end);
+                    self.free_at.insert(Resource::Vu, fused_end);
+                    end = end.max(fused_end);
                 }
             }
             Resource::Vu => self.timeline.record(ComponentKind::Vu, active_start, unit_end),
@@ -494,6 +550,8 @@ impl TimelineEngine {
                 self.timeline.record(ComponentKind::Dma, active_start, unit_end);
             }
         }
+        self.state[op].main_start = start;
+        self.state[op].main_end = end;
         self.queue.schedule(end, EventKind::MainComplete { op });
     }
 
@@ -505,10 +563,12 @@ impl TimelineEngine {
         }
         self.state[op].finished = true;
         self.state[op].finish = now;
-        // Producer edge: the next operator in the chain may now start.
-        if op + 1 < self.state.len() {
-            self.state[op + 1].producer_ready = true;
-            self.try_issue_main(op + 1, now);
+        // Producer edges: consumers with no remaining producers may start.
+        for k in self.dependents[op].clone() {
+            self.state[k].pending_producers -= 1;
+            if self.state[k].pending_producers == 0 {
+                self.try_issue_main(k, now);
+            }
         }
         // Buffer edges: release this operator's input buffer.
         for k in self.buffer_dependents[op].clone() {
@@ -531,6 +591,7 @@ mod tests {
             fused_vu_cycles: 0,
             dispatch_cycles: 10,
             sa_active_cycles: main,
+            producers: Vec::new(),
         }
     }
 
@@ -545,7 +606,7 @@ mod tests {
     #[test]
     fn dma_prefetch_overlaps_previous_compute() {
         // Two identical ops: op 1's DMA must stream while op 0 computes.
-        let ops = vec![sa_op(1000, 400), sa_op(1000, 400)];
+        let ops = OpPhases::chain(vec![sa_op(1000, 400), sa_op(1000, 400)]);
         let schedule = TimelineEngine::new(ops).run();
         let [a, b] = [schedule.ops[0], schedule.ops[1]];
         assert!(b.dma_start < a.main_end, "op 1's prefetch starts during op 0's compute");
@@ -556,7 +617,8 @@ mod tests {
 
     #[test]
     fn consumer_never_starts_before_producer_finishes() {
-        let ops = vec![sa_op(100, 800), sa_op(50, 20), sa_op(700, 100), sa_op(5, 5)];
+        let ops =
+            OpPhases::chain(vec![sa_op(100, 800), sa_op(50, 20), sa_op(700, 100), sa_op(5, 5)]);
         let schedule = TimelineEngine::new(ops).run();
         for pair in schedule.ops.windows(2) {
             assert!(pair[1].main_start >= pair[0].finish, "{pair:?}");
@@ -567,7 +629,7 @@ mod tests {
     fn double_buffering_throttles_prefetch_depth() {
         // Op 2's DMA may not start before op 0 releases its buffer, even
         // though the HBM queue is free much earlier.
-        let ops = vec![sa_op(10_000, 10), sa_op(10_000, 10), sa_op(10_000, 10)];
+        let ops = OpPhases::chain(vec![sa_op(10_000, 10), sa_op(10_000, 10), sa_op(10_000, 10)]);
         let schedule = TimelineEngine::new(ops).run();
         assert!(schedule.ops[1].dma_start < schedule.ops[0].finish, "depth-2 prefetch runs ahead");
         assert!(
@@ -578,7 +640,12 @@ mod tests {
 
     #[test]
     fn busy_intervals_are_disjoint_and_sorted() {
-        let ops = vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100), sa_op(10, 2000)];
+        let ops = OpPhases::chain(vec![
+            sa_op(300, 500),
+            sa_op(40, 700),
+            sa_op(900, 100),
+            sa_op(10, 2000),
+        ]);
         let schedule = TimelineEngine::new(ops).run();
         for kind in ComponentKind::ALL {
             let intervals = schedule.timeline.intervals(kind);
@@ -593,7 +660,7 @@ mod tests {
 
     #[test]
     fn idle_intervals_complement_busy_intervals() {
-        let ops = vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100)];
+        let ops = OpPhases::chain(vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100)]);
         let schedule = TimelineEngine::new(ops).run();
         let total = schedule.makespan;
         for kind in ComponentKind::ALL {
@@ -606,7 +673,8 @@ mod tests {
 
     #[test]
     fn histogram_buckets_account_for_every_idle_cycle() {
-        let ops = vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100), sa_op(10, 90)];
+        let ops =
+            OpPhases::chain(vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100), sa_op(10, 90)]);
         let schedule = TimelineEngine::new(ops).run();
         let histogram = IdleHistogram::from_timeline(&schedule.timeline, schedule.makespan);
         for kind in ComponentKind::ALL {
@@ -659,6 +727,7 @@ mod tests {
             fused_vu_cycles: 0,
             dispatch_cycles: 10,
             sa_active_cycles: 0,
+            producers: Vec::new(),
         }
     }
 
@@ -669,7 +738,8 @@ mod tests {
         // *main* phase is the transfer — could issue, delaying the
         // producer chain by the entire prefetch. Demand traffic now runs
         // on its own channel.
-        let schedule = TimelineEngine::new(vec![gather_op(1000), sa_op(800, 500)]).run();
+        let schedule =
+            TimelineEngine::new(OpPhases::chain(vec![gather_op(1000), sa_op(800, 500)])).run();
         let [g, s] = [schedule.ops[0], schedule.ops[1]];
         assert_eq!(g.main_start, 0, "the gather issues immediately");
         assert!(s.main_start >= g.finish, "the consumer still waits for its producer");
@@ -681,7 +751,12 @@ mod tests {
     fn gathers_are_not_stuck_behind_a_long_speculative_prefetch() {
         // A huge prefetch admitted early (op 1, buffer-free) must not push
         // back the demand gathers of ops 2-3 on the producer chain.
-        let ops = vec![sa_op(50, 40), sa_op(50, 100_000), gather_op(200), gather_op(200)];
+        let ops = OpPhases::chain(vec![
+            sa_op(50, 40),
+            sa_op(50, 100_000),
+            gather_op(200),
+            gather_op(200),
+        ]);
         let schedule = TimelineEngine::new(ops).run();
         let serial: u64 = (50 + 10) + (100_000 + 10) + (200 + 10) + (200 + 10);
         assert!(
@@ -716,6 +791,85 @@ mod tests {
     }
 
     #[test]
+    fn independent_sources_overlap_across_units() {
+        // A gather and an SA op with no edge between them must run
+        // concurrently; chained, they would serialize.
+        let dag = TimelineEngine::new(vec![gather_op(1000), sa_op(1000, 0)]).run();
+        assert_eq!(dag.ops[0].main_start, 0);
+        assert_eq!(dag.ops[1].main_start, 0);
+        assert!(dag.makespan <= 1010, "independent ops serialized: {}", dag.makespan);
+        let chained =
+            TimelineEngine::new(OpPhases::chain(vec![gather_op(1000), sa_op(1000, 0)])).run();
+        assert!(chained.makespan >= 2 * 1010 - 10);
+    }
+
+    #[test]
+    fn fan_in_waits_for_every_producer() {
+        // Diamond: 0 -> {1, 2} -> 3. Op 3 must wait for the slower branch.
+        let mut ops = vec![sa_op(100, 0), gather_op(5000), sa_op(200, 0), sa_op(50, 0)];
+        ops[1].producers = vec![0];
+        ops[2].producers = vec![0];
+        ops[3].producers = vec![1, 2];
+        let schedule = TimelineEngine::new(ops).run();
+        let [a, g, b, join] = [schedule.ops[0], schedule.ops[1], schedule.ops[2], schedule.ops[3]];
+        assert!(g.main_start >= a.finish && b.main_start >= a.finish);
+        assert_eq!(g.main_start, b.main_start, "both branches start when the source finishes");
+        assert!(join.main_start >= g.finish.max(b.finish), "the join waits for both branches");
+        assert!(g.finish > b.finish, "the gather is the slow branch in this topology");
+    }
+
+    #[test]
+    fn fan_out_branches_share_a_resource_in_issue_order() {
+        // 0 -> {1, 2}, both SA: the branches contend for the SA gang and
+        // serialize on it, but neither waits for the other's *completion*
+        // dependency-wise (op 2 issues the moment the SA frees up).
+        let mut ops = vec![sa_op(100, 0), sa_op(1000, 0), sa_op(1000, 0)];
+        ops[1].producers = vec![0];
+        ops[2].producers = vec![0];
+        let schedule = TimelineEngine::new(ops).run();
+        let [_, b, c] = [schedule.ops[0], schedule.ops[1], schedule.ops[2]];
+        assert_eq!(c.main_start, b.main_start + 10 + 1000, "SA issues back to back");
+        assert!(schedule.makespan < 3 * 1010 + 10, "dispatch of the branches overlaps");
+    }
+
+    #[test]
+    fn fused_tail_queues_behind_an_in_flight_vu_op() {
+        // Regression: with DAG overlap, an SA op's fused VU tail and an
+        // independent VU op can be in flight at once; the single VU gang
+        // must serialize them instead of being double-booked.
+        let vu = OpPhases {
+            unit: Resource::Vu,
+            main_cycles: 10_000,
+            dma_cycles: 0,
+            dma_lead_cycles: 0,
+            fused_vu_cycles: 0,
+            dispatch_cycles: 10,
+            sa_active_cycles: 0,
+            producers: Vec::new(),
+        };
+        let mut sa = sa_op(100, 0);
+        sa.fused_vu_cycles = 5000;
+        let schedule = TimelineEngine::new(vec![vu, sa]).run();
+        let [v, s] = [schedule.ops[0], schedule.ops[1]];
+        assert_eq!(v.main_end, 10_010);
+        assert_eq!(s.finish, 15_010, "the fused tail starts only when the VU frees up");
+        assert_eq!(
+            schedule.timeline.busy_cycles(ComponentKind::Vu),
+            15_000,
+            "one VU gang cannot run the fused tail and the VU op at once"
+        );
+        assert_eq!(schedule.makespan, 15_010);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a topological order")]
+    fn forward_producer_edges_are_rejected() {
+        let mut ops = vec![sa_op(100, 0), sa_op(100, 0)];
+        ops[0].producers = vec![1];
+        let _ = TimelineEngine::new(ops);
+    }
+
+    #[test]
     fn ici_op_does_not_prefetch() {
         let ops = vec![OpPhases {
             unit: Resource::Ici,
@@ -725,6 +879,7 @@ mod tests {
             fused_vu_cycles: 0,
             dispatch_cycles: 10,
             sa_active_cycles: 0,
+            producers: Vec::new(),
         }];
         let schedule = TimelineEngine::new(ops).run();
         assert_eq!(schedule.makespan, 510);

@@ -1,0 +1,467 @@
+//! Randomized-topology invariant harness for the DAG-aware timeline
+//! engine.
+//!
+//! Instead of hand-picked operator chains, this suite drives the
+//! [`TimelineEngine`] with a *seeded random-DAG generator* (deterministic
+//! SplitMix64, no external dependencies): layered DAGs with varied fan-in
+//! and fan-out, skip edges that create diamonds, and a mix of SA, VU,
+//! demand-gather, and ICI operators whose phase shapes mirror what the
+//! real per-operator profiler emits. For every sampled graph it checks
+//! the scheduling invariants no refactor may break:
+//!
+//! (a) **causality** — no operator's main phase starts before every one
+//!     of its producers has finished;
+//! (b) **track discipline** — per-component busy intervals are non-empty,
+//!     sorted, disjoint, and bounded by the makespan;
+//! (c) **bounds** — the makespan never exceeds the serial per-op sum
+//!     (work conservation under the demand/prefetch channel split) and
+//!     never beats the critical-path / longest-phase lower bounds;
+//! (d) **accounting** — the idle histogram's totals equal the component
+//!     idle cycles, bucket by bucket and in aggregate;
+//! (e) **chain regression** — a pure chain DAG reproduces the pre-DAG
+//!     (PR 2) engine bit for bit: makespan, every scheduled phase time,
+//!     and the full idle histogram, pinned by FNV-1a digests recorded
+//!     from the chain engine immediately before the DAG generalization.
+//!
+//! The corpus covers ≥ 50 random DAGs per run and asserts that fan-in,
+//! fan-out, and diamond topologies all actually occur — a generator
+//! regression that quietly degenerates to chains fails the suite.
+
+use npu_arch::ComponentKind;
+use npu_sim::timeline::{OpPhases, Resource, Schedule, TimelineEngine};
+use npu_sim::IdleHistogram;
+
+/// Number of random DAG seeds the invariant sweep covers.
+const NUM_DAG_SEEDS: u64 = 60;
+
+/// SplitMix64: deterministic, dependency-free PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `lo..=hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// FNV-1a 64-bit digest over a stream of u64 values.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Random per-operator phase durations mirroring the shapes the real
+/// profiler emits: SA ops with streamed prefetch and optional fused VU
+/// tails, VU ops with modest operand streams, demand gathers whose main
+/// phase *is* the transfer, and ICI collectives. `dma_lead_cycles` is 0,
+/// matching the production profiler's intra-operator double-buffering
+/// idealization (the serial-sum bound is only provable under it).
+fn random_phases(rng: &mut Rng) -> OpPhases {
+    match rng.range(0, 9) {
+        0..=4 => {
+            let main = rng.range(200, 8_000);
+            let dma = rng.range(0, 6_000);
+            let fused = if rng.range(0, 2) == 0 { rng.range(0, main / 2) } else { 0 };
+            let active = rng.range(main / 2, main);
+            OpPhases {
+                unit: Resource::Sa,
+                main_cycles: main,
+                dma_cycles: dma,
+                dma_lead_cycles: 0,
+                fused_vu_cycles: fused,
+                dispatch_cycles: 100,
+                sa_active_cycles: active,
+                producers: Vec::new(),
+            }
+        }
+        5 | 6 => {
+            let main = rng.range(100, 3_000);
+            let dma = rng.range(0, 2_000);
+            OpPhases {
+                unit: Resource::Vu,
+                main_cycles: main,
+                dma_cycles: dma,
+                dma_lead_cycles: 0,
+                fused_vu_cycles: 0,
+                dispatch_cycles: 100,
+                sa_active_cycles: 0,
+                producers: Vec::new(),
+            }
+        }
+        7 | 8 => {
+            let main = rng.range(300, 10_000);
+            OpPhases {
+                unit: Resource::HbmDma,
+                main_cycles: main,
+                dma_cycles: 0,
+                dma_lead_cycles: 0,
+                fused_vu_cycles: 0,
+                dispatch_cycles: 100,
+                sa_active_cycles: 0,
+                producers: Vec::new(),
+            }
+        }
+        _ => {
+            let main = rng.range(500, 20_000);
+            OpPhases {
+                unit: Resource::Ici,
+                main_cycles: main,
+                dma_cycles: 0,
+                dma_lead_cycles: 0,
+                fused_vu_cycles: 0,
+                dispatch_cycles: 100,
+                sa_active_cycles: 0,
+                producers: Vec::new(),
+            }
+        }
+    }
+}
+
+/// Layered random DAG: 2–6 layers of 1–4 operators; every operator in
+/// layer `l > 0` draws 1–3 producers from layer `l - 1` (fan-in), and
+/// with probability ~1/3 one extra skip edge to any earlier operator
+/// (diamonds / long-range joins). Layer-0 operators are sources.
+fn random_dag(seed: u64) -> Vec<OpPhases> {
+    let mut rng = Rng::new(0xDA6_0000 ^ seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let layers = rng.range(2, 6);
+    let mut ops: Vec<OpPhases> = Vec::new();
+    let mut prev_layer: Vec<usize> = Vec::new();
+    for layer in 0..layers {
+        let width = rng.range(1, 4);
+        let mut this_layer = Vec::with_capacity(width as usize);
+        for _ in 0..width {
+            let mut op = random_phases(&mut rng);
+            if layer > 0 {
+                let fan_in = rng.range(1, 3).min(prev_layer.len() as u64);
+                let mut producers = Vec::new();
+                for _ in 0..fan_in {
+                    producers.push(prev_layer[rng.range(0, prev_layer.len() as u64 - 1) as usize]);
+                }
+                let id = ops.len();
+                if rng.range(0, 2) == 0 {
+                    producers.push(rng.range(0, id as u64 - 1) as usize);
+                }
+                producers.sort_unstable();
+                producers.dedup();
+                op.producers = producers;
+            }
+            this_layer.push(ops.len());
+            ops.push(op);
+        }
+        prev_layer = this_layer;
+    }
+    ops
+}
+
+/// Chain used by the golden regression: `len` drawn first, then the ops.
+fn golden_chain(seed: u64) -> Vec<OpPhases> {
+    let mut rng = Rng::new(0xC0FF_EE00 ^ seed.wrapping_mul(0x9E37_79B9));
+    let len = rng.range(1, 40);
+    OpPhases::chain((0..len).map(|_| random_phases(&mut rng)).collect())
+}
+
+fn digest_ops(schedule: &Schedule) -> u64 {
+    let mut fnv = Fnv::new();
+    for s in &schedule.ops {
+        fnv.push(s.dma_start);
+        fnv.push(s.dma_end);
+        fnv.push(s.main_start);
+        fnv.push(s.main_end);
+        fnv.push(s.finish);
+    }
+    fnv.0
+}
+
+fn digest_histogram(schedule: &Schedule) -> u64 {
+    let histogram = IdleHistogram::from_timeline(&schedule.timeline, schedule.makespan);
+    let mut fnv = Fnv::new();
+    for (i, kind) in ComponentKind::ALL.iter().enumerate() {
+        fnv.push(i as u64);
+        for b in histogram.buckets(*kind) {
+            fnv.push(b.lower);
+            fnv.push(b.upper);
+            fnv.push(b.count);
+            fnv.push(b.total_cycles);
+        }
+    }
+    fnv.0
+}
+
+/// Serial cost of one operator: intra-operator overlap of compute, fused
+/// post-processing, and DMA, plus dispatch — what the pre-timeline engine
+/// charged, and what `SimulationResult::serial_cycles` sums.
+fn serial_cost(p: &OpPhases) -> u64 {
+    p.main_cycles.max(p.dma_cycles).max(p.fused_vu_cycles) + p.dispatch_cycles
+}
+
+/// Critical-path lower bound over the producer DAG: every operator's main
+/// phase must wait for all producers, then spend dispatch plus
+/// max(main, fused) cycles; any DMA stream lower-bounds its own finish.
+fn critical_path(ops: &[OpPhases]) -> u64 {
+    let mut finish = vec![0u64; ops.len()];
+    for (k, p) in ops.iter().enumerate() {
+        let ready = p.producers.iter().map(|&q| finish[q]).max().unwrap_or(0);
+        finish[k] =
+            (ready + p.dispatch_cycles + p.main_cycles.max(p.fused_vu_cycles)).max(p.dma_cycles);
+    }
+    finish.into_iter().max().unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// (a)–(d): invariants over the random-DAG corpus
+// ---------------------------------------------------------------------
+
+#[test]
+fn no_op_computes_before_any_producer_finishes() {
+    for seed in 0..NUM_DAG_SEEDS {
+        let ops = random_dag(seed);
+        let producers: Vec<Vec<usize>> = ops.iter().map(|p| p.producers.clone()).collect();
+        let schedule = TimelineEngine::new(ops).run();
+        for (k, list) in producers.iter().enumerate() {
+            for &p in list {
+                assert!(
+                    schedule.ops[k].main_start >= schedule.ops[p].finish,
+                    "seed {seed}: op {k} computes at {} before producer {p} finishes at {}",
+                    schedule.ops[k].main_start,
+                    schedule.ops[p].finish
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn busy_intervals_stay_disjoint_sorted_and_bounded() {
+    for seed in 0..NUM_DAG_SEEDS {
+        let schedule = TimelineEngine::new(random_dag(seed)).run();
+        for kind in ComponentKind::ALL {
+            let intervals = schedule.timeline.intervals(kind);
+            for iv in intervals {
+                assert!(iv.start < iv.end, "seed {seed}/{kind:?}: empty interval {iv:?}");
+                assert!(
+                    iv.end <= schedule.makespan,
+                    "seed {seed}/{kind:?}: interval {iv:?} past makespan {}",
+                    schedule.makespan
+                );
+            }
+            for pair in intervals.windows(2) {
+                assert!(
+                    pair[0].end < pair[1].start,
+                    "seed {seed}/{kind:?}: overlapping or abutting intervals {pair:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn makespan_sits_between_critical_path_and_serial_sum() {
+    let mut strictly_overlapped = 0u64;
+    for seed in 0..NUM_DAG_SEEDS {
+        let ops = random_dag(seed);
+        let serial: u64 = ops.iter().map(serial_cost).sum();
+        let lower = critical_path(&ops);
+        let schedule = TimelineEngine::new(ops).run();
+        assert!(
+            schedule.makespan <= serial,
+            "seed {seed}: makespan {} exceeds the serial sum {serial}",
+            schedule.makespan
+        );
+        assert!(
+            schedule.makespan >= lower,
+            "seed {seed}: makespan {} beats the critical-path bound {lower}",
+            schedule.makespan
+        );
+        if schedule.makespan < serial {
+            strictly_overlapped += 1;
+        }
+    }
+    // DAGs with more than one operator essentially always overlap
+    // *something*; if nothing ever does, the engine regressed to serial.
+    assert!(
+        strictly_overlapped > NUM_DAG_SEEDS / 2,
+        "only {strictly_overlapped}/{NUM_DAG_SEEDS} DAGs showed any overlap"
+    );
+}
+
+#[test]
+fn idle_histogram_totals_agree_with_component_idle_cycles() {
+    for seed in 0..NUM_DAG_SEEDS {
+        let schedule = TimelineEngine::new(random_dag(seed)).run();
+        let histogram = IdleHistogram::from_timeline(&schedule.timeline, schedule.makespan);
+        for kind in ComponentKind::ALL {
+            let busy = schedule.timeline.busy_cycles(kind);
+            let idle_from_gaps: u64 = schedule
+                .timeline
+                .idle_intervals(kind, schedule.makespan)
+                .iter()
+                .map(|iv| iv.len())
+                .sum();
+            assert_eq!(
+                histogram.total_idle_cycles(kind),
+                idle_from_gaps,
+                "seed {seed}/{kind:?}: histogram misses idle cycles"
+            );
+            assert_eq!(
+                busy + idle_from_gaps,
+                schedule.makespan,
+                "seed {seed}/{kind:?}: busy + idle does not cover the makespan"
+            );
+            for bucket in histogram.buckets(kind) {
+                assert!(bucket.count > 0, "seed {seed}/{kind:?}: empty bucket");
+                assert!(
+                    bucket.total_cycles >= bucket.count * bucket.lower,
+                    "seed {seed}/{kind:?}: bucket total below its lower bound"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_fan_in_fan_out_diamonds_and_all_units() {
+    let mut fan_in = 0u64;
+    let mut fan_out = 0u64;
+    let mut diamonds = 0u64;
+    let mut units = [0u64; 4];
+    for seed in 0..NUM_DAG_SEEDS {
+        let ops = random_dag(seed);
+        assert!(ops.len() <= 128, "generator outgrew the u128 ancestor bitsets");
+        let mut consumers = vec![0u64; ops.len()];
+        // Ancestor bitsets (ops are capped well below 128).
+        let mut ancestors = vec![0u128; ops.len()];
+        for (k, p) in ops.iter().enumerate() {
+            if p.producers.len() >= 2 {
+                fan_in += 1;
+            }
+            for &q in &p.producers {
+                consumers[q] += 1;
+                ancestors[k] |= ancestors[q] | (1u128 << q);
+            }
+            // Diamond: two distinct producers reachable from one common
+            // ancestor (two vertex-disjoint paths meet at `k`).
+            for (i, &a) in p.producers.iter().enumerate() {
+                for &b in &p.producers[i + 1..] {
+                    let closure_a = ancestors[a] | (1u128 << a);
+                    let closure_b = ancestors[b] | (1u128 << b);
+                    if closure_a & closure_b != 0 {
+                        diamonds += 1;
+                    }
+                }
+            }
+            units[match p.unit {
+                Resource::Sa => 0,
+                Resource::Vu => 1,
+                Resource::HbmDma => 2,
+                Resource::Ici => 3,
+            }] += 1;
+        }
+        fan_out += consumers.iter().filter(|&&c| c >= 2).count() as u64;
+    }
+    assert!(fan_in >= 20, "only {fan_in} fan-in nodes across the corpus");
+    assert!(fan_out >= 20, "only {fan_out} fan-out nodes across the corpus");
+    assert!(diamonds >= 10, "only {diamonds} diamonds across the corpus");
+    assert!(units.iter().all(|&c| c >= 10), "unit mix too thin: {units:?}");
+}
+
+#[test]
+fn schedules_are_deterministic_across_runs() {
+    for seed in [0, 7, 23, 41] {
+        let a = TimelineEngine::new(random_dag(seed)).run();
+        let b = TimelineEngine::new(random_dag(seed)).run();
+        assert_eq!(a, b, "seed {seed}: two runs over the same DAG diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// (e): bit-for-bit chain regression against the pre-DAG engine
+// ---------------------------------------------------------------------
+
+/// `(seed, ops, makespan, FNV-1a of every ScheduledOp field, FNV-1a of
+/// the idle histogram)` recorded by running `golden_chain(seed)` through
+/// the PR-2 chain engine (implicit `op-1` producer rule) immediately
+/// before the DAG generalization landed.
+const CHAIN_GOLDEN: [(u64, usize, u64, u64, u64); 20] = [
+    (0, 2, 3152, 0x7EF0BDF6C2E1C0D5, 0x9BC6D098F938DAE2),
+    (1, 39, 164319, 0x29A7943465B34765, 0x22020DE79ECAC835),
+    (2, 32, 144622, 0x8FAE94D6F1B7CFAC, 0xB9E5ABBED0E6E5C3),
+    (3, 10, 57529, 0xFC0E54118F3B1FCA, 0xD40E3DF16652C82B),
+    (4, 6, 20085, 0x33F9E46CA786273C, 0x2AE01120768D6F5B),
+    (5, 15, 76242, 0x72003AA3D0440055, 0x5B4B554AB1601BA9),
+    (6, 31, 108339, 0xD8022CFCF7933271, 0x3A014A3398602CEC),
+    (7, 8, 39631, 0xD09C17C359CB9992, 0x2EE0C3B2F8AD97B4),
+    (8, 7, 40796, 0xFE190D90F8D4E908, 0x48852DA041E5C95B),
+    (9, 4, 15711, 0x164E696CFB6E3204, 0x8A254461FE067AAD),
+    (10, 32, 135899, 0xA6A0C6AA14202451, 0x93FC3B22462FFF9E),
+    (11, 22, 110102, 0x837304AD9845CDA2, 0xABD53169164D0C6B),
+    (12, 16, 66728, 0x69CE31081005A566, 0x8C80DC62293A57BC),
+    (13, 24, 96863, 0xDED2EFE155168DA1, 0xD1D792B0E57772B6),
+    (14, 21, 105013, 0xC8B63AEE3BC65490, 0x32E9EF472D1D7C0B),
+    (15, 38, 162816, 0x90F0D8E05383BB4B, 0x5F184258C696F23A),
+    (16, 36, 212933, 0x46FA93D3B24A6FEC, 0x70C0580D1C1DA45D),
+    (17, 12, 36631, 0x88515ED59C287894, 0x6354961ABBA4076D),
+    (18, 13, 73396, 0x38B99E1680A47349, 0x5A4E02584A043DDD),
+    (19, 6, 41109, 0xCC194ED5DDE25791, 0x926E9A2AFA30E94B),
+];
+
+#[test]
+fn pure_chains_reproduce_the_pre_dag_engine() {
+    for (seed, len, makespan, ops_digest, hist_digest) in CHAIN_GOLDEN {
+        let ops = golden_chain(seed);
+        assert_eq!(ops.len(), len, "seed {seed}: generator drifted");
+        let schedule = TimelineEngine::new(ops).run();
+        assert_eq!(
+            schedule.makespan, makespan,
+            "seed {seed}: chain makespan drifted from the pre-DAG engine"
+        );
+        assert_eq!(
+            digest_ops(&schedule),
+            ops_digest,
+            "seed {seed}: a scheduled phase time differs from the pre-DAG engine"
+        );
+        assert_eq!(
+            digest_histogram(&schedule),
+            hist_digest,
+            "seed {seed}: the idle histogram differs from the pre-DAG engine"
+        );
+    }
+}
+
+#[test]
+fn chains_also_satisfy_the_dag_invariants() {
+    // The chain corpus runs through the same invariant net as the DAGs:
+    // a chain is just the degenerate one-producer topology.
+    for (seed, ..) in CHAIN_GOLDEN {
+        let ops = golden_chain(seed);
+        let serial: u64 = ops.iter().map(serial_cost).sum();
+        let lower = critical_path(&ops);
+        let schedule = TimelineEngine::new(ops).run();
+        assert!(schedule.makespan <= serial, "seed {seed}");
+        assert!(schedule.makespan >= lower, "seed {seed}");
+        for pair in schedule.ops.windows(2) {
+            assert!(pair[1].main_start >= pair[0].finish, "seed {seed}: {pair:?}");
+        }
+    }
+}

@@ -115,9 +115,28 @@ fn golden_rows() -> Vec<GoldenRow> {
             0.2789,
             0.6714,
         ),
-        row(Workload::dlrm(DlrmSize::Small), 8, 0.3761, 0.3779, 0.4251, 0.4333, 0.9190),
-        row(Workload::dlrm(DlrmSize::Medium), 8, 0.3766, 0.3781, 0.4251, 0.4331, 0.9225),
-        row(Workload::dlrm(DlrmSize::Large), 8, 0.3715, 0.3728, 0.4186, 0.4263, 0.9185),
+        // DLRM rows re-recorded for the DAG-aware scheduler. Three model
+        // changes contribute to the shift: (1) the graph now emits
+        // per-table gathers as independent sources fanning into the
+        // all-to-all, so the gathers and the bottom MLP overlap the
+        // exchange instead of serializing before it (makespan shrinks and
+        // the static fraction drops with it); (2) the pairwise feature
+        // interaction is lowered as batched VU dot products instead of an
+        // SA matmul (its per-sample shapes cannot amortize the SA warm-up,
+        // §4.3), moving its cycles from the SA to the VU; (3) the
+        // interaction's HBM write-back is approximated as a features×dim
+        // tile rather than the features² pair matrix (a small byte-model
+        // change, see the comment in `dlrm.rs`). Every shift is small in
+        // absolute terms because DLRM's execution is dominated by the
+        // latency-bound all-to-all (the paper's 98–99% ICI temporal
+        // utilization, Figure 8), which no amount of gather overlap can
+        // hide. LLM and diffusion rows are bit-identical to the pre-DAG
+        // engine: their graphs are pure chains, and a chain's schedule is
+        // unchanged under producer-set issue (verified exactly by
+        // `dag_invariants::pure_chains_reproduce_the_pre_dag_engine`).
+        row(Workload::dlrm(DlrmSize::Small), 8, 0.3757, 0.3774, 0.4246, 0.4328, 0.9184),
+        row(Workload::dlrm(DlrmSize::Medium), 8, 0.3770, 0.3781, 0.4249, 0.4329, 0.9202),
+        row(Workload::dlrm(DlrmSize::Large), 8, 0.3728, 0.3737, 0.4193, 0.4271, 0.9150),
         row(Workload::diffusion(DiffusionModel::DitXl), 4, 0.1492, 0.1632, 0.1864, 0.1873, 0.5270),
         row(Workload::diffusion(DiffusionModel::Gligen), 4, 0.1773, 0.1980, 0.2210, 0.2259, 0.5893),
     ]

@@ -76,6 +76,33 @@ fn regate_full_overhead_is_below_half_percent() {
 }
 
 #[test]
+fn dlrm_sa_idleness_exceeds_vu_and_dma_idleness() {
+    // §3 / Figure 4: DLRM-class workloads leave the systolic arrays almost
+    // completely idle (~0% SA temporal utilization) while the DMA engine
+    // streams embedding gathers and the VU pools embeddings and computes
+    // the pairwise feature interaction. On the DAG timeline — per-table
+    // gathers overlapped with the MLPs and the all-to-all — the SA idle
+    // fraction must exceed both the VU and the DMA idle fractions for
+    // every DLRM size at the Table-4 serving batch.
+    use npu_arch::ComponentKind;
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    for size in DlrmSize::ALL {
+        let eval = evaluator.evaluate(&Workload::dlrm(size).with_batch(4096), 8);
+        let activity = eval.simulation.activity();
+        let idle = |kind| 1.0 - activity.temporal_utilization(kind);
+        let sa = idle(ComponentKind::Sa);
+        let vu = idle(ComponentKind::Vu);
+        let dma = idle(ComponentKind::Dma);
+        assert!(sa > vu, "{size}: SA idle fraction {sa:.4} should exceed VU idle fraction {vu:.4}");
+        assert!(
+            sa > dma,
+            "{size}: SA idle fraction {sa:.4} should exceed DMA idle fraction {dma:.4}"
+        );
+        assert!(sa > 0.9, "{size}: DLRM should leave the SA >90% idle, got {sa:.4}");
+    }
+}
+
+#[test]
 fn dlrm_saves_most_and_prefill_saves_least() {
     let evaluator = Evaluator::new(NpuGeneration::D);
     let dlrm = evaluator.evaluate(&Workload::dlrm(DlrmSize::Medium), 8);
