@@ -24,6 +24,36 @@ pub fn kv(key: &str, value: impl std::fmt::Display) {
     println!("{key:<44} {value}");
 }
 
+/// SplitMix64: the deterministic, dependency-free PRNG shared by the
+/// seeded invariant harnesses (`tests/dag_invariants.rs`,
+/// `tests/sram_segments.rs`). One implementation, so a fix to the
+/// stepping or the range draw cannot silently diverge between suites.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `lo..=hi` (callers keep spans far below `u64::MAX`,
+    /// so the modulo bias is negligible for test-corpus generation).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

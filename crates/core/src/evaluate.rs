@@ -23,7 +23,7 @@ use npu_arch::{ChipConfig, ComponentKind, NpuGeneration, ParallelismConfig};
 use npu_compiler::{CompiledGraph, Compiler};
 use npu_models::{ExecutionUnit, Workload};
 use npu_power::energy::ChipUsage;
-use npu_power::{CarbonModel, EnergyBreakdown, GatePolicy, GatingParams, PowerModel};
+use npu_power::{CarbonModel, EnergyBreakdown, GatePolicy, GatingParams, PowerModel, SramGateMode};
 use npu_sim::{OpTiming, SimulationResult, Simulator};
 
 use crate::designs::Design;
@@ -371,34 +371,19 @@ impl Evaluator {
             overhead_cycles += stall;
         }
 
-        // --- SRAM: gated by *capacity* (dead 4 KiB segments sleep or power
-        //     off), weighted by each operator's share of the execution. ---
-        let span_sum: f64 = timings.iter().map(|t| t.duration_cycles as f64).sum();
-        let sram_eq = if span_sum == 0.0 {
-            total_cycles as f64
-        } else {
-            let mut weighted = 0.0;
-            for timing in timings {
-                let live_frac = if spec.sram_bytes() == 0 {
-                    1.0
-                } else {
-                    (timing.sram_live_bytes as f64 / spec.sram_bytes() as f64).min(1.0)
-                };
-                let factor = match design {
-                    Design::NoPg => 1.0,
-                    Design::ReGateBase | Design::ReGateHw => {
-                        live_frac + (1.0 - live_frac) * leak.sram_sleep
-                    }
-                    Design::ReGateFull => live_frac + (1.0 - live_frac) * leak.sram_off,
-                    Design::Ideal => live_frac,
-                };
-                weighted += timing.duration_cycles as f64 * factor;
-            }
-            // Operator spans overlap on the global clock; normalize the
-            // span-weighted average onto the makespan.
-            total_cycles as f64 * weighted / span_sum
-        };
-        equivalent.insert(ComponentKind::Sram, sram_eq);
+        // --- SRAM: per-segment gating on the event timeline (§4.3). A
+        //     4 KiB segment burns full static power while its data is
+        //     live; its *dead* intervals are walked against the retention
+        //     mode's break-even time exactly like any other component's
+        //     idle gaps. ReGate-Base/-HW put dead segments into the
+        //     data-retaining sleep mode via hardware idle detection;
+        //     ReGate-Full powers them off with compiler-issued `setpm`
+        //     (the allocator knows every lifetime statically); Ideal leaks
+        //     nothing while dead. Retention wake-ups are not charged to
+        //     the critical path: the drowsy wake is a few cycles hidden
+        //     under the access pipeline, and `setpm on` is issued ahead of
+        //     the next use.
+        equivalent.insert(ComponentKind::Sram, self.sram_equivalent_cycles(design, sim));
 
         // --- Peripheral logic is never gated. ---
         equivalent.insert(ComponentKind::Other, total_cycles as f64);
@@ -413,7 +398,7 @@ impl Evaluator {
         let idle_static_j = match design {
             Design::NoPg => baseline.idle_static_j,
             Design::Ideal => 0.0,
-            _ => baseline.idle_static_j * leak.logic_off.max(leak.sram_off),
+            _ => baseline.idle_static_j * self.idle_off_ratio(design, model),
         };
         let energy = EnergyBreakdown::gated(
             baseline,
@@ -425,6 +410,78 @@ impl Evaluator {
 
         let peak_power_w = self.peak_power(model, timings, &energy, total_cycles);
         DesignEvaluation { design, energy, performance_overhead, peak_power_w }
+    }
+
+    /// Equivalent full-power SRAM cycles of one design, averaged over the
+    /// scratchpad's segments: each segment is fully powered during its
+    /// live intervals and its dead intervals are walked against the
+    /// design's retention mode. Segments never touched by any buffer
+    /// share one dead interval spanning the whole execution, so their
+    /// cost is computed once and weighted by their count.
+    fn sram_equivalent_cycles(&self, design: Design, sim: &SimulationResult) -> f64 {
+        let segments = sim.segment_timeline();
+        let total_segments = segments.num_segments();
+        let total_cycles = sim.total_cycles();
+        if total_segments == 0 || total_cycles == 0 {
+            return total_cycles as f64;
+        }
+        let mode = match design {
+            Design::NoPg => return total_cycles as f64,
+            Design::ReGateBase | Design::ReGateHw => Some(SramGateMode::Drowsy),
+            Design::ReGateFull => Some(SramGateMode::Off),
+            Design::Ideal => None,
+        };
+        let dead_equivalent = |lens: &mut dyn Iterator<Item = u64>| -> f64 {
+            match mode {
+                None => 0.0,
+                Some(mode) => {
+                    let g = self.gating.sram_gating(mode);
+                    GatingParams::walk_idle_intervals(lens, g.bet, g.delay, g.leak, g.policy)
+                        .equivalent_cycles
+                }
+            }
+        };
+        let mut eq_sum = 0.0f64;
+        for band in segments.bands() {
+            let dead = segments.dead_intervals_of(band);
+            let mut lens = dead.iter().map(npu_sim::CycleInterval::len);
+            let per_segment = band.live_cycles() as f64 + dead_equivalent(&mut lens);
+            eq_sum += per_segment * band.num_segments as f64;
+        }
+        let never_live = (total_segments - segments.ever_live_segments()) as f64;
+        if never_live > 0.0 {
+            let mut whole_run = std::iter::once(total_cycles);
+            eq_sum += dead_equivalent(&mut whole_run) * never_live;
+        }
+        eq_sum / total_segments as f64
+    }
+
+    /// Chip-wide residual-leakage ratio while the chip sits outside its
+    /// duty cycle: each component's share of the static power weighted by
+    /// its *own* off-state leakage — SRAM by the design's retention mode,
+    /// everything else by the gated-logic ratio. (The previous model took
+    /// `logic_off.max(sram_off)` for the whole chip, which let the
+    /// leakiest component's ratio bleed into every other component's
+    /// share.)
+    fn idle_off_ratio(&self, design: Design, model: &PowerModel) -> f64 {
+        let total = model.total_static_power_w();
+        let leak = self.gating.leakage;
+        if total == 0.0 {
+            return leak.logic_off;
+        }
+        let sram_ratio = match design {
+            // Only compiler-directed `setpm` may destroy segment contents;
+            // the hardware-managed designs retain state in sleep mode.
+            Design::ReGateFull => leak.sram_off,
+            _ => leak.sram_sleep,
+        };
+        ComponentKind::ALL
+            .iter()
+            .map(|&kind| {
+                let ratio = if kind == ComponentKind::Sram { sram_ratio } else { leak.logic_off };
+                model.static_power_w(kind) / total * ratio
+            })
+            .sum()
     }
 
     /// Equivalent full-power SA cycles of one operator's *active* period
@@ -636,6 +693,68 @@ mod tests {
             slow_eval.performance_overhead(Design::ReGateBase)
                 >= default_eval.performance_overhead(Design::ReGateBase)
         );
+    }
+
+    #[test]
+    fn idle_leakage_weights_each_component_by_its_own_off_ratio() {
+        // Asymmetric corner: the SRAM's off-state is *leakier* than the
+        // gated logic. The old `logic_off.max(sram_off)` model let that
+        // single ratio bleed into every component's out-of-duty-cycle
+        // leakage; the weighted model charges only the SRAM's actual
+        // static-power share at the SRAM's ratio.
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+        let ratios = npu_power::LeakageRatios { logic_off: 0.05, sram_sleep: 0.3, sram_off: 0.5 };
+        let gating = GatingParams::default().with_leakage(ratios);
+        let eval = Evaluator::with_gating(NpuGeneration::D, gating).evaluate(&wl, 1);
+        let base_idle = eval.design(Design::NoPg).energy.idle_static_j;
+        let full_idle = eval.design(Design::ReGateFull).energy.idle_static_j;
+        assert!(base_idle > 0.0);
+        let ratio = full_idle / base_idle;
+        assert!(ratio < 0.5 - 1e-6, "ratio {ratio} inherited the leakiest component's 0.5");
+        assert!(ratio > 0.05 + 1e-6, "ratio {ratio} must include the SRAM's leakier share");
+        // It matches the static-power-weighted expectation exactly.
+        let spec = npu_arch::NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let total = model.total_static_power_w();
+        let expected: f64 = ComponentKind::ALL
+            .iter()
+            .map(|&k| {
+                let r = if k == ComponentKind::Sram { 0.5 } else { 0.05 };
+                model.static_power_w(k) / total * r
+            })
+            .sum();
+        assert!((ratio - expected).abs() < 1e-9, "ratio {ratio} vs expected {expected}");
+        // The retaining designs keep dead segments in sleep mode instead.
+        let hw_idle = eval.design(Design::ReGateHw).energy.idle_static_j;
+        assert!(hw_idle < full_idle, "sleep (0.3) leaks less than off (0.5) in this corner");
+    }
+
+    #[test]
+    fn sram_equivalent_cycles_come_from_the_segment_walk() {
+        // The per-segment walk bounds: never below the Ideal floor (live
+        // cycles only), never above full power, ordered across designs.
+        let evaluator = Evaluator::new(NpuGeneration::D);
+        let eval = evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
+        let sim = &eval.simulation;
+        let total = sim.total_cycles() as f64;
+        let segments = sim.segment_timeline();
+        assert!(segments.ever_live_segments() > 0);
+        let spec = npu_arch::NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let sram_w = model.static_power_w(ComponentKind::Sram);
+        let cycle_s = spec.cycle_seconds();
+        let sram_eq = |design: Design| {
+            eval.design(design).energy.component(ComponentKind::Sram).static_j / (sram_w * cycle_s)
+        };
+        let nopg = sram_eq(Design::NoPg);
+        assert!((nopg - total).abs() / total < 1e-9, "NoPG keeps the whole SRAM on");
+        let base = sram_eq(Design::ReGateBase);
+        let full = sram_eq(Design::ReGateFull);
+        let ideal = sram_eq(Design::Ideal);
+        assert!(ideal <= full && full <= base && base <= nopg * (1.0 + 1e-9));
+        // Decode leaves most of the scratchpad dead: Full must recover
+        // the overwhelming majority of the SRAM's static energy.
+        assert!(full < 0.2 * total, "Full SRAM equivalent cycles {full} vs total {total}");
     }
 
     #[test]

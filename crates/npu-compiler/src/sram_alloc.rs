@@ -42,6 +42,42 @@ impl BufferLifetime {
     }
 }
 
+/// Anchor-index lifetime of a run of scratchpad segments.
+///
+/// Every segment in `[first_segment, first_segment + num_segments)` is kept
+/// live by exactly the same set of buffers, so they share one merged list
+/// of anchor ranges. Grouping identical-lifetime runs keeps the query
+/// output (and everything built on it, like the simulator's per-segment
+/// timeline) proportional to the number of *distinct* lifetimes rather
+/// than the tens of thousands of raw 4 KiB segments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentLifetime {
+    /// First segment index of the run.
+    pub first_segment: usize,
+    /// Number of consecutive segments sharing this lifetime.
+    pub num_segments: usize,
+    /// Sorted, non-overlapping inclusive anchor-index ranges during which
+    /// the segments hold live data. Abutting ranges are *not* merged: two
+    /// buffers handing a segment over between adjacent anchors may still
+    /// leave a real idle gap on the clock, which only the schedule knows.
+    pub anchor_ranges: Vec<(usize, usize)>,
+}
+
+/// Sorts inclusive anchor ranges and merges the *overlapping* ones;
+/// abutting ranges stay separate (only the schedule knows whether a real
+/// clock gap lies between adjacent anchors).
+fn merge_anchor_ranges(mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    ranges.sort_unstable();
+    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match merged.last_mut() {
+            Some(last) if r.0 <= last.1 => last.1 = last.1.max(r.1),
+            _ => merged.push(r),
+        }
+    }
+    merged
+}
+
 /// Result of allocating a compiled graph's buffers in the scratchpad.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SramAllocation {
@@ -81,6 +117,39 @@ impl SramAllocation {
         SramAllocation { geometry, buffers, num_anchors: anchors.len() }
     }
 
+    /// Builds an allocation from an explicit buffer set (synthetic
+    /// allocations for tests and analyses that bypass the compiler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a buffer is empty, extends past the scratchpad capacity,
+    /// or has an inverted or out-of-range lifetime.
+    #[must_use]
+    pub fn from_buffers(
+        geometry: SramGeometry,
+        buffers: Vec<BufferLifetime>,
+        num_anchors: usize,
+    ) -> Self {
+        for b in &buffers {
+            assert!(b.size_bytes > 0, "buffer of anchor {} is empty", b.anchor_index);
+            assert!(
+                b.end_addr() <= geometry.total_bytes(),
+                "buffer of anchor {} ends at {:#x}, past the {:#x}-byte scratchpad",
+                b.anchor_index,
+                b.end_addr(),
+                geometry.total_bytes()
+            );
+            assert!(
+                b.live_from <= b.live_to && b.live_to < num_anchors,
+                "buffer of anchor {} has lifetime [{}, {}] outside the {num_anchors} anchors",
+                b.anchor_index,
+                b.live_from,
+                b.live_to
+            );
+        }
+        SramAllocation { geometry, buffers, num_anchors }
+    }
+
     /// The scratchpad geometry used for the allocation.
     #[must_use]
     pub fn geometry(&self) -> SramGeometry {
@@ -99,23 +168,28 @@ impl SramAllocation {
         self.num_anchors
     }
 
-    /// Bytes of SRAM live while anchor `index` executes.
+    /// Bytes of SRAM live while anchor `index` executes: the measure of
+    /// the *union* of the live buffers' address ranges, so buffers that
+    /// alias addresses (double-buffer halves handing over between
+    /// adjacent anchors) are counted once, and buffers at arbitrary
+    /// addresses (synthetic [`SramAllocation::from_buffers`] layouts)
+    /// are never collapsed into one another.
     #[must_use]
     pub fn live_bytes_at(&self, index: usize) -> u64 {
-        // Buffers at the two base addresses overlap only if live
-        // simultaneously at the same base; take the max extent per base.
-        let mut bottom = 0u64;
-        let mut top = 0u64;
-        for b in &self.buffers {
-            if b.is_live_at(index) {
-                if b.start_addr == 0 {
-                    bottom = bottom.max(b.size_bytes);
-                } else {
-                    top = top.max(b.size_bytes);
-                }
-            }
+        let mut ranges: Vec<(u64, u64)> = self
+            .buffers
+            .iter()
+            .filter(|b| b.is_live_at(index))
+            .map(|b| (b.start_addr, b.end_addr()))
+            .collect();
+        ranges.sort_unstable();
+        let mut live = 0u64;
+        let mut cursor = 0u64;
+        for (start, end) in ranges {
+            live += end.saturating_sub(start.max(cursor));
+            cursor = cursor.max(end);
         }
-        (bottom + top).min(self.geometry.total_bytes())
+        live
     }
 
     /// Number of 4 KiB (segment-sized) segments live while anchor `index`
@@ -129,6 +203,76 @@ impl SramAllocation {
     #[must_use]
     pub fn peak_bytes(&self) -> u64 {
         (0..self.num_anchors).map(|i| self.live_bytes_at(i)).max().unwrap_or(0)
+    }
+
+    /// Inclusive range of segment indices a buffer occupies.
+    #[must_use]
+    pub fn buffer_segments(&self, buffer: &BufferLifetime) -> (usize, usize) {
+        self.geometry
+            .segments_for_range(buffer.start_addr, buffer.size_bytes)
+            .expect("buffers are non-empty")
+    }
+
+    /// Per-segment lifetimes: which anchors keep each segment live.
+    ///
+    /// Segments never touched by any buffer are omitted — they are dead
+    /// for the whole execution. The returned runs are sorted by segment
+    /// index and disjoint; within a run the anchor ranges are sorted and
+    /// non-overlapping (see [`SegmentLifetime`]). A segment reused across
+    /// the double-buffer halves — e.g. the bottom half serving anchors
+    /// 0–1 and again anchors 4–5 — reports one range per occupancy, which
+    /// is exactly what per-segment idle-interval gating needs (§4.3).
+    #[must_use]
+    pub fn segment_lifetimes(&self) -> Vec<SegmentLifetime> {
+        // Sweep the segment axis: the covering buffer set only changes at
+        // a buffer's first segment or one past its last, so the segments
+        // between two consecutive boundaries share a lifetime.
+        let mut boundaries: Vec<usize> = Vec::with_capacity(self.buffers.len() * 2);
+        let mut spans: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(self.buffers.len());
+        for b in &self.buffers {
+            let (s0, s1) = self.buffer_segments(b);
+            boundaries.push(s0);
+            boundaries.push(s1 + 1);
+            spans.push((s0, s1, b.live_from, b.live_to));
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut runs = Vec::new();
+        for pair in boundaries.windows(2) {
+            let (first, end) = (pair[0], pair[1]);
+            let ranges: Vec<(usize, usize)> = spans
+                .iter()
+                .filter(|&&(s0, s1, ..)| s0 <= first && first <= s1)
+                .map(|&(.., from, to)| (from, to))
+                .collect();
+            if ranges.is_empty() {
+                continue;
+            }
+            runs.push(SegmentLifetime {
+                first_segment: first,
+                num_segments: end - first,
+                anchor_ranges: merge_anchor_ranges(ranges),
+            });
+        }
+        runs
+    }
+
+    /// Anchor ranges keeping one specific segment live (empty if the
+    /// segment is never touched). A direct `O(buffers)` query; callers
+    /// iterating many segments should take [`SramAllocation::
+    /// segment_lifetimes`] once instead.
+    #[must_use]
+    pub fn segment_anchor_ranges(&self, segment: usize) -> Vec<(usize, usize)> {
+        let ranges = self
+            .buffers
+            .iter()
+            .filter(|b| {
+                let (s0, s1) = self.buffer_segments(b);
+                s0 <= segment && segment <= s1
+            })
+            .map(|b| (b.live_from, b.live_to))
+            .collect();
+        merge_anchor_ranges(ranges)
     }
 
     /// Average fraction of the scratchpad that is live (capacity
@@ -207,6 +351,124 @@ mod tests {
             ParallelismConfig::single(),
         );
         assert!(prefill.mean_capacity_utilization() > decode.mean_capacity_utilization());
+    }
+
+    fn buffer(
+        anchor: usize,
+        start_addr: u64,
+        size_bytes: u64,
+        live_from: usize,
+        live_to: usize,
+    ) -> BufferLifetime {
+        BufferLifetime { anchor_index: anchor, start_addr, size_bytes, live_from, live_to }
+    }
+
+    #[test]
+    fn segment_lifetimes_honor_double_buffer_halves() {
+        // 64 KiB scratchpad, 4 KiB segments, 32 KiB halves (segments 0-7
+        // bottom, 8-15 top). Bottom half serves anchors 0-1 and is reused
+        // for anchors 3-4; the top half bridges them.
+        let g = SramGeometry::new(64 * 1024, 4096);
+        let alloc = SramAllocation::from_buffers(
+            g,
+            vec![
+                buffer(0, 0, 8192, 0, 1),
+                buffer(1, 32 * 1024, 8192, 1, 2),
+                buffer(2, 0, 4096, 3, 4),
+            ],
+            5,
+        );
+        let runs = alloc.segment_lifetimes();
+        // Segment 0: two separate occupancies of the bottom half — the
+        // ranges abut nothing and must not be merged into [0, 4].
+        assert_eq!(alloc.segment_anchor_ranges(0), vec![(0, 1), (3, 4)]);
+        // Segment 1: only the first bottom-half buffer reaches it.
+        assert_eq!(alloc.segment_anchor_ranges(1), vec![(0, 1)]);
+        // Segment 8 (top half) is live for the bridging buffer only.
+        assert_eq!(alloc.segment_anchor_ranges(8), vec![(1, 2)]);
+        // Segments 2-7 and 10-15 are never touched.
+        assert!(alloc.segment_anchor_ranges(2).is_empty());
+        assert!(alloc.segment_anchor_ranges(15).is_empty());
+        // Runs are sorted, disjoint, and cover exactly the live segments.
+        let mut cursor = 0;
+        let mut covered = 0;
+        for run in &runs {
+            assert!(run.first_segment >= cursor, "runs overlap or are unsorted");
+            assert!(run.num_segments > 0);
+            cursor = run.first_segment + run.num_segments;
+            covered += run.num_segments;
+            for pair in run.anchor_ranges.windows(2) {
+                assert!(pair[0].1 < pair[1].0, "anchor ranges overlap: {pair:?}");
+            }
+        }
+        assert!(cursor <= g.num_segments());
+        assert_eq!(covered, 2 + 2, "two bottom segments + two top segments are ever live");
+    }
+
+    #[test]
+    fn overlapping_lifetimes_at_one_base_merge_their_anchor_ranges() {
+        let g = SramGeometry::new(64 * 1024, 4096);
+        let alloc = SramAllocation::from_buffers(
+            g,
+            vec![buffer(0, 0, 4096, 0, 2), buffer(1, 0, 4096, 2, 5), buffer(2, 0, 4096, 7, 7)],
+            8,
+        );
+        // The first two ranges share anchor 2 and merge; the third stays.
+        assert_eq!(alloc.segment_anchor_ranges(0), vec![(0, 5), (7, 7)]);
+    }
+
+    #[test]
+    fn segment_lifetimes_round_at_the_capacity_edge() {
+        // A buffer one byte past a segment boundary claims the next whole
+        // segment, and a buffer filling its half exactly reaches the last
+        // segment of that half without spilling into the other.
+        let g = SramGeometry::new(64 * 1024, 4096);
+        let half = 32 * 1024;
+        let alloc = SramAllocation::from_buffers(
+            g,
+            vec![buffer(0, 0, 4097, 0, 0), buffer(1, half, half, 1, 1)],
+            2,
+        );
+        assert_eq!(alloc.segment_anchor_ranges(0), vec![(0, 0)]);
+        assert_eq!(alloc.segment_anchor_ranges(1), vec![(0, 0)], "4097 bytes claim segment 1");
+        assert!(alloc.segment_anchor_ranges(2).is_empty());
+        assert_eq!(alloc.segment_anchor_ranges(8), vec![(1, 1)], "top half starts at segment 8");
+        assert_eq!(alloc.segment_anchor_ranges(15), vec![(1, 1)], "full half reaches its edge");
+        let top = alloc.buffers().iter().find(|b| b.start_addr == half).unwrap();
+        assert_eq!(alloc.buffer_segments(top), (8, 15));
+    }
+
+    #[test]
+    fn compiled_graph_lifetimes_cover_every_buffer() {
+        let alloc = allocate(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            ParallelismConfig::single(),
+        );
+        let runs = alloc.segment_lifetimes();
+        assert!(!runs.is_empty());
+        let live_segments: usize = runs.iter().map(|r| r.num_segments).sum();
+        assert!(live_segments <= alloc.geometry().num_segments());
+        // Every buffer's segment span maps onto runs that contain its
+        // lifetime.
+        for b in alloc.buffers() {
+            let (s0, s1) = alloc.buffer_segments(b);
+            assert!(s1 < alloc.geometry().num_segments());
+            for ranges in [alloc.segment_anchor_ranges(s0), alloc.segment_anchor_ranges(s1)] {
+                assert!(
+                    ranges.iter().any(|&(from, to)| from <= b.live_from && b.live_to <= to),
+                    "buffer lifetime [{}, {}] missing from ranges {ranges:?}",
+                    b.live_from,
+                    b.live_to
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn from_buffers_rejects_over_capacity_buffers() {
+        let g = SramGeometry::new(64 * 1024, 4096);
+        let _ = SramAllocation::from_buffers(g, vec![buffer(0, 60 * 1024, 8192, 0, 0)], 1);
     }
 
     #[test]

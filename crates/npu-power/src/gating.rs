@@ -166,12 +166,46 @@ impl GatingParams {
         GatingParams { leakage, ..self.clone() }
     }
 
+    /// The break-even time, transition delay, residual leakage, and gating
+    /// policy for one SRAM segment retention mode (§4.3).
+    ///
+    /// The drowsy mode is what hardware idle detection can manage on its
+    /// own — data survives, so a mispredicted sleep costs only the wake
+    /// delay — which is why `ReGate-Base` and `ReGate-HW` use it. Powering
+    /// a segment fully off destroys its contents and is therefore only
+    /// safe when the compiler *knows* the segment is dead, so `Off` is
+    /// driven by `setpm` (`ReGate-Full`), whose statically known interval
+    /// bounds also skip the idle-detection window.
+    #[must_use]
+    pub fn sram_gating(&self, mode: SramGateMode) -> SramGating {
+        match mode {
+            SramGateMode::Drowsy => SramGating {
+                bet: self.sram_sleep_bet,
+                delay: self.sram_sleep_delay,
+                leak: self.leakage.sram_sleep,
+                policy: GatePolicy::IdleDetect,
+            },
+            SramGateMode::Off => SramGating {
+                bet: self.sram_off_bet,
+                delay: self.sram_off_delay,
+                leak: self.leakage.sram_off,
+                policy: GatePolicy::CompilerDirected,
+            },
+        }
+    }
+
     /// Whether an idle interval of `len` cycles is worth gating against a
     /// break-even time: gating shorter intervals costs more transition
     /// energy than the leakage it saves.
+    ///
+    /// The boundary is *inclusive*: the paper defines the break-even time
+    /// as the minimum interval for which the saved leakage amortizes the
+    /// transition energy, so an interval of exactly `bet` cycles already
+    /// breaks even and is gated. (`len > bet` was a subtle off-by-one that
+    /// silently left every exactly-break-even interval at full power.)
     #[must_use]
     pub fn gates_interval(bet: u64, len: u64) -> bool {
-        len > bet
+        len >= bet
     }
 
     /// Equivalent full-power cycles of *one* idle interval of `len` cycles
@@ -179,10 +213,11 @@ impl GatingParams {
     /// `delay`, and residual leakage `leak` (fraction of full static
     /// power).
     ///
-    /// Intervals at or below the break-even time stay powered: the
-    /// component leaks at full power for the whole interval. Longer
-    /// intervals pay the policy's entry cost at full power and leak at
-    /// `leak` for the remainder.
+    /// Intervals below the break-even time stay powered: the component
+    /// leaks at full power for the whole interval. Intervals at or above
+    /// it are gated ([`GatingParams::gates_interval`] — the boundary is
+    /// inclusive) and pay the policy's entry cost at full power, leaking
+    /// at `leak` for the remainder.
     #[must_use]
     pub fn idle_interval_equivalent_cycles(
         len: u64,
@@ -233,6 +268,34 @@ impl GatingParams {
         }
         summary
     }
+}
+
+/// Retention mode a dead SRAM segment is gated into (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SramGateMode {
+    /// Data-retaining sleep: the segment's cells are kept just above the
+    /// retention voltage. State survives, leakage drops to
+    /// [`LeakageRatios::sram_sleep`].
+    Drowsy,
+    /// Full power-off: the segment loses its contents and leaks only
+    /// [`LeakageRatios::sram_off`]. Requires compiler knowledge that the
+    /// segment holds no live data.
+    Off,
+}
+
+/// Parameters for gating one dead SRAM segment in a retention mode: the
+/// bundle [`GatingParams::sram_gating`] hands to the interval walk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramGating {
+    /// Break-even time of the mode's transition pair, in cycles.
+    pub bet: u64,
+    /// Power-down/power-up delay of the mode, in cycles.
+    pub delay: u64,
+    /// Residual leakage in the mode, as a fraction of full static power.
+    pub leak: f64,
+    /// How intervals are recognized and entered (hardware detection for
+    /// drowsy, compiler-directed `setpm` for off).
+    pub policy: GatePolicy,
 }
 
 /// How a gating mechanism decides to gate an idle interval (paper §4).
@@ -353,8 +416,22 @@ mod tests {
             let eq = GatingParams::idle_interval_equivalent_cycles(30, 32, 2, 0.03, policy);
             assert!((eq - 30.0).abs() < 1e-12, "{policy:?}: below-BET interval not gated");
         }
-        assert!(!GatingParams::gates_interval(32, 32), "the BET itself does not break even");
-        assert!(GatingParams::gates_interval(32, 33));
+    }
+
+    #[test]
+    fn break_even_boundary_is_inclusive() {
+        // The paper: intervals *at least* the break-even time amortize the
+        // transition energy. Pin both sides of the boundary so neither an
+        // off-by-one towards `>` (exactly-break-even intervals silently
+        // left at full power) nor towards `> bet - 1` can sneak back in.
+        assert!(GatingParams::gates_interval(32, 32), "an exactly-BET interval breaks even");
+        assert!(!GatingParams::gates_interval(32, 31), "one cycle short of the BET does not");
+        for policy in [GatePolicy::IdleDetect, GatePolicy::CompilerDirected] {
+            let at_bet = GatingParams::idle_interval_equivalent_cycles(32, 32, 2, 0.03, policy);
+            assert!(at_bet < 32.0, "{policy:?}: the exactly-BET interval must be gated");
+            let below = GatingParams::idle_interval_equivalent_cycles(31, 32, 2, 0.03, policy);
+            assert!((below - 31.0).abs() < 1e-12, "{policy:?}: below-BET stays at full power");
+        }
     }
 
     #[test]
@@ -427,6 +504,38 @@ mod tests {
         assert!(contiguous.equivalent_cycles < 50.0);
         assert_eq!(fragmented.gated_intervals, 0);
         assert_eq!(contiguous.gated_intervals, 1);
+    }
+
+    #[test]
+    fn sram_gating_modes_map_to_table3_parameters() {
+        let p = GatingParams::default();
+        let drowsy = p.sram_gating(SramGateMode::Drowsy);
+        assert_eq!((drowsy.bet, drowsy.delay), (41, 4));
+        assert!((drowsy.leak - 0.25).abs() < 1e-12);
+        assert_eq!(drowsy.policy, GatePolicy::IdleDetect);
+        let off = p.sram_gating(SramGateMode::Off);
+        assert_eq!((off.bet, off.delay), (82, 10));
+        assert!((off.leak - 0.002).abs() < 1e-12);
+        assert_eq!(off.policy, GatePolicy::CompilerDirected);
+        // Off is the deeper state: leakier entry threshold, lower residual.
+        assert!(off.bet > drowsy.bet);
+        assert!(off.leak < drowsy.leak);
+    }
+
+    #[test]
+    fn sram_off_beats_drowsy_on_long_dead_intervals() {
+        // A segment dead for 10,000 cycles: drowsy retains state at 25%
+        // leakage, off drops to 0.2% — the §4.3 argument for compiler-
+        // directed segment power-off when the data is provably dead.
+        let p = GatingParams::default();
+        let d = p.sram_gating(SramGateMode::Drowsy);
+        let o = p.sram_gating(SramGateMode::Off);
+        let drowsy_eq =
+            GatingParams::idle_interval_equivalent_cycles(10_000, d.bet, d.delay, d.leak, d.policy);
+        let off_eq =
+            GatingParams::idle_interval_equivalent_cycles(10_000, o.bet, o.delay, o.leak, o.policy);
+        assert!(off_eq < drowsy_eq, "off ({off_eq}) must beat drowsy ({drowsy_eq})");
+        assert!(drowsy_eq < 10_000.0, "both must beat staying fully on");
     }
 
     #[test]

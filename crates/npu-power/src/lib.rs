@@ -39,5 +39,7 @@ pub mod power;
 
 pub use carbon::{CarbonModel, LifespanPoint};
 pub use energy::{ComponentEnergy, EnergyBreakdown};
-pub use gating::{GatePolicy, GatedIdleSummary, GatingParams, LeakageRatios};
+pub use gating::{
+    GatePolicy, GatedIdleSummary, GatingParams, LeakageRatios, SramGateMode, SramGating,
+};
 pub use power::{PowerModel, DATACENTER_PUE, NPU_DUTY_CYCLE};

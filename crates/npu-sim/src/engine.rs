@@ -17,11 +17,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use npu_arch::{ChipConfig, PodTopology};
+use npu_arch::{ChipConfig, ComponentKind, PodTopology};
 use npu_compiler::{CompiledGraph, CompiledOp, SramAllocation};
 use npu_models::{CollectiveKind, ExecutionUnit, OpKind};
 
 use crate::activity::ComponentActivity;
+use crate::segments::SegmentTimeline;
 use crate::timeline::{BusyTimeline, IdleHistogram, OpPhases, Resource, TimelineEngine};
 use crate::timing::OpTiming;
 
@@ -94,6 +95,15 @@ impl Simulator {
             let mut profile = self.profile_operator(op);
             profile.timing.op_index = anchor_index;
             profile.timing.sram_live_bytes = allocation.live_bytes_at(anchor_index);
+            // Over-capacity live bytes are an allocator bug, not a value
+            // downstream consumers may quietly clamp; see
+            // `validation::SramCapacityReport` for the release-mode audit.
+            debug_assert!(
+                profile.timing.sram_live_bytes <= spec.sram_bytes(),
+                "anchor {anchor_index}: allocator reports {} live bytes in a {}-byte scratchpad",
+                profile.timing.sram_live_bytes,
+                spec.sram_bytes()
+            );
             profile.phases.producers = anchor_producers[anchor_index].clone();
             phases.push(profile.phases);
             timings.push(profile.timing);
@@ -107,17 +117,26 @@ impl Simulator {
             timing.duration_cycles = scheduled.span_cycles();
             sa_weighted_spatial += timing.sa_spatial_utilization * timing.sa_active_cycles as f64;
         }
-        let activity = ComponentActivity::from_timeline(
-            &schedule.timeline,
-            schedule.makespan,
-            sa_weighted_spatial,
-        );
+        // Per-segment SRAM liveness on the global clock: the allocator's
+        // anchor-granularity lifetimes mapped through the scheduled spans.
+        // The SRAM's busy track is the union of live segment intervals —
+        // replacing the engine's former blanket `[0, makespan)` record,
+        // which hid every dead-segment interval from the gating model.
+        let segments = SegmentTimeline::build(&allocation, &schedule.ops, schedule.makespan);
+        let mut timeline = schedule.timeline;
+        for iv in segments.live_union() {
+            timeline.record(ComponentKind::Sram, iv.start, iv.end);
+        }
+        timeline.finalize();
+        let activity =
+            ComponentActivity::from_timeline(&timeline, schedule.makespan, sa_weighted_spatial);
         SimulationResult {
             chip: self.chip.clone(),
             timings,
             anchor_producers,
             activity,
-            timeline: schedule.timeline,
+            timeline,
+            segments,
             makespan_cycles: schedule.makespan,
         }
     }
@@ -274,6 +293,7 @@ pub struct SimulationResult {
     anchor_producers: Vec<Vec<usize>>,
     activity: ComponentActivity,
     timeline: BusyTimeline,
+    segments: SegmentTimeline,
     makespan_cycles: u64,
 }
 
@@ -307,6 +327,13 @@ impl SimulationResult {
     #[must_use]
     pub fn busy_timeline(&self) -> &BusyTimeline {
         &self.timeline
+    }
+
+    /// Per-segment SRAM live intervals on the global clock — the input to
+    /// segment-granularity SRAM power gating (§4.3).
+    #[must_use]
+    pub fn segment_timeline(&self) -> &SegmentTimeline {
+        &self.segments
     }
 
     /// Chip-level histogram of idle-interval lengths per component — the

@@ -48,12 +48,16 @@
 pub mod activity;
 pub mod engine;
 pub mod events;
+pub mod segments;
 pub mod timeline;
 pub mod timing;
 pub mod validation;
 
 pub use activity::ComponentActivity;
 pub use engine::{SimulationResult, Simulator};
+pub use segments::{SegmentBand, SegmentTimeline};
 pub use timeline::{BusyTimeline, CycleInterval, IdleBucket, IdleHistogram, Schedule};
 pub use timing::OpTiming;
-pub use validation::{correlation_r2, ValidationPoint, ValidationReport};
+pub use validation::{
+    correlation_r2, SramCapacityReport, SramCapacityViolation, ValidationPoint, ValidationReport,
+};

@@ -1,0 +1,332 @@
+//! Per-segment SRAM liveness on the global clock.
+//!
+//! ReGate gates the scratchpad at 4 KiB-segment granularity based on when
+//! each segment's data is *live* (§4.3). The compiler's SRAM allocation
+//! knows which anchors keep each segment live
+//! ([`npu_compiler::SramAllocation::segment_lifetimes`]); this module maps
+//! those anchor ranges through the scheduled operator spans onto the
+//! global clock and merges them into a [`SegmentTimeline`]: per-segment
+//! live intervals that the gating model walks exactly like any other
+//! component's busy track — the *dead* gaps between them are the idle
+//! intervals that break-even filtering and retention-mode transitions
+//! apply to.
+//!
+//! Segments sharing one lifetime (a contiguous run covered by the same
+//! buffers) are stored as a single [`SegmentBand`], so the structure stays
+//! proportional to the number of distinct buffer shapes rather than the
+//! tens of thousands of raw segments.
+
+use serde::{Deserialize, Serialize};
+
+use npu_compiler::SramAllocation;
+
+use crate::timeline::{complement_intervals, merge_intervals, CycleInterval, ScheduledOp};
+
+/// A run of consecutive SRAM segments sharing one live-interval list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentBand {
+    /// First segment index of the run.
+    pub first_segment: usize,
+    /// Number of consecutive segments sharing these intervals.
+    pub num_segments: usize,
+    /// Merged live intervals on the global clock: sorted, disjoint,
+    /// non-abutting, bounded by the makespan.
+    pub live: Vec<CycleInterval>,
+}
+
+impl SegmentBand {
+    /// Total live cycles of one segment in the band.
+    #[must_use]
+    pub fn live_cycles(&self) -> u64 {
+        self.live.iter().map(CycleInterval::len).sum()
+    }
+
+    /// Whether a segment of the band holds live data at cycle `at`.
+    #[must_use]
+    pub fn is_live_at(&self, at: u64) -> bool {
+        self.live.iter().any(|iv| iv.contains(at))
+    }
+}
+
+/// Per-segment SRAM live intervals over one simulated execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentTimeline {
+    segment_bytes: u64,
+    num_segments: usize,
+    makespan: u64,
+    /// Ever-live segment runs, sorted by `first_segment`, disjoint.
+    bands: Vec<SegmentBand>,
+}
+
+impl SegmentTimeline {
+    /// Maps an allocation's segment lifetimes through the scheduled
+    /// operator spans onto the global clock.
+    ///
+    /// A segment live for anchors `[a0, a1]` holds data from the first
+    /// cycle any of those anchors occupies hardware (the prefetch into the
+    /// buffer) until the last of them finishes — including the scheduling
+    /// gaps in between, where the data sits waiting for its consumer.
+    /// Ranges whose clock images overlap or abut are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation does not cover exactly `ops.len()`
+    /// anchors — the allocator guarantees every lifetime lies within its
+    /// `num_anchors`, so a mismatched schedule is a caller bug that must
+    /// not be silently truncated.
+    #[must_use]
+    pub fn build(allocation: &SramAllocation, ops: &[ScheduledOp], makespan: u64) -> Self {
+        assert_eq!(
+            allocation.num_anchors(),
+            ops.len(),
+            "allocation covers {} anchors but the schedule has {} operators",
+            allocation.num_anchors(),
+            ops.len()
+        );
+        let mut bands = Vec::new();
+        for lifetime in allocation.segment_lifetimes() {
+            let mut live = Vec::with_capacity(lifetime.anchor_ranges.len());
+            for &(a0, a1) in &lifetime.anchor_ranges {
+                let anchors = &ops[a0..=a1];
+                let start = anchors.iter().map(ScheduledOp::span_start).min().unwrap_or(0);
+                let end = anchors.iter().map(|s| s.finish).max().unwrap_or(0).min(makespan);
+                if end > start {
+                    live.push(CycleInterval { start, end });
+                }
+            }
+            merge_intervals(&mut live);
+            if !live.is_empty() {
+                bands.push(SegmentBand {
+                    first_segment: lifetime.first_segment,
+                    num_segments: lifetime.num_segments,
+                    live,
+                });
+            }
+        }
+        SegmentTimeline {
+            segment_bytes: allocation.geometry().segment_bytes(),
+            num_segments: allocation.geometry().num_segments(),
+            makespan,
+            bands,
+        }
+    }
+
+    /// An all-dead timeline (no allocation, e.g. an empty graph).
+    #[must_use]
+    pub fn empty(segment_bytes: u64, num_segments: usize, makespan: u64) -> Self {
+        SegmentTimeline { segment_bytes, num_segments, makespan, bands: Vec::new() }
+    }
+
+    /// Size of one power-gateable segment in bytes.
+    #[must_use]
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Total number of segments in the scratchpad (live or dead).
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// The execution length the dead intervals complement against.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// The ever-live segment runs.
+    #[must_use]
+    pub fn bands(&self) -> &[SegmentBand] {
+        &self.bands
+    }
+
+    /// Number of segments that are live at least once.
+    #[must_use]
+    pub fn ever_live_segments(&self) -> usize {
+        self.bands.iter().map(|b| b.num_segments).sum()
+    }
+
+    /// Live intervals of one segment (empty for never-live segments).
+    #[must_use]
+    pub fn live_intervals(&self, segment: usize) -> &[CycleInterval] {
+        self.bands
+            .iter()
+            .find(|b| b.first_segment <= segment && segment < b.first_segment + b.num_segments)
+            .map(|b| b.live.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Dead intervals of one segment over `[0, makespan)` — the gaps the
+    /// gating model walks. A never-live segment is dead for the whole run.
+    #[must_use]
+    pub fn dead_intervals(&self, segment: usize) -> Vec<CycleInterval> {
+        complement_intervals(self.live_intervals(segment), self.makespan)
+    }
+
+    /// Dead intervals of every segment in a band.
+    #[must_use]
+    pub fn dead_intervals_of(&self, band: &SegmentBand) -> Vec<CycleInterval> {
+        complement_intervals(&band.live, self.makespan)
+    }
+
+    /// Bytes of SRAM live at one instant: the union-weighted sum over all
+    /// segments whose live intervals contain `at`.
+    #[must_use]
+    pub fn live_bytes_at(&self, at: u64) -> u64 {
+        self.bands
+            .iter()
+            .filter(|b| b.is_live_at(at))
+            .map(|b| b.num_segments as u64 * self.segment_bytes)
+            .sum()
+    }
+
+    /// Peak instantaneous live bytes across the whole execution. The live
+    /// set only grows at an interval start, so sampling every start visits
+    /// every candidate maximum.
+    #[must_use]
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.bands
+            .iter()
+            .flat_map(|b| b.live.iter().map(|iv| iv.start))
+            .map(|at| self.live_bytes_at(at))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merged union of every segment's live intervals: the cycles during
+    /// which *any* part of the scratchpad holds live data — the SRAM's
+    /// busy track on the component timeline.
+    #[must_use]
+    pub fn live_union(&self) -> Vec<CycleInterval> {
+        let mut union: Vec<CycleInterval> =
+            self.bands.iter().flat_map(|b| b.live.iter().copied()).collect();
+        merge_intervals(&mut union);
+        union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::SramGeometry;
+    use npu_compiler::BufferLifetime;
+
+    fn op(dma_start: u64, main_start: u64, finish: u64) -> ScheduledOp {
+        ScheduledOp {
+            dma_start,
+            dma_end: if dma_start < main_start { main_start } else { dma_start },
+            main_start,
+            main_end: finish,
+            finish,
+        }
+    }
+
+    fn buffer(
+        anchor: usize,
+        start_addr: u64,
+        size_bytes: u64,
+        live_from: usize,
+        live_to: usize,
+    ) -> BufferLifetime {
+        BufferLifetime { anchor_index: anchor, start_addr, size_bytes, live_from, live_to }
+    }
+
+    /// 64 KiB / 4 KiB geometry: 16 segments, halves at 0 and 8.
+    fn geometry() -> SramGeometry {
+        SramGeometry::new(64 * 1024, 4096)
+    }
+
+    #[test]
+    fn lifetimes_map_through_scheduled_spans() {
+        // Three chained ops; the bottom-half buffer is live for anchors
+        // 0-1, reused for anchor 2 after a gap on the clock.
+        let alloc = SramAllocation::from_buffers(
+            geometry(),
+            vec![buffer(0, 0, 8192, 0, 1), buffer(2, 0, 4096, 2, 2)],
+            3,
+        );
+        let ops = [op(0, 0, 100), op(100, 120, 300), op(300, 500, 900)];
+        let tl = SegmentTimeline::build(&alloc, &ops, 900);
+        // Segment 0: [0, 300) from the first occupancy, [300, 900) from
+        // the second — they abut on the clock and merge.
+        assert_eq!(tl.live_intervals(0), &[CycleInterval { start: 0, end: 900 }]);
+        // Segment 1: only the first buffer.
+        assert_eq!(tl.live_intervals(1), &[CycleInterval { start: 0, end: 300 }]);
+        assert_eq!(tl.dead_intervals(1), vec![CycleInterval { start: 300, end: 900 }]);
+        // Never-live segments are dead for the whole run.
+        assert!(tl.live_intervals(5).is_empty());
+        assert_eq!(tl.dead_intervals(5), vec![CycleInterval { start: 0, end: 900 }]);
+        assert_eq!(tl.ever_live_segments(), 2);
+        assert_eq!(tl.num_segments(), 16);
+    }
+
+    #[test]
+    fn concurrent_buffers_sum_their_bytes() {
+        // Two operators overlapping on the clock, buffers in opposite
+        // halves: while both run, both segment sets are live at once.
+        let alloc = SramAllocation::from_buffers(
+            geometry(),
+            vec![buffer(0, 0, 8192, 0, 0), buffer(1, 32 * 1024, 12288, 1, 1)],
+            2,
+        );
+        let ops = [op(0, 0, 500), op(100, 100, 400)];
+        let tl = SegmentTimeline::build(&alloc, &ops, 500);
+        assert_eq!(tl.live_bytes_at(50), 8192, "only the first buffer is live");
+        assert_eq!(tl.live_bytes_at(200), 8192 + 12288, "concurrent live bytes sum");
+        assert_eq!(tl.live_bytes_at(450), 8192, "the second op has finished");
+        assert_eq!(tl.peak_live_bytes(), 8192 + 12288);
+        assert!(tl.peak_live_bytes() <= geometry().total_bytes());
+    }
+
+    #[test]
+    fn live_union_merges_across_bands() {
+        let alloc = SramAllocation::from_buffers(
+            geometry(),
+            vec![buffer(0, 0, 4096, 0, 0), buffer(1, 32 * 1024, 4096, 1, 1)],
+            2,
+        );
+        // Disjoint spans with a real gap between them.
+        let ops = [op(0, 0, 100), op(200, 200, 300)];
+        let tl = SegmentTimeline::build(&alloc, &ops, 400);
+        assert_eq!(
+            tl.live_union(),
+            vec![CycleInterval { start: 0, end: 100 }, CycleInterval { start: 200, end: 300 }]
+        );
+    }
+
+    #[test]
+    fn empty_timeline_is_all_dead() {
+        let tl = SegmentTimeline::empty(4096, 16, 1000);
+        assert_eq!(tl.ever_live_segments(), 0);
+        assert_eq!(tl.peak_live_bytes(), 0);
+        assert!(tl.live_union().is_empty());
+        assert_eq!(tl.dead_intervals(3), vec![CycleInterval { start: 0, end: 1000 }]);
+    }
+
+    #[test]
+    fn intervals_are_disjoint_sorted_and_bounded() {
+        let alloc = SramAllocation::from_buffers(
+            geometry(),
+            vec![
+                buffer(0, 0, 16384, 0, 1),
+                buffer(1, 32 * 1024, 8192, 0, 2),
+                buffer(2, 0, 8192, 3, 3),
+            ],
+            4,
+        );
+        let ops = [op(0, 0, 250), op(0, 250, 400), op(400, 420, 700), op(700, 800, 1000)];
+        let tl = SegmentTimeline::build(&alloc, &ops, 1000);
+        for band in tl.bands() {
+            for iv in &band.live {
+                assert!(iv.start < iv.end);
+                assert!(iv.end <= tl.makespan());
+            }
+            for pair in band.live.windows(2) {
+                assert!(pair[0].end < pair[1].start, "overlapping/abutting: {pair:?}");
+            }
+            let dead: u64 = tl.dead_intervals_of(band).iter().map(CycleInterval::len).sum();
+            assert_eq!(band.live_cycles() + dead, tl.makespan());
+        }
+    }
+}

@@ -60,6 +60,47 @@ impl CycleInterval {
     pub fn is_empty(&self) -> bool {
         self.end <= self.start
     }
+
+    /// Whether the interval contains cycle `at`.
+    #[must_use]
+    pub fn contains(&self, at: u64) -> bool {
+        self.start <= at && at < self.end
+    }
+}
+
+/// Sorts and merges intervals in place into a disjoint, sorted sequence
+/// (overlapping and abutting intervals coalesce). Shared by the
+/// per-component busy tracks and the per-segment SRAM timeline.
+pub(crate) fn merge_intervals(list: &mut Vec<CycleInterval>) {
+    list.sort_by_key(|iv| (iv.start, iv.end));
+    let mut merged: Vec<CycleInterval> = Vec::with_capacity(list.len());
+    for iv in list.drain(..) {
+        match merged.last_mut() {
+            Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+            _ => merged.push(iv),
+        }
+    }
+    *list = merged;
+}
+
+/// The idle gaps complementing a disjoint, sorted interval list over
+/// `[0, total_cycles)`.
+pub(crate) fn complement_intervals(
+    intervals: &[CycleInterval],
+    total_cycles: u64,
+) -> Vec<CycleInterval> {
+    let mut gaps = Vec::new();
+    let mut cursor = 0u64;
+    for iv in intervals {
+        if iv.start > cursor {
+            gaps.push(CycleInterval { start: cursor, end: iv.start.min(total_cycles) });
+        }
+        cursor = cursor.max(iv.end);
+    }
+    if total_cycles > cursor {
+        gaps.push(CycleInterval { start: cursor, end: total_cycles });
+    }
+    gaps
 }
 
 /// Merged, sorted, disjoint busy intervals per component on the global
@@ -82,15 +123,7 @@ impl BusyTimeline {
     /// sorted sequence (overlapping and abutting intervals coalesce).
     pub fn finalize(&mut self) {
         for list in self.intervals.values_mut() {
-            list.sort_by_key(|iv| (iv.start, iv.end));
-            let mut merged: Vec<CycleInterval> = Vec::with_capacity(list.len());
-            for iv in list.drain(..) {
-                match merged.last_mut() {
-                    Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
-                    _ => merged.push(iv),
-                }
-            }
-            *list = merged;
+            merge_intervals(list);
         }
     }
 
@@ -112,18 +145,7 @@ impl BusyTimeline {
     /// busy plus idle lengths sum to `total_cycles`.
     #[must_use]
     pub fn idle_intervals(&self, kind: ComponentKind, total_cycles: u64) -> Vec<CycleInterval> {
-        let mut gaps = Vec::new();
-        let mut cursor = 0u64;
-        for iv in self.intervals(kind) {
-            if iv.start > cursor {
-                gaps.push(CycleInterval { start: cursor, end: iv.start.min(total_cycles) });
-            }
-            cursor = cursor.max(iv.end);
-        }
-        if total_cycles > cursor {
-            gaps.push(CycleInterval { start: cursor, end: total_cycles });
-        }
-        gaps
+        complement_intervals(self.intervals(kind), total_cycles)
     }
 }
 
@@ -457,7 +479,11 @@ impl TimelineEngine {
             })
             .collect();
         let mut timeline = self.timeline;
-        timeline.record(ComponentKind::Sram, 0, makespan);
+        // The SRAM has no blanket busy interval here: the engine layer
+        // above maps the allocator's per-segment lifetimes through the
+        // scheduled operator spans and records the union of *live* segment
+        // intervals instead (see `Simulator::run`). Peripheral logic is
+        // genuinely always on.
         timeline.record(ComponentKind::Other, 0, makespan);
         timeline.finalize();
         Schedule { ops, makespan, timeline }

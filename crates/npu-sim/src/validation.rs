@@ -71,6 +71,72 @@ impl ValidationReport {
     }
 }
 
+/// One operator whose allocator-reported live SRAM bytes exceed the
+/// scratchpad capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramCapacityViolation {
+    /// Index of the offending operator.
+    pub op_index: usize,
+    /// Live bytes the allocator reported for it.
+    pub live_bytes: u64,
+}
+
+/// Capacity audit of the SRAM allocation as simulated.
+///
+/// An allocation reporting more live bytes than the scratchpad holds is an
+/// allocator bug that must fail loudly — the energy model consumes these
+/// numbers as-is, and silently clamping them (as the evaluator's old
+/// `live_frac.min(1.0)` did) hides the bug behind a plausible fraction.
+/// The simulator debug-asserts the per-operator bound at construction;
+/// this report is the release-mode equivalent, covering both the
+/// per-operator totals and the instantaneous union of live segments on
+/// the clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramCapacityReport {
+    /// Scratchpad capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Peak instantaneous live bytes on the segment timeline.
+    pub peak_live_bytes: u64,
+    /// Operators whose reported live bytes exceed the capacity.
+    pub violations: Vec<SramCapacityViolation>,
+}
+
+impl SramCapacityReport {
+    /// Audits one simulation.
+    #[must_use]
+    pub fn for_simulation(result: &SimulationResult) -> Self {
+        Self::from_parts(
+            result.chip().spec().sram_bytes(),
+            result.timings().iter().map(|t| t.sram_live_bytes),
+            result.segment_timeline().peak_live_bytes(),
+        )
+    }
+
+    /// Builds the report from raw per-operator live-byte counts and the
+    /// timeline's peak (split out so the violation path is testable
+    /// without forging a whole simulation).
+    #[must_use]
+    pub fn from_parts(
+        capacity_bytes: u64,
+        live_bytes: impl IntoIterator<Item = u64>,
+        peak_live_bytes: u64,
+    ) -> Self {
+        let violations = live_bytes
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, live)| live > capacity_bytes)
+            .map(|(op_index, live_bytes)| SramCapacityViolation { op_index, live_bytes })
+            .collect();
+        SramCapacityReport { capacity_bytes, peak_live_bytes, violations }
+    }
+
+    /// Whether the allocation respects the capacity everywhere.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty() && self.peak_live_bytes <= self.capacity_bytes
+    }
+}
+
 /// Pearson correlation coefficient squared between two equally long series.
 ///
 /// Returns 0.0 for series shorter than two points or with zero variance.
@@ -120,6 +186,47 @@ mod tests {
         let x = [1.0, 2.0, 3.0, 4.0];
         let y = [4.0, 3.0, 2.0, 1.0];
         assert!((correlation_r2(&x, &y) - 1.0).abs() < 1e-12, "anti-correlation also has R²=1");
+    }
+
+    #[test]
+    fn sram_capacity_report_flags_over_capacity_operators() {
+        // Violation path: two of four operators claim more than the
+        // 1 MiB capacity, and the timeline peak exceeds it too.
+        let cap = 1 << 20;
+        let report = SramCapacityReport::from_parts(cap, [cap / 2, cap + 1, cap, 3 * cap], 2 * cap);
+        assert!(!report.is_ok());
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.violations[0].op_index, 1);
+        assert_eq!(report.violations[1].op_index, 3);
+        assert_eq!(report.violations[1].live_bytes, 3 * cap);
+        // Peak alone also fails the audit.
+        let peak_only = SramCapacityReport::from_parts(cap, [cap / 2], cap + 1);
+        assert!(peak_only.violations.is_empty());
+        assert!(!peak_only.is_ok());
+        // A clean allocation passes.
+        assert!(SramCapacityReport::from_parts(cap, [cap / 2, cap], cap).is_ok());
+    }
+
+    #[test]
+    fn real_simulations_pass_the_sram_capacity_audit() {
+        for wl in [
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            Workload::llm(LlamaModel::Llama2_13B, LlmPhase::Prefill),
+        ] {
+            let chip = ChipConfig::new(NpuGeneration::D, 1);
+            let graph = wl.build_graph(&ParallelismConfig::single());
+            let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+            let result = Simulator::new(chip).run(&compiled);
+            let report = SramCapacityReport::for_simulation(&result);
+            assert!(
+                report.is_ok(),
+                "{wl}: peak {} / capacity {} with {} violations",
+                report.peak_live_bytes,
+                report.capacity_bytes,
+                report.violations.len()
+            );
+            assert!(report.peak_live_bytes > 0, "{wl}: something must be live");
+        }
     }
 
     #[test]

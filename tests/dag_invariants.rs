@@ -30,31 +30,10 @@
 use npu_arch::ComponentKind;
 use npu_sim::timeline::{OpPhases, Resource, Schedule, TimelineEngine};
 use npu_sim::IdleHistogram;
+use regate_bench::SplitMix64 as Rng;
 
 /// Number of random DAG seeds the invariant sweep covers.
 const NUM_DAG_SEEDS: u64 = 60;
-
-/// SplitMix64: deterministic, dependency-free PRNG.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed)
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform draw from `lo..=hi`.
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next() % (hi - lo + 1)
-    }
-}
 
 /// FNV-1a 64-bit digest over a stream of u64 values.
 struct Fnv(u64);
@@ -403,27 +382,36 @@ fn schedules_are_deterministic_across_runs() {
 /// the idle histogram)` recorded by running `golden_chain(seed)` through
 /// the PR-2 chain engine (implicit `op-1` producer rule) immediately
 /// before the DAG generalization landed.
+///
+/// Histogram digests re-recorded when per-segment SRAM gating moved the
+/// SRAM off the engine's blanket busy track (PR 4): `TimelineEngine` no
+/// longer fabricates an always-busy `[0, makespan)` SRAM interval — the
+/// simulator layer above maps the allocator's segment lifetimes onto the
+/// clock instead — so at the raw-`Schedule` layer the SRAM now shows one
+/// makespan-length idle interval where it previously showed none. Every
+/// makespan and every phase-time digest (column 4) is bit-identical to
+/// the original PR-2 recording: the scheduling itself is untouched.
 const CHAIN_GOLDEN: [(u64, usize, u64, u64, u64); 20] = [
-    (0, 2, 3152, 0x7EF0BDF6C2E1C0D5, 0x9BC6D098F938DAE2),
-    (1, 39, 164319, 0x29A7943465B34765, 0x22020DE79ECAC835),
-    (2, 32, 144622, 0x8FAE94D6F1B7CFAC, 0xB9E5ABBED0E6E5C3),
-    (3, 10, 57529, 0xFC0E54118F3B1FCA, 0xD40E3DF16652C82B),
-    (4, 6, 20085, 0x33F9E46CA786273C, 0x2AE01120768D6F5B),
-    (5, 15, 76242, 0x72003AA3D0440055, 0x5B4B554AB1601BA9),
-    (6, 31, 108339, 0xD8022CFCF7933271, 0x3A014A3398602CEC),
-    (7, 8, 39631, 0xD09C17C359CB9992, 0x2EE0C3B2F8AD97B4),
-    (8, 7, 40796, 0xFE190D90F8D4E908, 0x48852DA041E5C95B),
-    (9, 4, 15711, 0x164E696CFB6E3204, 0x8A254461FE067AAD),
-    (10, 32, 135899, 0xA6A0C6AA14202451, 0x93FC3B22462FFF9E),
-    (11, 22, 110102, 0x837304AD9845CDA2, 0xABD53169164D0C6B),
-    (12, 16, 66728, 0x69CE31081005A566, 0x8C80DC62293A57BC),
-    (13, 24, 96863, 0xDED2EFE155168DA1, 0xD1D792B0E57772B6),
-    (14, 21, 105013, 0xC8B63AEE3BC65490, 0x32E9EF472D1D7C0B),
-    (15, 38, 162816, 0x90F0D8E05383BB4B, 0x5F184258C696F23A),
-    (16, 36, 212933, 0x46FA93D3B24A6FEC, 0x70C0580D1C1DA45D),
-    (17, 12, 36631, 0x88515ED59C287894, 0x6354961ABBA4076D),
-    (18, 13, 73396, 0x38B99E1680A47349, 0x5A4E02584A043DDD),
-    (19, 6, 41109, 0xCC194ED5DDE25791, 0x926E9A2AFA30E94B),
+    (0, 2, 3152, 0x7EF0BDF6C2E1C0D5, 0x2EF408C54C5D3BBF),
+    (1, 39, 164319, 0x29A7943465B34765, 0x50FBBBEEE2B964F4),
+    (2, 32, 144622, 0x8FAE94D6F1B7CFAC, 0xF2EC70C454E0750C),
+    (3, 10, 57529, 0xFC0E54118F3B1FCA, 0x390A899CA438C6DE),
+    (4, 6, 20085, 0x33F9E46CA786273C, 0x5DBA51D0F8646751),
+    (5, 15, 76242, 0x72003AA3D0440055, 0x0BE92FE41D175277),
+    (6, 31, 108339, 0xD8022CFCF7933271, 0x69934E28C06D1DA1),
+    (7, 8, 39631, 0xD09C17C359CB9992, 0x68206ECCCFE7A991),
+    (8, 7, 40796, 0xFE190D90F8D4E908, 0x1BC250C7E130B6D6),
+    (9, 4, 15711, 0x164E696CFB6E3204, 0xF5BC3877F6EAC9CC),
+    (10, 32, 135899, 0xA6A0C6AA14202451, 0x3D67B036AF29A532),
+    (11, 22, 110102, 0x837304AD9845CDA2, 0xBA16D5BBF4EAF638),
+    (12, 16, 66728, 0x69CE31081005A566, 0x51CEB3CB3CEFC69F),
+    (13, 24, 96863, 0xDED2EFE155168DA1, 0xAB0E2D0B81E07298),
+    (14, 21, 105013, 0xC8B63AEE3BC65490, 0x9138D240FC986203),
+    (15, 38, 162816, 0x90F0D8E05383BB4B, 0xFC367AFAA3464C0F),
+    (16, 36, 212933, 0x46FA93D3B24A6FEC, 0xD947ACDFAA65D96D),
+    (17, 12, 36631, 0x88515ED59C287894, 0xB16B09D60800DFC7),
+    (18, 13, 73396, 0x38B99E1680A47349, 0xA710FBB9AC7FE918),
+    (19, 6, 41109, 0xCC194ED5DDE25791, 0x4546FC87057E84B2),
 ];
 
 #[test]

@@ -141,6 +141,42 @@ fn software_gating_beats_hardware_only_for_vus_and_sram() {
 }
 
 #[test]
+fn full_sram_savings_exceed_base_sram_savings_on_decode() {
+    // §4.3 / per-segment SRAM gating: decode-phase LLM serving leaves
+    // almost the whole scratchpad dead (the working set is a few MiB of
+    // the 128 MiB). ReGate-Base and ReGate-HW can only put dead segments
+    // into the data-retaining sleep mode (25% residual leakage, hardware
+    // idle detection); ReGate-Full knows the segment lifetimes statically
+    // and powers dead segments off via `setpm` (0.2% residual), so its
+    // SRAM savings must be strictly — and materially — larger.
+    use npu_arch::ComponentKind;
+    let evaluator = Evaluator::new(NpuGeneration::D);
+    for (model, chips) in [(LlamaModel::Llama3_8B, 1), (LlamaModel::Llama3_70B, 8)] {
+        let eval = evaluator.evaluate(&Workload::llm(model, LlmPhase::Decode), chips);
+        let base = eval.savings_breakdown(Design::ReGateBase)[&ComponentKind::Sram];
+        let hw = eval.savings_breakdown(Design::ReGateHw)[&ComponentKind::Sram];
+        let full = eval.savings_breakdown(Design::ReGateFull)[&ComponentKind::Sram];
+        assert!(
+            full > base,
+            "{model} decode: Full SRAM savings {full:.4} must exceed Base's {base:.4}"
+        );
+        // Base and HW share the drowsy retention mode; their SRAM rows
+        // differ only through the designs' different wake-up stall time,
+        // which is charged to every component at full static power.
+        assert!(
+            (base - hw).abs() < 1e-3,
+            "{model} decode: Base ({base:.4}) and HW ({hw:.4}) both use drowsy retention"
+        );
+        assert!(
+            full - base > 0.005,
+            "{model} decode: off-vs-drowsy gap {:.4} should be material (dead segments \
+             dominate)",
+            full - base
+        );
+    }
+}
+
+#[test]
 fn operational_carbon_reduction_is_31_to_63_percent() {
     let evaluator = Evaluator::new(NpuGeneration::D);
     let mut reductions = Vec::new();
