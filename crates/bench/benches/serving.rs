@@ -1,0 +1,46 @@
+//! Criterion bench: cost of the serving pipeline — batch formation,
+//! request-graph lowering + compilation, and the release-time schedule —
+//! at a few offered loads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_arch::NpuGeneration;
+use npu_models::{DlrmSize, Workload};
+use npu_serving::{ArrivalProcess, BatchPolicy, ServingSimulator};
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    let server =
+        ServingSimulator::new(NpuGeneration::D, 1, Workload::dlrm(DlrmSize::Small).with_batch(32));
+    for (name, process) in [
+        ("saturating", ArrivalProcess::saturating()),
+        ("poisson_100k", ArrivalProcess::Poisson { mean_interval_cycles: 100_000.0, seed: 3 }),
+        (
+            "bursty",
+            ArrivalProcess::BurstyOnOff {
+                burst_len: 4,
+                intra_burst_cycles: 5_000,
+                off_cycles: 1_000_000,
+            },
+        ),
+    ] {
+        let arrivals = process.arrivals(16);
+        for policy in [
+            BatchPolicy::Static { batch: 4 },
+            BatchPolicy::DynamicWindow { max_batch: 4, max_wait_cycles: 50_000 },
+        ] {
+            group.bench_function(format!("serve/{name}/{}", policy.label()), |b| {
+                b.iter(|| std::hint::black_box(server.run(&arrivals, &policy)));
+            });
+        }
+        group.bench_function(format!("form_batches/{name}"), |b| {
+            let policy = BatchPolicy::DynamicWindow { max_batch: 4, max_wait_cycles: 50_000 };
+            b.iter(|| std::hint::black_box(policy.form(&arrivals)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

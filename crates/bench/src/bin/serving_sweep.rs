@@ -1,0 +1,98 @@
+//! Load sweep over the arrival-driven serving simulator: offered load ×
+//! batching policy × ReGate design, reporting per-request latency
+//! (p50/p99, queueing vs. service), energy per request, savings, and the
+//! *measured* duty cycle against the paper's fleet-average assumption.
+//!
+//! Run with `cargo run --release -p regate_bench --bin serving_sweep`.
+//! Pass `--quick` for the minimal CI smoke subset.
+
+use npu_arch::NpuGeneration;
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use npu_serving::{ArrivalProcess, BatchPolicy, ServingReport, ServingSimulator};
+use regate::{Design, Evaluator};
+use regate_bench::{pct, section};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 8 } else { 24 };
+    let designs = [Design::ReGateBase, Design::ReGateHw, Design::ReGateFull];
+
+    let deployments: Vec<(Workload, usize, &str)> = if quick {
+        vec![(Workload::dlrm(DlrmSize::Small).with_batch(32), 1, "DLRM-S x32/req")]
+    } else {
+        vec![
+            (Workload::dlrm(DlrmSize::Small).with_batch(32), 1, "DLRM-S x32/req"),
+            (
+                Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode).with_batch(2),
+                1,
+                "Llama3-8B decode x2/req",
+            ),
+        ]
+    };
+
+    for (workload, chips, label) in deployments {
+        let server = ServingSimulator::new(NpuGeneration::D, chips, workload);
+        let evaluator = Evaluator::new(NpuGeneration::D);
+
+        // Offered loads from saturation down to sparse traffic, plus a
+        // bursty shape; two batching policies.
+        let processes: Vec<ArrivalProcess> = vec![
+            ArrivalProcess::saturating(),
+            ArrivalProcess::Poisson { mean_interval_cycles: 100_000.0, seed: 11 },
+            ArrivalProcess::Poisson { mean_interval_cycles: 1_000_000.0, seed: 11 },
+            ArrivalProcess::BurstyOnOff {
+                burst_len: 4,
+                intra_burst_cycles: 5_000,
+                off_cycles: 2_000_000,
+            },
+        ];
+        let policies = [
+            BatchPolicy::Static { batch: 4 },
+            BatchPolicy::DynamicWindow { max_batch: 4, max_wait_cycles: 50_000 },
+        ];
+
+        section(&format!("Serving load sweep: {label} on {chips} NPU-D chip(s)"));
+        println!(
+            "{:<22} {:<14} {:>7} {:>12} {:>12} {:>7} {:>11}  savings Base / HW / Full",
+            "arrivals", "policy", "batches", "p50 lat", "p99 lat", "duty", "J/request",
+        );
+        for process in &processes {
+            let arrivals = process.arrivals(requests);
+            for policy in &policies {
+                let outcome = server.run(&arrivals, policy);
+                let report = ServingReport::evaluate(&outcome, &evaluator);
+                let savings: Vec<String> =
+                    designs.iter().map(|&d| pct(report.design(d).savings)).collect();
+                println!(
+                    "{:<22} {:<14} {:>7} {:>12} {:>12} {:>7} {:>11.4}  {}",
+                    process.label(),
+                    policy.label(),
+                    report.num_batches,
+                    report.p50_latency_cycles,
+                    report.p99_latency_cycles,
+                    pct(report.measured_duty_cycle),
+                    report.design(Design::ReGateFull).energy_per_request_j,
+                    savings.join(" / ")
+                );
+            }
+        }
+
+        // Reconciliation of the out-of-duty-cycle term: the serving trace
+        // measures its duty cycle instead of assuming the fleet average.
+        let low = server.run(
+            &ArrivalProcess::Poisson { mean_interval_cycles: 1_000_000.0, seed: 11 }
+                .arrivals(requests),
+            &policies[0],
+        );
+        println!(
+            "\nmeasured duty cycle at low load: {} (paper fleet average: {})",
+            pct(low.measured_duty_cycle()),
+            pct(npu_power::NPU_DUTY_CYCLE)
+        );
+        let report = ServingReport::evaluate(&low, &evaluator);
+        println!(
+            "queueing vs service split at low load: {:.0} / {:.0} cycles (mean)",
+            report.mean_queueing_cycles, report.mean_service_cycles
+        );
+    }
+}

@@ -24,33 +24,46 @@ pub fn kv(key: &str, value: impl std::fmt::Display) {
     println!("{key:<44} {value}");
 }
 
-/// SplitMix64: the deterministic, dependency-free PRNG shared by the
-/// seeded invariant harnesses (`tests/dag_invariants.rs`,
-/// `tests/sram_segments.rs`). One implementation, so a fix to the
-/// stepping or the range draw cannot silently diverge between suites.
+/// The deterministic PRNG shared by the seeded invariant harnesses and
+/// the serving layer's arrival sampling. The implementation was promoted
+/// from this crate into [`npu_sim::rng`] so production code (Poisson
+/// arrivals) and the test corpora draw from the *same* generator; this
+/// re-export keeps the harness-facing path stable.
+pub use npu_sim::rng::SplitMix64;
+
+/// FNV-1a 64-bit digest over a stream of `u64` values — the hash behind
+/// every digest-pinned golden value (`tests/dag_invariants.rs` chain
+/// regressions, `tests/serving_invariants.rs` schedule digests). One
+/// implementation, so a change to the stepping cannot silently diverge
+/// the pinned digests between suites.
 #[derive(Debug, Clone)]
-pub struct SplitMix64(u64);
+pub struct Fnv1a(u64);
 
-impl SplitMix64 {
-    /// Seeds the generator.
+impl Fnv1a {
+    /// Starts a digest at the standard FNV-1a offset basis.
     #[must_use]
-    pub fn new(seed: u64) -> Self {
-        SplitMix64(seed)
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    /// The next raw 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    /// Folds one value into the digest, little-endian byte by byte.
+    pub fn push(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
     }
 
-    /// Uniform draw from `lo..=hi` (callers keep spans far below `u64::MAX`,
-    /// so the modulo bias is negligible for test-corpus generation).
-    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next_u64() % (hi - lo + 1)
+    /// The current digest value.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
     }
 }
 

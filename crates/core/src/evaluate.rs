@@ -191,17 +191,64 @@ impl Evaluator {
             .unwrap_or_else(|| ParallelismConfig::new(num_chips, 1, 1));
         let graph = workload.build_graph(&parallelism);
         let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
-        let simulation = Simulator::new(chip.clone()).run(&compiled);
+        let simulation = Simulator::new(chip).run(&compiled);
+        self.evaluate_compiled(
+            workload,
+            num_chips,
+            parallelism,
+            &compiled,
+            simulation,
+            npu_power::NPU_DUTY_CYCLE,
+        )
+    }
+
+    /// Evaluates every design point over a *pre-built* compiled graph and
+    /// simulation — the entry point for callers that schedule their own
+    /// traces (the serving simulator's arrival-driven runs, where the
+    /// timeline already contains queueing and inter-request gaps).
+    ///
+    /// `duty_cycle` attributes the out-of-duty-cycle idle leakage the
+    /// simulated window cannot see: the standard single-batch path passes
+    /// the paper's fleet average ([`npu_power::NPU_DUTY_CYCLE`]), while a
+    /// serving trace passes `1.0` because its inter-request idleness is
+    /// *inside* the window and priced by the interval walk — charging the
+    /// scalar term on top would double-count it. `workload.work_items()`
+    /// must describe the whole simulated trace (pass
+    /// `workload.with_batch(total_samples)` when the trace spans several
+    /// batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation was produced on a different chip
+    /// deployment than this evaluator's `(generation, num_chips)` —
+    /// pricing a trace with another chip's power model would silently mix
+    /// two hardware configurations in one report.
+    #[must_use]
+    pub fn evaluate_compiled(
+        &self,
+        workload: &Workload,
+        num_chips: usize,
+        parallelism: ParallelismConfig,
+        compiled: &CompiledGraph,
+        simulation: SimulationResult,
+        duty_cycle: f64,
+    ) -> WorkloadEvaluation {
+        let chip = ChipConfig::new(self.generation, num_chips);
+        assert_eq!(
+            *simulation.chip(),
+            chip,
+            "simulation ran on a different chip deployment than the evaluator targets"
+        );
         let model = PowerModel::new(chip.spec());
 
-        let usage = Self::chip_usage(&compiled, &simulation);
-        let baseline = EnergyBreakdown::no_power_gating(&model, &usage);
+        let usage = Self::chip_usage(compiled, &simulation);
+        let baseline = EnergyBreakdown::no_power_gating_with_duty(&model, &usage, duty_cycle);
 
         let mut designs = BTreeMap::new();
         for design in Design::ALL {
             designs.insert(
                 design,
-                self.evaluate_design(design, &compiled, &simulation, &model, &baseline),
+                self.evaluate_design(design, compiled, &simulation, &model, &baseline),
             );
         }
         WorkloadEvaluation {
@@ -755,6 +802,63 @@ mod tests {
         // Decode leaves most of the scratchpad dead: Full must recover
         // the overwhelming majority of the SRAM's static energy.
         assert!(full < 0.2 * total, "Full SRAM equivalent cycles {full} vs total {total}");
+    }
+
+    #[test]
+    fn evaluate_compiled_reproduces_the_standard_path() {
+        let evaluator = Evaluator::new(NpuGeneration::D);
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+        let standard = evaluator.evaluate(&wl, 1);
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let parallelism = wl
+            .default_parallelism(chip.spec(), 1)
+            .unwrap_or_else(|| ParallelismConfig::new(1, 1, 1));
+        let graph = wl.build_graph(&parallelism);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let simulation = Simulator::new(chip).run(&compiled);
+        let via_compiled = evaluator.evaluate_compiled(
+            &wl,
+            1,
+            parallelism,
+            &compiled,
+            simulation.clone(),
+            npu_power::NPU_DUTY_CYCLE,
+        );
+        assert_eq!(standard, via_compiled, "the refactored path must be the identity");
+        // With duty cycle 1.0 the scalar out-of-window idle term vanishes
+        // while the busy-time energy is untouched — the serving-layer
+        // reconciliation: measured gaps replace the assumed scalar.
+        let served = evaluator.evaluate_compiled(&wl, 1, parallelism, &compiled, simulation, 1.0);
+        for design in Design::ALL {
+            assert_eq!(served.design(design).energy.idle_static_j, 0.0, "{design}");
+            assert!(
+                (served.design(design).energy.total_j() - standard.design(design).energy.total_j())
+                    .abs()
+                    < 1e-9,
+                "{design}: busy-time energy must not depend on the duty cycle"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different chip deployment")]
+    fn evaluate_compiled_rejects_a_mismatched_chip() {
+        // A trace scheduled on NPU-C priced with NPU-D's power model
+        // would silently mix two chips in one report.
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+        let chip = ChipConfig::new(NpuGeneration::C, 1);
+        let parallelism = ParallelismConfig::new(1, 1, 1);
+        let graph = wl.build_graph(&parallelism);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let simulation = Simulator::new(chip).run(&compiled);
+        let _ = Evaluator::new(NpuGeneration::D).evaluate_compiled(
+            &wl,
+            1,
+            parallelism,
+            &compiled,
+            simulation,
+            1.0,
+        );
     }
 
     #[test]

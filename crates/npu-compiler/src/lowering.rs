@@ -102,6 +102,21 @@ impl CompiledGraph {
             .collect()
     }
 
+    /// For every compiled operator, the *anchor position* (index into the
+    /// [`CompiledGraph::anchors`] iteration order — the layout of the
+    /// simulator's timing vector) of the fusion group executing it. A
+    /// folded operator maps to its anchor's position; an anchor maps to
+    /// its own. The serving layer uses this to find which scheduled
+    /// anchors a request's operator range landed on.
+    #[must_use]
+    pub fn anchor_positions(&self) -> Vec<usize> {
+        let mut position = vec![usize::MAX; self.ops.len()];
+        for (index, op) in self.anchors().enumerate() {
+            position[op.op.id] = index;
+        }
+        self.ops.iter().enumerate().map(|(id, op)| position[op.folded_into.unwrap_or(id)]).collect()
+    }
+
     /// All compiled operators (anchors and folded operators) in order.
     #[must_use]
     pub fn ops(&self) -> &[CompiledOp] {
@@ -352,6 +367,30 @@ mod tests {
         assert_eq!(compiled.num_anchors(), 3, "a fan-in join is never folded");
         assert_eq!(compiled.producers_of(2), &[0, 1]);
         assert_eq!(compiled.anchor_producers(), vec![vec![], vec![], vec![0, 1]]);
+    }
+
+    #[test]
+    fn anchor_positions_cover_every_operator() {
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill);
+        let g = wl.build_graph(&ParallelismConfig::single());
+        let compiled = compiler().compile(&g);
+        let positions = compiled.anchor_positions();
+        assert_eq!(positions.len(), compiled.len());
+        let num_anchors = compiled.num_anchors();
+        for (id, op) in compiled.ops().iter().enumerate() {
+            assert!(positions[id] < num_anchors, "op {id} maps outside the anchor vector");
+            match op.folded_into {
+                Some(anchor) => assert_eq!(positions[id], positions[anchor]),
+                None => {
+                    // Anchors map to their own position, in iteration order.
+                    let by_iter = compiled
+                        .anchors()
+                        .position(|a| a.op.id == id)
+                        .expect("anchor appears in the iteration");
+                    assert_eq!(positions[id], by_iter);
+                }
+            }
+        }
     }
 
     #[test]

@@ -60,9 +60,38 @@ pub struct EnergyBreakdown {
 }
 
 impl EnergyBreakdown {
-    /// Computes the baseline (no power gating) breakdown.
+    /// Computes the baseline (no power gating) breakdown, attributing the
+    /// out-of-duty-cycle idle leakage from the paper's fleet-average duty
+    /// cycle ([`NPU_DUTY_CYCLE`]).
     #[must_use]
     pub fn no_power_gating(model: &PowerModel, usage: &ChipUsage) -> Self {
+        Self::no_power_gating_with_duty(model, usage, NPU_DUTY_CYCLE)
+    }
+
+    /// Baseline breakdown under an explicit duty cycle — the fraction of
+    /// wall-clock time the chip spends inside the simulated window.
+    ///
+    /// The scalar out-of-duty-cycle term models idleness the simulation
+    /// *cannot see* (the chip sitting between traces). The serving layer
+    /// simulates request arrivals directly, so its inter-request gaps are
+    /// already inside `busy_seconds` and walked by the interval-accurate
+    /// gating model; it passes `duty_cycle = 1.0` here to avoid charging
+    /// the same idleness twice, and instead *measures* a duty cycle from
+    /// the schedule to cross-check the paper's fleet average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty_cycle` is not in `(0, 1]`.
+    #[must_use]
+    pub fn no_power_gating_with_duty(
+        model: &PowerModel,
+        usage: &ChipUsage,
+        duty_cycle: f64,
+    ) -> Self {
+        assert!(
+            duty_cycle > 0.0 && duty_cycle <= 1.0,
+            "duty cycle must be in (0, 1], got {duty_cycle}"
+        );
         let mut components = BTreeMap::new();
         for kind in ComponentKind::ALL {
             let static_j = model.static_power_w(kind) * usage.busy_seconds;
@@ -79,7 +108,7 @@ impl EnergyBreakdown {
         }
         // A chip at 60% duty cycle spends (1-duty)/duty idle seconds per
         // busy second; during that time the whole chip leaks.
-        let idle_seconds = usage.busy_seconds * (1.0 - NPU_DUTY_CYCLE) / NPU_DUTY_CYCLE;
+        let idle_seconds = usage.busy_seconds * (1.0 - duty_cycle) / duty_cycle;
         let idle_static_j = model.idle_power_w() * idle_seconds;
         EnergyBreakdown {
             components,
@@ -249,6 +278,33 @@ mod tests {
         // The paper: 17%-32% of total energy is wasted on chip idleness.
         let idle_fraction = b.idle_static_j / b.total_with_idle_j();
         assert!((0.1..=0.45).contains(&idle_fraction), "idle fraction {idle_fraction}");
+    }
+
+    #[test]
+    fn unit_duty_cycle_has_no_out_of_window_idle() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let usage = usage_compute_bound(&spec);
+        let full = EnergyBreakdown::no_power_gating_with_duty(&model, &usage, 1.0);
+        assert_eq!(full.idle_seconds, 0.0);
+        assert_eq!(full.idle_static_j, 0.0);
+        assert_eq!(full.total_with_idle_j(), full.total_j());
+        // A lower duty cycle attributes strictly more idle leakage.
+        let half = EnergyBreakdown::no_power_gating_with_duty(&model, &usage, 0.5);
+        assert!((half.idle_seconds - usage.busy_seconds).abs() < 1e-12);
+        assert!(half.idle_static_j > 0.0);
+        // The default delegates to the paper's fleet average.
+        let default = EnergyBreakdown::no_power_gating(&model, &usage);
+        let explicit = EnergyBreakdown::no_power_gating_with_duty(&model, &usage, NPU_DUTY_CYCLE);
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn zero_duty_cycle_is_rejected() {
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let model = PowerModel::new(&spec);
+        let _ = EnergyBreakdown::no_power_gating_with_duty(&model, &ChipUsage::default(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Deterministic request arrival processes.
+//!
+//! ReGate's duty-cycle analysis (§3, Figure 3) charges a large share of
+//! fleet energy to chips sitting idle *between* inferences, yet a
+//! single-batch simulation never shows the gating model that idleness:
+//! every request is ready at cycle 0. An [`ArrivalProcess`] generates the
+//! missing input — a reproducible trace of request arrival cycles — so the
+//! serving simulator can put real inter-request gaps on the timeline.
+//!
+//! All three processes are deterministic: the fixed-rate and bursty on/off
+//! traces are pure functions of their parameters, and the Poisson trace is
+//! seeded [`SplitMix64`] (inverse-CDF exponential gaps), so a load sweep
+//! re-runs bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+use npu_sim::rng::SplitMix64;
+
+/// A deterministic generator of request arrival cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Requests arrive every `interval_cycles` cycles (interval 0 is the
+    /// saturating trace: everything ready at cycle 0, the classic
+    /// single-batch view).
+    FixedRate {
+        /// Cycles between consecutive arrivals.
+        interval_cycles: u64,
+    },
+    /// Memoryless arrivals: inter-arrival gaps drawn from an exponential
+    /// distribution with the given mean, sampled by inverse CDF from a
+    /// seeded [`SplitMix64`] stream.
+    Poisson {
+        /// Mean cycles between consecutive arrivals.
+        mean_interval_cycles: f64,
+        /// Seed of the deterministic gap stream.
+        seed: u64,
+    },
+    /// On/off traffic: bursts of `burst_len` requests spaced
+    /// `intra_burst_cycles` apart, separated by `off_cycles` of silence —
+    /// the diurnal / batch-job shape that gives gating its longest
+    /// inter-request intervals.
+    BurstyOnOff {
+        /// Requests per burst (at least 1).
+        burst_len: usize,
+        /// Cycles between arrivals inside a burst.
+        intra_burst_cycles: u64,
+        /// Idle cycles between the last arrival of a burst and the first
+        /// of the next.
+        off_cycles: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The saturating trace: every request ready at cycle 0.
+    #[must_use]
+    pub fn saturating() -> Self {
+        ArrivalProcess::FixedRate { interval_cycles: 0 }
+    }
+
+    /// Generates the first `count` arrival cycles (non-decreasing; the
+    /// first request arrives at cycle 0 so a trace never opens with dead
+    /// time that no policy could act on).
+    #[must_use]
+    pub fn arrivals(&self, count: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(count);
+        match *self {
+            ArrivalProcess::FixedRate { interval_cycles } => {
+                for i in 0..count as u64 {
+                    out.push(i * interval_cycles);
+                }
+            }
+            ArrivalProcess::Poisson { mean_interval_cycles, seed } => {
+                let mean = mean_interval_cycles.max(0.0);
+                let mut rng = SplitMix64::new(seed);
+                let mut t = 0u64;
+                for _ in 0..count {
+                    out.push(t);
+                    let gap = -mean * rng.unit_open().ln();
+                    t = t.saturating_add(gap.round() as u64);
+                }
+            }
+            ArrivalProcess::BurstyOnOff { burst_len, intra_burst_cycles, off_cycles } => {
+                let burst_len = burst_len.max(1);
+                let mut t = 0u64;
+                for i in 0..count {
+                    out.push(t);
+                    t = t.saturating_add(if (i + 1) % burst_len == 0 {
+                        off_cycles
+                    } else {
+                        intra_burst_cycles
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean cycles between arrivals — the inverse of the offered load.
+    /// Used to order load sweeps (smaller mean gap = higher load).
+    #[must_use]
+    pub fn mean_interval_cycles(&self) -> f64 {
+        match *self {
+            ArrivalProcess::FixedRate { interval_cycles } => interval_cycles as f64,
+            ArrivalProcess::Poisson { mean_interval_cycles, .. } => mean_interval_cycles.max(0.0),
+            ArrivalProcess::BurstyOnOff { burst_len, intra_burst_cycles, off_cycles } => {
+                let burst_len = burst_len.max(1) as f64;
+                ((burst_len - 1.0) * intra_burst_cycles as f64 + off_cycles as f64) / burst_len
+            }
+        }
+    }
+
+    /// Short label for sweep tables, e.g. `"fixed@2000"`, `"poisson@500"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            ArrivalProcess::FixedRate { interval_cycles: 0 } => "saturating".to_string(),
+            ArrivalProcess::FixedRate { interval_cycles } => format!("fixed@{interval_cycles}"),
+            ArrivalProcess::Poisson { mean_interval_cycles, .. } => {
+                format!("poisson@{mean_interval_cycles:.0}")
+            }
+            ArrivalProcess::BurstyOnOff { burst_len, off_cycles, .. } => {
+                format!("bursty@{burst_len}x/off{off_cycles}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_is_an_arithmetic_sequence() {
+        let a = ArrivalProcess::FixedRate { interval_cycles: 250 }.arrivals(5);
+        assert_eq!(a, vec![0, 250, 500, 750, 1000]);
+        assert_eq!(ArrivalProcess::saturating().arrivals(4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_and_nondecreasing() {
+        let p = ArrivalProcess::Poisson { mean_interval_cycles: 1000.0, seed: 7 };
+        let a = p.arrivals(200);
+        let b = p.arrivals(200);
+        assert_eq!(a, b, "same seed must reproduce the trace");
+        assert_eq!(a[0], 0);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals must be non-decreasing");
+        let other = ArrivalProcess::Poisson { mean_interval_cycles: 1000.0, seed: 8 }.arrivals(200);
+        assert_ne!(a, other, "different seeds must differ");
+        // The empirical mean gap lands near the configured mean.
+        let mean = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!((600.0..1400.0).contains(&mean), "empirical mean gap {mean}");
+    }
+
+    #[test]
+    fn bursty_alternates_intra_burst_and_off_gaps() {
+        let p = ArrivalProcess::BurstyOnOff {
+            burst_len: 3,
+            intra_burst_cycles: 10,
+            off_cycles: 10_000,
+        };
+        let a = p.arrivals(7);
+        assert_eq!(a, vec![0, 10, 20, 10_020, 10_030, 10_040, 20_040]);
+        // Mean gap: (2*10 + 10_000) / 3.
+        assert!((p.mean_interval_cycles() - 10_020.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_name_the_process() {
+        assert_eq!(ArrivalProcess::saturating().label(), "saturating");
+        assert_eq!(ArrivalProcess::FixedRate { interval_cycles: 42 }.label(), "fixed@42");
+        assert!(ArrivalProcess::Poisson { mean_interval_cycles: 500.0, seed: 1 }
+            .label()
+            .contains("poisson"));
+    }
+}

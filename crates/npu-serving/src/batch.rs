@@ -1,0 +1,216 @@
+//! Request queue and pluggable batch-formation policies.
+//!
+//! Requests are served FIFO: a policy walks the arrival trace in order and
+//! decides when the open batch *closes* (dispatches). Two policies cover
+//! the production spectrum:
+//!
+//! * [`BatchPolicy::Static`] — the classic fixed-batch server: dispatch
+//!   the moment `batch` requests are queued (the trailing partial batch
+//!   flushes at the last arrival).
+//! * [`BatchPolicy::DynamicWindow`] — continuous-batching style: a batch
+//!   closes on max-batch **or** deadline, whichever comes first, bounding
+//!   the queueing delay the first request of a window can suffer.
+//!
+//! Formation is a pure function of the arrival trace, so a seeded trace
+//! yields a bit-for-bit reproducible batch sequence.
+
+use serde::{Deserialize, Serialize};
+
+/// How queued requests are grouped into dispatchable batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Dispatch every `batch` requests; the trailing partial batch
+    /// flushes at the final arrival.
+    Static {
+        /// Requests per batch (at least 1).
+        batch: usize,
+    },
+    /// Dispatch when `max_batch` requests are queued or when the oldest
+    /// queued request has waited `max_wait_cycles`, whichever is first.
+    DynamicWindow {
+        /// Largest batch the window may close with (at least 1).
+        max_batch: usize,
+        /// Longest the first request of a window waits before the batch
+        /// closes regardless of occupancy.
+        max_wait_cycles: u64,
+    },
+}
+
+impl BatchPolicy {
+    /// Short label for sweep tables, e.g. `"static-8"`, `"window-8/5000"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            BatchPolicy::Static { batch } => format!("static-{batch}"),
+            BatchPolicy::DynamicWindow { max_batch, max_wait_cycles } => {
+                format!("window-{max_batch}/{max_wait_cycles}")
+            }
+        }
+    }
+
+    /// Groups a non-decreasing arrival trace into dispatchable batches,
+    /// FIFO. Every request lands in exactly one batch, batches are
+    /// contiguous index ranges, and each dispatch cycle is at least every
+    /// member's arrival (a batch cannot ship requests that do not exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrivals are not sorted in non-decreasing order.
+    #[must_use]
+    pub fn form(&self, arrivals: &[u64]) -> Vec<FormedBatch> {
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrival trace must be non-decreasing");
+        let n = arrivals.len();
+        let mut batches = Vec::new();
+        match *self {
+            BatchPolicy::Static { batch } => {
+                let batch = batch.max(1);
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + batch).min(n);
+                    batches.push(FormedBatch {
+                        requests: start..end,
+                        dispatch_cycle: arrivals[end - 1],
+                    });
+                    start = end;
+                }
+            }
+            BatchPolicy::DynamicWindow { max_batch, max_wait_cycles } => {
+                let max_batch = max_batch.max(1);
+                let mut start = 0usize;
+                while start < n {
+                    let deadline = arrivals[start].saturating_add(max_wait_cycles);
+                    let mut end = start + 1;
+                    while end < n && end - start < max_batch && arrivals[end] <= deadline {
+                        end += 1;
+                    }
+                    // A full window closes the instant its last member
+                    // arrives; a window that timed out closes at the
+                    // deadline even if the queue has gone quiet.
+                    let dispatch_cycle =
+                        if end - start == max_batch { arrivals[end - 1] } else { deadline };
+                    batches.push(FormedBatch { requests: start..end, dispatch_cycle });
+                    start = end;
+                }
+            }
+        }
+        batches
+    }
+}
+
+/// One dispatched batch: which requests (FIFO index range into the
+/// arrival trace) and when it closed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FormedBatch {
+    /// Half-open range of request indices the batch carries.
+    pub requests: std::ops::Range<usize>,
+    /// Cycle the batch closed and was handed to the scheduler — the
+    /// release cycle of every operator lowered from it.
+    pub dispatch_cycle: u64,
+}
+
+impl FormedBatch {
+    /// Number of requests in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty (never produced by a policy).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_policy_chunks_fifo_and_flushes_the_tail() {
+        let arrivals = [0, 10, 20, 30, 40, 50, 60];
+        let batches = BatchPolicy::Static { batch: 3 }.form(&arrivals);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], FormedBatch { requests: 0..3, dispatch_cycle: 20 });
+        assert_eq!(batches[1], FormedBatch { requests: 3..6, dispatch_cycle: 50 });
+        assert_eq!(batches[2], FormedBatch { requests: 6..7, dispatch_cycle: 60 });
+    }
+
+    #[test]
+    fn window_closes_on_max_batch_or_deadline() {
+        // Burst of 4 at t=0..30, then a straggler at t=10_000.
+        let arrivals = [0, 10, 20, 30, 10_000];
+        let batches =
+            BatchPolicy::DynamicWindow { max_batch: 4, max_wait_cycles: 5_000 }.form(&arrivals);
+        assert_eq!(batches.len(), 2);
+        // The burst fills the window: closes at its 4th arrival, not the deadline.
+        assert_eq!(batches[0], FormedBatch { requests: 0..4, dispatch_cycle: 30 });
+        // The straggler times out alone at its own deadline.
+        assert_eq!(batches[1], FormedBatch { requests: 4..5, dispatch_cycle: 15_000 });
+    }
+
+    #[test]
+    fn window_deadline_bounds_queueing_delay() {
+        // Slow trickle: one request per 4,000 cycles, window of 8 with a
+        // 1,000-cycle deadline -> every request ships alone, 1,000 cycles
+        // after it arrived.
+        let arrivals: Vec<u64> = (0..5).map(|i| i * 4_000).collect();
+        let batches =
+            BatchPolicy::DynamicWindow { max_batch: 8, max_wait_cycles: 1_000 }.form(&arrivals);
+        assert_eq!(batches.len(), 5);
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.len(), 1);
+            assert_eq!(b.dispatch_cycle, arrivals[i] + 1_000);
+        }
+    }
+
+    #[test]
+    fn every_request_lands_in_exactly_one_batch_with_dispatch_after_arrival() {
+        let arrivals = [0u64, 0, 5, 5, 5, 100, 2_000, 2_001, 2_002, 9_999];
+        for policy in [
+            BatchPolicy::Static { batch: 4 },
+            BatchPolicy::DynamicWindow { max_batch: 3, max_wait_cycles: 50 },
+        ] {
+            let batches = policy.form(&arrivals);
+            let mut cursor = 0usize;
+            for b in &batches {
+                assert_eq!(b.requests.start, cursor, "{policy:?}: batches must be contiguous");
+                cursor = b.requests.end;
+                for r in b.requests.clone() {
+                    assert!(
+                        b.dispatch_cycle >= arrivals[r],
+                        "{policy:?}: batch dispatched before request {r} arrived"
+                    );
+                }
+            }
+            assert_eq!(cursor, arrivals.len(), "{policy:?}: requests dropped");
+        }
+    }
+
+    #[test]
+    fn saturating_trace_forms_one_full_batch() {
+        let arrivals = vec![0u64; 6];
+        for policy in [
+            BatchPolicy::Static { batch: 6 },
+            BatchPolicy::DynamicWindow { max_batch: 6, max_wait_cycles: 10_000 },
+        ] {
+            let batches = policy.form(&arrivals);
+            assert_eq!(batches.len(), 1, "{policy:?}");
+            assert_eq!(batches[0], FormedBatch { requests: 0..6, dispatch_cycle: 0 }, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_forms_no_batches() {
+        assert!(BatchPolicy::Static { batch: 4 }.form(&[]).is_empty());
+        assert!(BatchPolicy::DynamicWindow { max_batch: 4, max_wait_cycles: 10 }
+            .form(&[])
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_arrivals_are_rejected() {
+        let _ = BatchPolicy::Static { batch: 2 }.form(&[10, 5]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-request latency and energy accounting over a serving trace.
+//!
+//! A [`ServingReport`] condenses one [`ServingOutcome`] into the numbers a
+//! load sweep tabulates: latency percentiles, the queueing/service split,
+//! the measured duty cycle, and — by handing the scheduled trace to the
+//! unmodified interval-walking evaluator — energy per request and savings
+//! for every ReGate design. The evaluator runs with `duty_cycle = 1.0`:
+//! the trace *contains* its inter-request idleness, so the paper's scalar
+//! out-of-duty-cycle term is replaced by measured gaps (and
+//! [`ServingReport::measured_duty_cycle`] is the cross-check against the
+//! fleet-average constant the single-batch path assumes).
+
+use std::collections::BTreeMap;
+
+use regate::{Design, Evaluator, WorkloadEvaluation};
+use serde::{Deserialize, Serialize};
+
+use crate::simulator::ServingOutcome;
+
+/// Energy accounting of one design over the whole serving trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignServingRow {
+    /// Per-chip energy over the trace (busy energy; the trace's idle gaps
+    /// are priced inside it by the interval walk), in joules.
+    pub total_j: f64,
+    /// Deployment energy per served request, in joules.
+    pub energy_per_request_j: f64,
+    /// Energy savings relative to `NoPG` over the same trace.
+    pub savings: f64,
+}
+
+/// Latency/energy summary of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Requests served.
+    pub num_requests: usize,
+    /// Batches dispatched.
+    pub num_batches: usize,
+    /// Trace makespan in cycles.
+    pub makespan_cycles: u64,
+    /// Median arrival-to-completion latency in cycles.
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile arrival-to-completion latency in cycles.
+    pub p99_latency_cycles: u64,
+    /// Mean cycles a request waited for its batch to close.
+    pub mean_queueing_cycles: f64,
+    /// Mean cycles from batch dispatch to completion.
+    pub mean_service_cycles: f64,
+    /// Fraction of the makespan with at least one real component busy.
+    pub measured_duty_cycle: f64,
+    /// Per-design energy rows.
+    pub designs: BTreeMap<Design, DesignServingRow>,
+    /// The full per-design evaluation the rows were derived from.
+    pub evaluation: WorkloadEvaluation,
+}
+
+impl ServingReport {
+    /// Evaluates a serving outcome across every design point.
+    #[must_use]
+    pub fn evaluate(outcome: &ServingOutcome, evaluator: &Evaluator) -> Self {
+        let evaluation = evaluator.evaluate_compiled(
+            &outcome.total_workload(),
+            outcome.num_chips,
+            outcome.parallelism,
+            &outcome.compiled,
+            outcome.simulation.clone(),
+            // The trace holds its own idleness; see the module docs.
+            1.0,
+        );
+        let num_requests = outcome.requests.len();
+        let mut designs = BTreeMap::new();
+        for design in Design::ALL {
+            let total_j = evaluation.design(design).energy.total_j();
+            designs.insert(
+                design,
+                DesignServingRow {
+                    total_j,
+                    energy_per_request_j: total_j * outcome.num_chips as f64
+                        / num_requests.max(1) as f64,
+                    savings: evaluation.energy_savings(design),
+                },
+            );
+        }
+
+        let mut latencies: Vec<u64> = outcome.requests.iter().map(|r| r.latency_cycles()).collect();
+        latencies.sort_unstable();
+        let mean = |values: &mut dyn Iterator<Item = u64>| -> f64 {
+            let (mut sum, mut n) = (0u128, 0u64);
+            for v in values {
+                sum += u128::from(v);
+                n += 1;
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum as f64 / n as f64
+            }
+        };
+        ServingReport {
+            num_requests,
+            num_batches: outcome.batches.len(),
+            makespan_cycles: outcome.makespan_cycles(),
+            p50_latency_cycles: percentile(&latencies, 50.0),
+            p99_latency_cycles: percentile(&latencies, 99.0),
+            mean_queueing_cycles: mean(&mut outcome.requests.iter().map(|r| r.queueing_cycles())),
+            mean_service_cycles: mean(&mut outcome.requests.iter().map(|r| r.service_cycles())),
+            measured_duty_cycle: outcome.measured_duty_cycle(),
+            designs,
+            evaluation,
+        }
+    }
+
+    /// Row of one design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design was not evaluated (all designs always are).
+    #[must_use]
+    pub fn design(&self, design: Design) -> &DesignServingRow {
+        self.designs.get(&design).expect("all designs are evaluated")
+    }
+
+    /// Latency percentiles converted to seconds on the evaluated chip.
+    #[must_use]
+    pub fn latency_seconds(&self) -> (f64, f64) {
+        let spec = self.evaluation.simulation.chip().spec();
+        (
+            spec.cycles_to_seconds(self.p50_latency_cycles),
+            spec.cycles_to_seconds(self.p99_latency_cycles),
+        )
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (0 for an empty slice).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 100);
+        assert_eq!(percentile(&v, 0.0), 10);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+}

@@ -1,0 +1,282 @@
+//! The serving simulator: arrival trace → batch formation → request-graph
+//! lowering → release-time scheduling on the event timeline.
+//!
+//! Each formed batch is lowered through the existing
+//! [`Workload::try_build_request_graph`] path (independent per-request
+//! subgraphs merged by a batch collective) with every operator *released*
+//! at the batch's dispatch cycle, the batches are concatenated into one
+//! operator graph, and the whole trace is scheduled by the unmodified
+//! timeline engine. Queueing delay and inter-request gaps therefore show
+//! up as ordinary idle intervals on every resource track — the
+//! interval-walking gating model in `regate::Evaluator` prices them with
+//! no serving-specific special-casing, which is exactly the paper's §3
+//! point that out-of-duty-cycle idleness is gateable energy.
+//!
+//! At saturating load (every request at cycle 0, one full batch) the
+//! serving schedule reproduces the classic cycle-0 batch run bit for bit:
+//! zero releases are the engine's identity.
+
+use npu_arch::{ChipConfig, ComponentKind, NpuGeneration, ParallelismConfig};
+use npu_compiler::{CompiledGraph, Compiler};
+use npu_models::{OperatorGraph, Workload};
+use npu_sim::{SimulationResult, Simulator};
+use serde::{Deserialize, Serialize};
+
+use crate::batch::BatchPolicy;
+
+/// One request's observed serving lifecycle, in cycles on the trace clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// When the request arrived.
+    pub arrival_cycle: u64,
+    /// When its batch closed and was handed to the scheduler.
+    pub dispatch_cycle: u64,
+    /// When its batch's last operator (the merge) finished.
+    pub completion_cycle: u64,
+    /// Index of the batch that carried it.
+    pub batch: usize,
+}
+
+impl RequestRecord {
+    /// Arrival-to-completion latency.
+    #[must_use]
+    pub fn latency_cycles(&self) -> u64 {
+        self.completion_cycle.saturating_sub(self.arrival_cycle)
+    }
+
+    /// Time spent queued before the batch closed.
+    #[must_use]
+    pub fn queueing_cycles(&self) -> u64 {
+        self.dispatch_cycle.saturating_sub(self.arrival_cycle)
+    }
+
+    /// Time from batch dispatch to completion (service, including any
+    /// wait for chip resources held by earlier batches).
+    #[must_use]
+    pub fn service_cycles(&self) -> u64 {
+        self.completion_cycle.saturating_sub(self.dispatch_cycle)
+    }
+}
+
+/// One batch as it was scheduled: request range, operator range in the
+/// combined graph, dispatch and completion times.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Requests the batch carried (indices into the arrival trace).
+    pub requests: std::ops::Range<usize>,
+    /// Operator-id range of the batch's subgraph in the combined graph.
+    pub ops: std::ops::Range<usize>,
+    /// Cycle the batch closed (the release of all its operators).
+    pub dispatch_cycle: u64,
+    /// Cycle its last scheduled anchor finished.
+    pub completion_cycle: u64,
+}
+
+/// Everything one serving run produced: the scheduled trace plus the
+/// per-request and per-batch accounting derived from it.
+#[derive(Debug, Clone)]
+pub struct ServingOutcome {
+    /// Per-request workload (its batch is the samples *per request*).
+    pub workload: Workload,
+    /// Chips in the deployment.
+    pub num_chips: usize,
+    /// Parallelism every batch was lowered under.
+    pub parallelism: ParallelismConfig,
+    /// The combined compiled graph (all batches).
+    pub compiled: CompiledGraph,
+    /// The scheduled trace (releases honoured, gaps on the timeline).
+    pub simulation: SimulationResult,
+    /// Per-batch schedule records, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Per-request records, in arrival order.
+    pub requests: Vec<RequestRecord>,
+}
+
+impl ServingOutcome {
+    /// Total samples served over the trace.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.workload.batch() * self.requests.len() as u64
+    }
+
+    /// The workload resized to the whole trace — what
+    /// [`regate::Evaluator::evaluate_compiled`] needs so `work_items`
+    /// describes every request served.
+    #[must_use]
+    pub fn total_workload(&self) -> Workload {
+        self.workload.with_batch(self.total_samples().max(1))
+    }
+
+    /// Makespan of the scheduled trace in cycles.
+    #[must_use]
+    pub fn makespan_cycles(&self) -> u64 {
+        self.simulation.total_cycles()
+    }
+
+    /// Duty cycle *measured* from the schedule: the fraction of the
+    /// makespan during which at least one real component (SA, VU, SRAM,
+    /// HBM, ICI, DMA — everything but the always-on peripheral track) is
+    /// busy. At saturating load this approaches 1; at low offered load it
+    /// falls toward the paper's fleet average and below, which is the
+    /// cross-check for the §3 out-of-duty-cycle leakage term.
+    #[must_use]
+    pub fn measured_duty_cycle(&self) -> f64 {
+        let total = self.simulation.total_cycles();
+        if total == 0 {
+            return 1.0;
+        }
+        let kinds: Vec<ComponentKind> =
+            ComponentKind::ALL.iter().copied().filter(|&k| k != ComponentKind::Other).collect();
+        self.simulation.busy_timeline().union_busy_cycles(&kinds) as f64 / total as f64
+    }
+}
+
+/// Simulates a request-serving NPU deployment: one chip model, one
+/// parallelism, an arrival trace in, a scheduled timeline out.
+#[derive(Debug, Clone)]
+pub struct ServingSimulator {
+    chip: ChipConfig,
+    parallelism: ParallelismConfig,
+    workload: Workload,
+    compiler: Compiler,
+}
+
+impl ServingSimulator {
+    /// Creates a serving simulator. `workload.batch()` is the number of
+    /// samples *one request* carries (e.g. 1 for a single recommendation
+    /// query, the decode batch share of one sequence, …) and must be at
+    /// least 1. The parallelism is the workload's default for the
+    /// deployment size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload carries zero samples per request.
+    #[must_use]
+    pub fn new(generation: NpuGeneration, num_chips: usize, workload: Workload) -> Self {
+        let chip = ChipConfig::new(generation, num_chips);
+        let parallelism = workload
+            .default_parallelism(chip.spec(), num_chips)
+            .unwrap_or_else(|| ParallelismConfig::new(num_chips, 1, 1));
+        Self::with_parallelism(generation, num_chips, workload, parallelism)
+    }
+
+    /// Like [`ServingSimulator::new`] with an explicit parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload carries zero samples per request.
+    #[must_use]
+    pub fn with_parallelism(
+        generation: NpuGeneration,
+        num_chips: usize,
+        workload: Workload,
+        parallelism: ParallelismConfig,
+    ) -> Self {
+        assert!(workload.batch() >= 1, "a request must carry at least one sample");
+        let chip = ChipConfig::new(generation, num_chips);
+        let compiler = Compiler::new(chip.spec().clone());
+        ServingSimulator { chip, parallelism, workload, compiler }
+    }
+
+    /// The chip deployment being simulated.
+    #[must_use]
+    pub fn chip(&self) -> &ChipConfig {
+        &self.chip
+    }
+
+    /// The parallelism every batch is lowered under.
+    #[must_use]
+    pub fn parallelism(&self) -> &ParallelismConfig {
+        &self.parallelism
+    }
+
+    /// The per-request workload.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Serves an arrival trace under a batching policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or not sorted in non-decreasing order
+    /// (the [`BatchPolicy::form`] contract).
+    #[must_use]
+    pub fn run(&self, arrivals: &[u64], policy: &BatchPolicy) -> ServingOutcome {
+        assert!(!arrivals.is_empty(), "an empty arrival trace serves nothing");
+        let formed = policy.form(arrivals);
+
+        // Lower every batch through the request-graph path and concatenate
+        // the subgraphs; no cross-batch edges exist, so only release times
+        // and resource contention order the batches on the timeline.
+        let mut combined = OperatorGraph::new(format!(
+            "{}-serving-{}req-{}",
+            self.workload.label(),
+            arrivals.len(),
+            self.parallelism
+        ));
+        let mut op_releases: Vec<u64> = Vec::new();
+        let mut batches: Vec<BatchRecord> = Vec::with_capacity(formed.len());
+        for batch in &formed {
+            let samples = self.workload.batch() * batch.len() as u64;
+            let releases = vec![batch.dispatch_cycle; batch.len()];
+            let request_graph = self
+                .workload
+                .with_batch(samples)
+                .try_build_request_graph(&self.parallelism, &releases)
+                .expect("a formed batch has >= 1 request and >= 1 sample");
+            let range = combined.extend_from(&request_graph.graph);
+            op_releases.extend(request_graph.op_releases());
+            batches.push(BatchRecord {
+                requests: batch.requests.clone(),
+                ops: range,
+                dispatch_cycle: batch.dispatch_cycle,
+                completion_cycle: 0,
+            });
+        }
+
+        let compiled = self.compiler.compile(&combined);
+        let simulation =
+            Simulator::new(self.chip.clone()).run_with_releases(&compiled, &op_releases);
+
+        // Batch completion: the latest finish among the anchors executing
+        // the batch's operators (its merge fans in over every sink, so in
+        // practice this is the merge's finish).
+        let positions = compiled.anchor_positions();
+        let timings = simulation.timings();
+        for record in &mut batches {
+            record.completion_cycle = record
+                .ops
+                .clone()
+                .map(|id| {
+                    let t = &timings[positions[id]];
+                    t.start_cycle + t.duration_cycles
+                })
+                .max()
+                .expect("a batch subgraph is never empty");
+        }
+
+        let mut requests = Vec::with_capacity(arrivals.len());
+        for (batch_index, record) in batches.iter().enumerate() {
+            for r in record.requests.clone() {
+                requests.push(RequestRecord {
+                    arrival_cycle: arrivals[r],
+                    dispatch_cycle: record.dispatch_cycle,
+                    completion_cycle: record.completion_cycle,
+                    batch: batch_index,
+                });
+            }
+        }
+
+        ServingOutcome {
+            workload: self.workload,
+            num_chips: self.chip.num_chips(),
+            parallelism: self.parallelism,
+            compiled,
+            simulation,
+            batches,
+            requests,
+        }
+    }
+}

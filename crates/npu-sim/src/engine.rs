@@ -82,8 +82,46 @@ impl Simulator {
 
     /// Runs a compiled graph and returns the per-operator timings, the
     /// merged per-component busy timeline, and the aggregated activity.
+    /// Every operator is ready at cycle 0 (the single-batch view);
+    /// see [`Simulator::run_with_releases`] for arrival-driven serving.
     #[must_use]
     pub fn run(&self, graph: &CompiledGraph) -> SimulationResult {
+        self.run_with_releases(graph, &[])
+    }
+
+    /// Runs a compiled graph whose operators carry *release times*: no
+    /// phase of operator `id` issues before `op_releases[id]` cycles — the
+    /// dispatch time of the serving batch the operator belongs to. The
+    /// release of a fusion group is the maximum over its members, and an
+    /// empty slice means every operator is released at cycle 0 (identical
+    /// to [`Simulator::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_releases` is neither empty nor exactly one entry per
+    /// compiled operator (`graph.len()`).
+    #[must_use]
+    pub fn run_with_releases(
+        &self,
+        graph: &CompiledGraph,
+        op_releases: &[u64],
+    ) -> SimulationResult {
+        assert!(
+            op_releases.is_empty() || op_releases.len() == graph.len(),
+            "release vector covers {} operators but the graph has {}",
+            op_releases.len(),
+            graph.len()
+        );
+        // Release of each fusion group, indexed by the anchor's op id: the
+        // group runs as one unit, so it is ready only when every member's
+        // request has arrived (in practice all members share one batch).
+        let mut group_release = vec![0u64; graph.len()];
+        for (id, op) in graph.ops().iter().enumerate() {
+            let anchor = op.folded_into.unwrap_or(id);
+            let release = op_releases.get(id).copied().unwrap_or(0);
+            group_release[anchor] = group_release[anchor].max(release);
+        }
+
         let spec = self.chip.spec();
         let allocation = SramAllocation::allocate(graph, spec.sram_geometry());
 
@@ -91,6 +129,7 @@ impl Simulator {
         let num_anchors = graph.num_anchors();
         let mut phases = Vec::with_capacity(num_anchors);
         let mut timings = Vec::with_capacity(num_anchors);
+        let mut releases = Vec::with_capacity(num_anchors);
         for (anchor_index, op) in graph.anchors().enumerate() {
             let mut profile = self.profile_operator(op);
             profile.timing.op_index = anchor_index;
@@ -105,6 +144,8 @@ impl Simulator {
                 spec.sram_bytes()
             );
             profile.phases.producers = anchor_producers[anchor_index].clone();
+            profile.phases.release_cycle = group_release[op.op.id];
+            releases.push(group_release[op.op.id]);
             phases.push(profile.phases);
             timings.push(profile.timing);
         }
@@ -122,7 +163,12 @@ impl Simulator {
         // The SRAM's busy track is the union of live segment intervals —
         // replacing the engine's former blanket `[0, makespan)` record,
         // which hid every dead-segment interval from the gating model.
-        let segments = SegmentTimeline::build(&allocation, &schedule.ops, schedule.makespan);
+        let segments = SegmentTimeline::build_with_releases(
+            &allocation,
+            &schedule.ops,
+            schedule.makespan,
+            &releases,
+        );
         let mut timeline = schedule.timeline;
         for iv in segments.live_union() {
             timeline.record(ComponentKind::Sram, iv.start, iv.end);
@@ -134,6 +180,7 @@ impl Simulator {
             chip: self.chip.clone(),
             timings,
             anchor_producers,
+            releases,
             activity,
             timeline,
             segments,
@@ -259,6 +306,7 @@ impl Simulator {
             fused_vu_cycles: fused_vu,
             dispatch_cycles: DISPATCH_OVERHEAD_CYCLES,
             sa_active_cycles: sa_active,
+            release_cycle: 0,
             producers: Vec::new(),
         };
         let timing = OpTiming {
@@ -291,6 +339,9 @@ pub struct SimulationResult {
     timings: Vec<OpTiming>,
     /// `anchor_producers[k]`: anchor indices operator `k` waited on.
     anchor_producers: Vec<Vec<usize>>,
+    /// `releases[k]`: earliest cycle anchor `k` was allowed to issue (all
+    /// zeros for a cycle-0 batch run).
+    releases: Vec<u64>,
     activity: ComponentActivity,
     timeline: BusyTimeline,
     segments: SegmentTimeline,
@@ -315,6 +366,13 @@ impl SimulationResult {
     #[must_use]
     pub fn producers_of(&self, index: usize) -> &[usize] {
         self.anchor_producers.get(index).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Release cycle the schedule honoured for anchor `index` (0 unless
+    /// the run came from [`Simulator::run_with_releases`]).
+    #[must_use]
+    pub fn release_of(&self, index: usize) -> u64 {
+        self.releases.get(index).copied().unwrap_or(0)
     }
 
     /// Aggregated per-component activity.

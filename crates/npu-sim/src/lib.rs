@@ -48,6 +48,7 @@
 pub mod activity;
 pub mod engine;
 pub mod events;
+pub mod rng;
 pub mod segments;
 pub mod timeline;
 pub mod timing;
@@ -55,6 +56,7 @@ pub mod validation;
 
 pub use activity::ComponentActivity;
 pub use engine::{SimulationResult, Simulator};
+pub use rng::SplitMix64;
 pub use segments::{SegmentBand, SegmentTimeline};
 pub use timeline::{BusyTimeline, CycleInterval, IdleBucket, IdleHistogram, Schedule};
 pub use timing::OpTiming;

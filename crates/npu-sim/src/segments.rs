@@ -60,13 +60,9 @@ pub struct SegmentTimeline {
 
 impl SegmentTimeline {
     /// Maps an allocation's segment lifetimes through the scheduled
-    /// operator spans onto the global clock.
-    ///
-    /// A segment live for anchors `[a0, a1]` holds data from the first
-    /// cycle any of those anchors occupies hardware (the prefetch into the
-    /// buffer) until the last of them finishes — including the scheduling
-    /// gaps in between, where the data sits waiting for its consumer.
-    /// Ranges whose clock images overlap or abut are merged.
+    /// operator spans onto the global clock, with every operator released
+    /// at cycle 0 (the single-batch view). See
+    /// [`SegmentTimeline::build_with_releases`].
     ///
     /// # Panics
     ///
@@ -76,6 +72,41 @@ impl SegmentTimeline {
     /// not be silently truncated.
     #[must_use]
     pub fn build(allocation: &SramAllocation, ops: &[ScheduledOp], makespan: u64) -> Self {
+        Self::build_with_releases(allocation, ops, makespan, &[])
+    }
+
+    /// Maps an allocation's segment lifetimes through the scheduled
+    /// operator spans onto the global clock.
+    ///
+    /// A segment live for anchors `[a0, a1]` holds data from the first
+    /// cycle any of those anchors occupies hardware (the prefetch into the
+    /// buffer) until the last of them finishes — including the scheduling
+    /// gaps in between, where the data sits waiting for its consumer.
+    /// Ranges whose clock images overlap or abut are merged.
+    ///
+    /// `releases` (one entry per scheduled anchor; empty = all zero) marks
+    /// the request-release boundaries of a serving trace: a lifetime hull
+    /// may **not** bridge a release change, because the later batch's data
+    /// cannot exist before its batch dispatched. The allocator's prefetch
+    /// lead-in convention anchors a buffer one operator early, which on an
+    /// arrival-driven schedule would otherwise stretch the first buffer of
+    /// every batch across the whole inter-batch gap — keeping the SRAM
+    /// spuriously "live" through exactly the idleness ReGate wants to
+    /// gate. Splitting at release boundaries leaves those gaps dead while
+    /// keeping the single-batch mapping (uniform releases) bit-for-bit
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an anchor-count mismatch with the allocation or a
+    /// non-empty `releases` of the wrong length.
+    #[must_use]
+    pub fn build_with_releases(
+        allocation: &SramAllocation,
+        ops: &[ScheduledOp],
+        makespan: u64,
+        releases: &[u64],
+    ) -> Self {
         assert_eq!(
             allocation.num_anchors(),
             ops.len(),
@@ -83,15 +114,32 @@ impl SegmentTimeline {
             allocation.num_anchors(),
             ops.len()
         );
+        assert!(
+            releases.is_empty() || releases.len() == ops.len(),
+            "release vector covers {} anchors but the schedule has {} operators",
+            releases.len(),
+            ops.len()
+        );
+        let release = |k: usize| releases.get(k).copied().unwrap_or(0);
         let mut bands = Vec::new();
         for lifetime in allocation.segment_lifetimes() {
             let mut live = Vec::with_capacity(lifetime.anchor_ranges.len());
             for &(a0, a1) in &lifetime.anchor_ranges {
-                let anchors = &ops[a0..=a1];
-                let start = anchors.iter().map(ScheduledOp::span_start).min().unwrap_or(0);
-                let end = anchors.iter().map(|s| s.finish).max().unwrap_or(0).min(makespan);
-                if end > start {
-                    live.push(CycleInterval { start, end });
+                // Split the range into maximal runs of equal release and
+                // hull each run separately.
+                let mut k = a0;
+                while k <= a1 {
+                    let mut j = k;
+                    while j < a1 && release(j + 1) == release(k) {
+                        j += 1;
+                    }
+                    let anchors = &ops[k..=j];
+                    let start = anchors.iter().map(ScheduledOp::span_start).min().unwrap_or(0);
+                    let end = anchors.iter().map(|s| s.finish).max().unwrap_or(0).min(makespan);
+                    if end > start {
+                        live.push(CycleInterval { start, end });
+                    }
+                    k = j + 1;
                 }
             }
             merge_intervals(&mut live);
@@ -293,6 +341,28 @@ mod tests {
             tl.live_union(),
             vec![CycleInterval { start: 0, end: 100 }, CycleInterval { start: 200, end: 300 }]
         );
+    }
+
+    #[test]
+    fn release_boundaries_split_lifetime_hulls() {
+        // One buffer whose prefetch lead-in anchor (0) belongs to an
+        // earlier batch than its owner (1): anchors 0 and 1 are separated
+        // by a long inter-batch gap. With uniform releases the hull
+        // bridges the gap; with the release boundary between them the gap
+        // must stay dead.
+        let alloc = SramAllocation::from_buffers(geometry(), vec![buffer(1, 0, 4096, 0, 1)], 2);
+        let ops = [op(0, 0, 100), op(50_000, 50_000, 50_200)];
+        let hull = SegmentTimeline::build(&alloc, &ops, 50_200);
+        assert_eq!(hull.live_intervals(0), &[CycleInterval { start: 0, end: 50_200 }]);
+        let split = SegmentTimeline::build_with_releases(&alloc, &ops, 50_200, &[0, 50_000]);
+        assert_eq!(
+            split.live_intervals(0),
+            &[CycleInterval { start: 0, end: 100 }, CycleInterval { start: 50_000, end: 50_200 }],
+            "the inter-batch gap must be dead"
+        );
+        // Uniform releases reproduce the hull bit for bit.
+        let uniform = SegmentTimeline::build_with_releases(&alloc, &ops, 50_200, &[7, 7]);
+        assert_eq!(uniform.live_intervals(0), hull.live_intervals(0));
     }
 
     #[test]

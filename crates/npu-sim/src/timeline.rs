@@ -147,6 +147,25 @@ impl BusyTimeline {
     pub fn idle_intervals(&self, kind: ComponentKind, total_cycles: u64) -> Vec<CycleInterval> {
         complement_intervals(self.intervals(kind), total_cycles)
     }
+
+    /// Merged union of the busy intervals of several components — the
+    /// "any of these is working" timeline. The serving layer uses the
+    /// union over every real component (excluding the always-on
+    /// peripheral track) to *measure* the chip's duty cycle from the
+    /// schedule, instead of assuming the paper's fleet-average scalar.
+    #[must_use]
+    pub fn union_intervals(&self, kinds: &[ComponentKind]) -> Vec<CycleInterval> {
+        let mut all: Vec<CycleInterval> =
+            kinds.iter().flat_map(|&k| self.intervals(k).iter().copied()).collect();
+        merge_intervals(&mut all);
+        all
+    }
+
+    /// Total cycles in which at least one of the given components is busy.
+    #[must_use]
+    pub fn union_busy_cycles(&self, kinds: &[ComponentKind]) -> u64 {
+        self.union_intervals(kinds).iter().map(CycleInterval::len).sum()
+    }
 }
 
 /// One bucket of the idle-interval histogram: intervals with length in
@@ -252,6 +271,14 @@ pub struct OpPhases {
     pub dispatch_cycles: u64,
     /// Cycles within the main phase the systolic arrays actually compute.
     pub sa_active_cycles: u64,
+    /// Earliest cycle at which *any* phase of the operator may issue — the
+    /// arrival/dispatch time of the request the operator belongs to.
+    /// Before this cycle the operator's inputs do not exist, so neither
+    /// the DMA prefetch nor the main phase may start; the gap a late
+    /// release opens on every resource becomes an ordinary idle interval
+    /// that the gating model prices like any other. `0` (every batch
+    /// ready at the start, the pre-serving behaviour) is the identity.
+    pub release_cycle: u64,
     /// Indices of the operators whose completion this operator's main
     /// phase must wait for (an empty set marks a source). Every index must
     /// be smaller than the operator's own position: the phase vector is a
@@ -356,6 +383,10 @@ struct OpState {
 ///   lead portion of its own DMA, and for its execution unit. It does
 ///   *not* wait for unrelated phases of other operators, and never for
 ///   successors' prefetches.
+/// * **Release times**: no phase of an operator issues before its
+///   [`OpPhases::release_cycle`] — the arrival/dispatch time of the
+///   request the operator serves. Queueing delay and inter-request gaps
+///   therefore appear on every resource track as real idle intervals.
 /// * The operator **finishes** when both its DMA stream and its main phase
 ///   (including fused vector post-processing) are complete.
 #[derive(Debug)]
@@ -498,7 +529,10 @@ impl TimelineEngine {
             return;
         }
         self.state[op].dma_issued = true;
-        self.queue.schedule(now, EventKind::IssueDma { op });
+        // A prefetch may not run ahead of its operator's release: before
+        // the request arrives there is nothing to stream.
+        let at = now.max(self.phases[op].release_cycle);
+        self.queue.schedule(at, EventKind::IssueDma { op });
     }
 
     fn issue_dma(&mut self, op: usize, now: u64) {
@@ -526,7 +560,8 @@ impl TimelineEngine {
             return;
         }
         self.state[op].main_issued = true;
-        self.queue.schedule(now, EventKind::IssueMain { op });
+        let at = now.max(self.phases[op].release_cycle);
+        self.queue.schedule(at, EventKind::IssueMain { op });
     }
 
     fn issue_main(&mut self, op: usize, now: u64) {
@@ -617,6 +652,7 @@ mod tests {
             fused_vu_cycles: 0,
             dispatch_cycles: 10,
             sa_active_cycles: main,
+            release_cycle: 0,
             producers: Vec::new(),
         }
     }
@@ -753,6 +789,7 @@ mod tests {
             fused_vu_cycles: 0,
             dispatch_cycles: 10,
             sa_active_cycles: 0,
+            release_cycle: 0,
             producers: Vec::new(),
         }
     }
@@ -871,6 +908,7 @@ mod tests {
             fused_vu_cycles: 0,
             dispatch_cycles: 10,
             sa_active_cycles: 0,
+            release_cycle: 0,
             producers: Vec::new(),
         };
         let mut sa = sa_op(100, 0);
@@ -885,6 +923,74 @@ mod tests {
             "one VU gang cannot run the fused tail and the VU op at once"
         );
         assert_eq!(schedule.makespan, 15_010);
+    }
+
+    #[test]
+    fn release_times_hold_back_every_phase() {
+        // Two independent requests: the second is released at cycle 50,000,
+        // long after the first finishes. Neither its prefetch nor its main
+        // phase may start earlier, and the gap must surface as SA idle time.
+        let mut late = sa_op(1000, 400);
+        late.release_cycle = 50_000;
+        let schedule = TimelineEngine::new(vec![sa_op(1000, 400), late]).run();
+        let [a, b] = [schedule.ops[0], schedule.ops[1]];
+        assert!(a.finish < 50_000, "the first request finishes well before the release");
+        assert!(b.dma_start >= 50_000, "prefetch ran before the request arrived");
+        assert!(b.main_start >= 50_000, "main phase ran before the request arrived");
+        // The inter-request gap is a real idle interval on the SA track.
+        let gaps = schedule.timeline.idle_intervals(ComponentKind::Sa, schedule.makespan);
+        assert!(
+            gaps.iter().any(|g| g.len() > 40_000),
+            "no long inter-request idle interval: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn releases_at_or_below_the_natural_start_are_the_identity() {
+        // Re-running a chain with each operator's release pinned to the
+        // start it naturally achieved must reproduce the schedule exactly:
+        // the release clamp only ever *delays* issue, it never reorders a
+        // schedule that already satisfies it.
+        let ops = OpPhases::chain(vec![sa_op(300, 500), sa_op(40, 700), sa_op(900, 100)]);
+        let base = TimelineEngine::new(ops.clone()).run();
+        let mut released = ops;
+        for (p, s) in released.iter_mut().zip(base.ops.iter()) {
+            p.release_cycle = s.span_start();
+        }
+        let with_releases = TimelineEngine::new(released).run();
+        assert_eq!(base.ops, with_releases.ops);
+        assert_eq!(base.makespan, with_releases.makespan);
+        assert_eq!(base.timeline, with_releases.timeline);
+    }
+
+    #[test]
+    fn release_later_than_producer_finish_delays_the_consumer() {
+        // Chain 0 -> 1, but op 1's request only arrives at 10,000 even
+        // though op 0 finishes much earlier.
+        let mut ops = OpPhases::chain(vec![sa_op(100, 0), sa_op(100, 0)]);
+        ops[1].release_cycle = 10_000;
+        let schedule = TimelineEngine::new(ops).run();
+        assert!(schedule.ops[0].finish < 1000);
+        assert_eq!(schedule.ops[1].main_start, 10_000);
+    }
+
+    #[test]
+    fn union_intervals_merge_across_components() {
+        let mut tl = BusyTimeline::default();
+        tl.record(ComponentKind::Sa, 0, 10);
+        tl.record(ComponentKind::Vu, 5, 20);
+        tl.record(ComponentKind::Hbm, 40, 50);
+        tl.finalize();
+        let union = tl.union_intervals(&[ComponentKind::Sa, ComponentKind::Vu, ComponentKind::Hbm]);
+        assert_eq!(
+            union,
+            vec![CycleInterval { start: 0, end: 20 }, CycleInterval { start: 40, end: 50 }]
+        );
+        assert_eq!(
+            tl.union_busy_cycles(&[ComponentKind::Sa, ComponentKind::Vu, ComponentKind::Hbm]),
+            30
+        );
+        assert_eq!(tl.union_busy_cycles(&[ComponentKind::Ici]), 0);
     }
 
     #[test]
@@ -905,6 +1011,7 @@ mod tests {
             fused_vu_cycles: 0,
             dispatch_cycles: 10,
             sa_active_cycles: 0,
+            release_cycle: 0,
             producers: Vec::new(),
         }];
         let schedule = TimelineEngine::new(ops).run();

@@ -29,27 +29,11 @@
 
 use npu_arch::ComponentKind;
 use npu_sim::timeline::{OpPhases, Resource, Schedule, TimelineEngine};
-use npu_sim::IdleHistogram;
-use regate_bench::SplitMix64 as Rng;
+use npu_sim::{IdleHistogram, SplitMix64 as Rng};
+use regate_bench::Fnv1a as Fnv;
 
 /// Number of random DAG seeds the invariant sweep covers.
 const NUM_DAG_SEEDS: u64 = 60;
-
-/// FNV-1a 64-bit digest over a stream of u64 values.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn push(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-}
 
 /// Random per-operator phase durations mirroring the shapes the real
 /// profiler emits: SA ops with streamed prefetch and optional fused VU
@@ -72,6 +56,7 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 fused_vu_cycles: fused,
                 dispatch_cycles: 100,
                 sa_active_cycles: active,
+                release_cycle: 0,
                 producers: Vec::new(),
             }
         }
@@ -86,6 +71,7 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 fused_vu_cycles: 0,
                 dispatch_cycles: 100,
                 sa_active_cycles: 0,
+                release_cycle: 0,
                 producers: Vec::new(),
             }
         }
@@ -99,6 +85,7 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 fused_vu_cycles: 0,
                 dispatch_cycles: 100,
                 sa_active_cycles: 0,
+                release_cycle: 0,
                 producers: Vec::new(),
             }
         }
@@ -112,6 +99,7 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 fused_vu_cycles: 0,
                 dispatch_cycles: 100,
                 sa_active_cycles: 0,
+                release_cycle: 0,
                 producers: Vec::new(),
             }
         }
@@ -170,7 +158,7 @@ fn digest_ops(schedule: &Schedule) -> u64 {
         fnv.push(s.main_end);
         fnv.push(s.finish);
     }
-    fnv.0
+    fnv.digest()
 }
 
 fn digest_histogram(schedule: &Schedule) -> u64 {
@@ -185,7 +173,7 @@ fn digest_histogram(schedule: &Schedule) -> u64 {
             fnv.push(b.total_cycles);
         }
     }
-    fnv.0
+    fnv.digest()
 }
 
 /// Serial cost of one operator: intra-operator overlap of compute, fused

@@ -25,8 +25,7 @@ use npu_arch::{ChipConfig, ComponentKind, NpuGeneration, ParallelismConfig, Sram
 use npu_compiler::{BufferLifetime, Compiler, SramAllocation};
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
 use npu_sim::timeline::{OpPhases, Resource, TimelineEngine};
-use npu_sim::{CycleInterval, SegmentTimeline, Simulator, SramCapacityReport};
-use regate_bench::SplitMix64 as Rng;
+use npu_sim::{CycleInterval, SegmentTimeline, Simulator, SplitMix64 as Rng, SramCapacityReport};
 
 /// Number of random DAG seeds the invariant sweep covers.
 const NUM_SEEDS: u64 = 60;
@@ -61,6 +60,7 @@ fn random_dag(rng: &mut Rng, n: usize) -> Vec<OpPhases> {
             fused_vu_cycles: 0,
             dispatch_cycles: 100,
             sa_active_cycles: if unit == Resource::Sa { main } else { 0 },
+            release_cycle: 0,
             producers,
         });
     }
@@ -265,6 +265,7 @@ fn source(unit: Resource, main: u64) -> OpPhases {
         fused_vu_cycles: 0,
         dispatch_cycles: 100,
         sa_active_cycles: if unit == Resource::Sa { main } else { 0 },
+        release_cycle: 0,
         producers: Vec::new(),
     }
 }
