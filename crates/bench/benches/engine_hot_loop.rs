@@ -1,0 +1,118 @@
+//! Engine hot-loop bench: replays prepared graphs through
+//! [`npu_sim::PreparedSimulator::run_with_scratch`] and reports operators
+//! scheduled per wall-second and simulated cycles per wall-second — the
+//! perf trajectory of the event loop itself, with compilation, SRAM
+//! allocation, and dependency flattening paid once outside the timed
+//! region. Results are written to `BENCH_engine.json` at the repo root
+//! (see the README's hot-path section for how to read and update it).
+//!
+//! Run with `cargo bench -p regate_bench --bench engine_hot_loop`.
+
+use std::time::{Duration, Instant};
+
+use npu_arch::{ChipConfig, NpuGeneration, ParallelismConfig};
+use npu_compiler::Compiler;
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use npu_sim::{EngineScratch, Simulator};
+
+struct Measured {
+    mean_s: f64,
+    min_s: f64,
+}
+
+/// One warm-up call, then `samples` timed calls; reports mean and min.
+fn measure(samples: usize, mut routine: impl FnMut()) -> Measured {
+    routine();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        routine();
+        times.push(start.elapsed());
+    }
+    let total: Duration = times.iter().sum();
+    Measured {
+        mean_s: total.as_secs_f64() / samples as f64,
+        min_s: times.iter().min().expect("samples >= 1").as_secs_f64(),
+    }
+}
+
+fn main() {
+    let samples = 10usize;
+    let mut entries = Vec::new();
+    for (name, workload, requests) in [
+        ("llama3_8b_prefill", Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1u64),
+        (
+            "llama3_8b_decode_x128_64req",
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode).with_batch(128),
+            64,
+        ),
+        ("dlrm_s_x2048_64req", Workload::dlrm(DlrmSize::Small).with_batch(2048), 64),
+    ] {
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let parallelism = ParallelismConfig::single();
+        let graph = if requests > 1 {
+            workload.build_request_graph(&parallelism, requests)
+        } else {
+            workload.build_graph(&parallelism)
+        };
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let simulator = Simulator::new(chip);
+        let prepared = simulator.prepare(&compiled);
+        let mut scratch = EngineScratch::default();
+        let makespan = prepared.run_with_scratch(&[], &mut scratch).total_cycles();
+        let anchors = compiled.num_anchors();
+
+        // The hot loop proper: event-driven replay against warm scratch.
+        let replay = measure(samples, || {
+            std::hint::black_box(prepared.run_with_scratch(&[], &mut scratch));
+        });
+        // The one-shot path (profile + allocate + flatten + replay), for
+        // the prepare-once amortization ratio.
+        let one_shot = measure(samples, || {
+            std::hint::black_box(simulator.run_with_releases(&compiled, &[]));
+        });
+
+        let ops_per_second = anchors as f64 / replay.mean_s;
+        let cycles_per_wall_second = makespan as f64 / replay.mean_s;
+        println!(
+            "{name}: {anchors} anchors, {makespan} simulated cycles | replay mean \
+             {:.3} ms (min {:.3} ms) -> {:.3e} ops/s, {:.3e} simulated cycles/s | one-shot mean \
+             {:.3} ms",
+            replay.mean_s * 1e3,
+            replay.min_s * 1e3,
+            ops_per_second,
+            cycles_per_wall_second,
+            one_shot.mean_s * 1e3,
+        );
+        entries.push(format!(
+            r#"    {{
+      "name": "{name}",
+      "anchors": {anchors},
+      "simulated_cycles": {makespan},
+      "replay_mean_s": {:.6e},
+      "replay_min_s": {:.6e},
+      "one_shot_mean_s": {:.6e},
+      "ops_per_second": {:.6e},
+      "simulated_cycles_per_wall_second": {:.6e}
+    }}"#,
+            replay.mean_s, replay.min_s, one_shot.mean_s, ops_per_second, cycles_per_wall_second,
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "engine_hot_loop",
+  "command": "cargo bench -p regate_bench --bench engine_hot_loop",
+  "samples_per_measurement": {samples},
+  "note": "replay = PreparedSimulator::run_with_scratch on a prepared graph (the event-loop hot path); one_shot = Simulator::run_with_releases including profiling/allocation/flattening",
+  "workloads": [
+{}
+  ]
+}}
+"#,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

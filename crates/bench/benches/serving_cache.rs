@@ -1,0 +1,128 @@
+//! Serving compile-cache bench: the same arrival trace served through the
+//! cached path ([`npu_serving::ServingSimulator::run`], compile-once per
+//! batch shape) and the fresh-compile path
+//! ([`npu_serving::ServingSimulator::run_uncached`], per-batch re-lowering
+//! and recompilation). Results — including the frozen pre-PR baseline of
+//! the per-batch-recompile serving path — are written to
+//! `BENCH_serving.json` at the repo root.
+//!
+//! Run with `cargo bench -p regate_bench --bench serving_cache`.
+
+use std::time::{Duration, Instant};
+
+use npu_arch::NpuGeneration;
+use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
+use npu_serving::{ArrivalProcess, BatchPolicy, ServingSimulator};
+
+/// Wall time per serving run of the pre-PR `ServingSimulator::run` (which
+/// re-lowered and recompiled every batch and paid a per-anchor
+/// `live_bytes_at` point query inside the simulator), measured at the seed
+/// commit on the same trace configurations benched below. Frozen here so
+/// the speedup column stays anchored to the state this PR started from.
+const PRE_PR_BASELINE_S: [(&str, f64); 2] =
+    [("dlrm_s_x32_64req_static4", 13.77e-3), ("llama3_8b_decode_x2_64req_static4", 146.4e-3)];
+
+struct Measured {
+    mean_s: f64,
+    min_s: f64,
+}
+
+/// One warm-up call, then `samples` timed calls; reports mean and min.
+fn measure(samples: usize, mut routine: impl FnMut()) -> Measured {
+    routine();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        routine();
+        times.push(start.elapsed());
+    }
+    let total: Duration = times.iter().sum();
+    Measured {
+        mean_s: total.as_secs_f64() / samples as f64,
+        min_s: times.iter().min().expect("samples >= 1").as_secs_f64(),
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    for (name, workload, uncached_samples, cached_samples) in [
+        (
+            "dlrm_s_x32_64req_static4",
+            Workload::dlrm(DlrmSize::Small).with_batch(32),
+            5usize,
+            10usize,
+        ),
+        (
+            "llama3_8b_decode_x2_64req_static4",
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode).with_batch(2),
+            3,
+            5,
+        ),
+    ] {
+        // The sweep shape every load point repeats: 64 Poisson arrivals
+        // under Static{4} form sixteen batches of four requests — one
+        // compiled batch template, one prepared trace, reused throughout.
+        let server = ServingSimulator::new(NpuGeneration::D, 1, workload);
+        let arrivals =
+            ArrivalProcess::Poisson { mean_interval_cycles: 100_000.0, seed: 11 }.arrivals(64);
+        let policy = BatchPolicy::Static { batch: 4 };
+        let simulated_cycles = server.run(&arrivals, &policy).makespan_cycles();
+
+        let uncached = measure(uncached_samples, || {
+            std::hint::black_box(server.run_uncached(&arrivals, &policy));
+        });
+        let cached = measure(cached_samples, || {
+            std::hint::black_box(server.run(&arrivals, &policy));
+        });
+
+        let baseline_s = PRE_PR_BASELINE_S
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, s)| s)
+            .expect("every benched config has a frozen baseline");
+        let vs_uncached = uncached.mean_s / cached.mean_s;
+        let vs_baseline = baseline_s / cached.mean_s;
+        let cycles_per_wall_second = simulated_cycles as f64 / cached.mean_s;
+        println!(
+            "{name}: uncached mean {:.3} ms | cached mean {:.3} ms (min {:.3} ms) | speedup \
+             {vs_uncached:.2}x vs in-tree fresh compile, {vs_baseline:.2}x vs pre-PR baseline \
+             {:.3} ms | {:.3e} simulated cycles/s cached",
+            uncached.mean_s * 1e3,
+            cached.mean_s * 1e3,
+            cached.min_s * 1e3,
+            baseline_s * 1e3,
+            cycles_per_wall_second,
+        );
+        entries.push(format!(
+            r#"    {{
+      "name": "{name}",
+      "simulated_cycles": {simulated_cycles},
+      "pre_pr_per_batch_recompile_baseline_s": {baseline_s:.6e},
+      "uncached_mean_s": {:.6e},
+      "cached_mean_s": {:.6e},
+      "cached_min_s": {:.6e},
+      "speedup_cached_vs_uncached": {vs_uncached:.3},
+      "speedup_cached_vs_pre_pr_baseline": {vs_baseline:.3},
+      "simulated_cycles_per_wall_second_cached": {:.6e}
+    }}"#,
+            uncached.mean_s, cached.mean_s, cached.min_s, cycles_per_wall_second,
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "serving_cache",
+  "command": "cargo bench -p regate_bench --bench serving_cache",
+  "trace": "64 Poisson arrivals (mean interval 100k cycles, seed 11), BatchPolicy::Static {{ batch: 4 }}",
+  "note": "cached = ServingSimulator::run (compile-once per batch shape, prepared replay); uncached = run_uncached (per-batch re-lowering + recompilation on the current engine); the pre-PR baseline is the seed commit's per-batch-recompile run() wall time on this machine",
+  "runs": [
+{}
+  ]
+}}
+"#,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, json).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+}

@@ -4,17 +4,42 @@
 //! *measured* duty cycle against the paper's fleet-average assumption.
 //!
 //! Run with `cargo run --release -p regate_bench --bin serving_sweep`.
-//! Pass `--quick` for the minimal CI smoke subset.
+//! Pass `--quick` for the minimal CI smoke subset, and
+//! `--floor <cycles-per-second>` to fail (exit 1) if the sweep's serving
+//! throughput — simulated cycles scheduled per wall-second, summed over
+//! every `ServingSimulator::run` call — drops below the floor. CI pins a
+//! conservative floor so a hot-path regression fails the build instead of
+//! silently slowing every future sweep.
+
+use std::time::{Duration, Instant};
 
 use npu_arch::NpuGeneration;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
-use npu_serving::{ArrivalProcess, BatchPolicy, ServingReport, ServingSimulator};
+use npu_serving::{ArrivalProcess, BatchPolicy, ServingOutcome, ServingReport, ServingSimulator};
 use regate::{Design, Evaluator};
 use regate_bench::{pct, section};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let floor: Option<f64> = args
+        .iter()
+        .position(|a| a == "--floor")
+        .map(|i| args[i + 1..].first().expect("--floor takes a value"))
+        .map(|v| v.parse().expect("--floor takes cycles-per-wall-second"));
     let requests = if quick { 8 } else { 24 };
+    // Serving throughput accounting: simulated cycles scheduled per
+    // wall-second, over every timed serving run of the sweep.
+    let mut simulated_cycles = 0u64;
+    let mut serving_wall = Duration::ZERO;
+    let mut timed_run =
+        |server: &ServingSimulator, arrivals: &[u64], policy: &BatchPolicy| -> ServingOutcome {
+            let start = Instant::now();
+            let outcome = server.run(arrivals, policy);
+            serving_wall += start.elapsed();
+            simulated_cycles += outcome.makespan_cycles();
+            outcome
+        };
     let designs = [Design::ReGateBase, Design::ReGateHw, Design::ReGateFull];
 
     let deployments: Vec<(Workload, usize, &str)> = if quick {
@@ -59,7 +84,7 @@ fn main() {
         for process in &processes {
             let arrivals = process.arrivals(requests);
             for policy in &policies {
-                let outcome = server.run(&arrivals, policy);
+                let outcome = timed_run(&server, &arrivals, policy);
                 let report = ServingReport::evaluate(&outcome, &evaluator);
                 let savings: Vec<String> =
                     designs.iter().map(|&d| pct(report.design(d).savings)).collect();
@@ -79,7 +104,8 @@ fn main() {
 
         // Reconciliation of the out-of-duty-cycle term: the serving trace
         // measures its duty cycle instead of assuming the fleet average.
-        let low = server.run(
+        let low = timed_run(
+            &server,
             &ArrivalProcess::Poisson { mean_interval_cycles: 1_000_000.0, seed: 11 }
                 .arrivals(requests),
             &policies[0],
@@ -94,5 +120,20 @@ fn main() {
             "queueing vs service split at low load: {:.0} / {:.0} cycles (mean)",
             report.mean_queueing_cycles, report.mean_service_cycles
         );
+    }
+
+    let throughput = simulated_cycles as f64 / serving_wall.as_secs_f64().max(1e-12);
+    println!(
+        "\nserving throughput: {simulated_cycles} simulated cycles in {:.3} s of serving wall \
+         time = {throughput:.3e} simulated cycles per wall-second",
+        serving_wall.as_secs_f64()
+    );
+    if let Some(floor) = floor {
+        assert!(
+            throughput >= floor,
+            "serving throughput {throughput:.3e} simulated cycles/s fell below the floor \
+             {floor:.3e} — the serving hot path regressed"
+        );
+        println!("throughput floor {floor:.3e} cycles/s: ok");
     }
 }

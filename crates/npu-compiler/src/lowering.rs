@@ -75,6 +75,38 @@ pub struct CompiledGraph {
 }
 
 impl CompiledGraph {
+    /// An empty compiled graph — the seed for concatenating independently
+    /// compiled subgraphs with [`CompiledGraph::extend_from`].
+    #[must_use]
+    pub fn empty(name: impl Into<String>) -> Self {
+        CompiledGraph { name: name.into(), ops: Vec::new(), producers: Vec::new() }
+    }
+
+    /// Appends another compiled graph's operators, remapping operator ids,
+    /// fusion-anchor references, and producer edges by this graph's current
+    /// length. Returns the id range the appended operators landed on.
+    ///
+    /// Because fusion follows producer edges only — disconnected subgraphs
+    /// never fuse across their boundary — and unit assignment and tiling
+    /// are per-operator, concatenating per-batch *compiled* graphs this way
+    /// is bit-for-bit identical to compiling the concatenated operator
+    /// graph. That equivalence is what lets a serving run reuse cached
+    /// compilations of repeated batch shapes.
+    pub fn extend_from(&mut self, other: &CompiledGraph) -> std::ops::Range<usize> {
+        let base = self.ops.len();
+        self.ops.reserve(other.ops.len());
+        for op in &other.ops {
+            let mut op = op.clone();
+            op.op.id += base;
+            op.folded_into = op.folded_into.map(|anchor| anchor + base);
+            self.ops.push(op);
+        }
+        self.producers.reserve(other.producers.len());
+        self.producers
+            .extend(other.producers.iter().map(|set| set.iter().map(|&p| p + base).collect()));
+        base..self.ops.len()
+    }
+
     /// Name of the source graph.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -391,6 +423,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn concatenating_compiled_subgraphs_matches_compiling_the_concatenation() {
+        // The serving cache's founding identity: compiling two disconnected
+        // copies of a subgraph equals compiling the subgraph once and
+        // concatenating the compiled result — fusion follows producer edges
+        // only, and unit assignment/tiling are per-operator.
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill);
+        let sub = wl.build_graph(&ParallelismConfig::single());
+        let mut combined_src = npu_models::OperatorGraph::new("combined");
+        combined_src.extend_from(&sub);
+        combined_src.extend_from(&sub);
+        let reference = compiler().compile(&combined_src);
+
+        let sub_compiled = compiler().compile(&sub);
+        let mut concat = CompiledGraph::empty("combined");
+        let first = concat.extend_from(&sub_compiled);
+        let second = concat.extend_from(&sub_compiled);
+        assert_eq!(first, 0..sub.len());
+        assert_eq!(second, sub.len()..2 * sub.len());
+        assert_eq!(concat.name(), reference.name());
+        assert_eq!(concat.ops(), reference.ops());
+        for id in 0..concat.len() {
+            assert_eq!(concat.producers_of(id), reference.producers_of(id), "op {id}");
+        }
+        assert_eq!(concat.anchor_positions(), reference.anchor_positions());
+        assert_eq!(concat.anchor_producers(), reference.anchor_producers());
     }
 
     #[test]

@@ -192,6 +192,44 @@ impl SramAllocation {
         live
     }
 
+    /// Live bytes at every anchor in one pass: `profile[index]` equals
+    /// [`SramAllocation::live_bytes_at`]`(index)` bit for bit, but the
+    /// sweep keeps a running active-buffer set instead of rescanning all
+    /// buffers per anchor — `O(anchors × live-buffers)` instead of the
+    /// point query's `O(anchors × all-buffers)`, which turned the
+    /// simulator's per-anchor liveness lookup quadratic on serving-scale
+    /// graphs.
+    #[must_use]
+    pub fn live_bytes_profile(&self) -> Vec<u64> {
+        let mut order: Vec<usize> = (0..self.buffers.len()).collect();
+        order.sort_unstable_by_key(|&i| self.buffers[i].live_from);
+        let mut next = 0usize;
+        let mut active: Vec<usize> = Vec::new();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        let mut profile = Vec::with_capacity(self.num_anchors);
+        for index in 0..self.num_anchors {
+            while next < order.len() && self.buffers[order[next]].live_from <= index {
+                active.push(order[next]);
+                next += 1;
+            }
+            active.retain(|&i| self.buffers[i].live_to >= index);
+            ranges.clear();
+            ranges.extend(active.iter().map(|&i| {
+                let b = &self.buffers[i];
+                (b.start_addr, b.end_addr())
+            }));
+            ranges.sort_unstable();
+            let mut live = 0u64;
+            let mut cursor = 0u64;
+            for &(start, end) in &ranges {
+                live += end.saturating_sub(start.max(cursor));
+                cursor = cursor.max(end);
+            }
+            profile.push(live);
+        }
+        profile
+    }
+
     /// Number of 4 KiB (segment-sized) segments live while anchor `index`
     /// executes.
     #[must_use]
@@ -202,7 +240,7 @@ impl SramAllocation {
     /// Peak live bytes across the whole graph.
     #[must_use]
     pub fn peak_bytes(&self) -> u64 {
-        (0..self.num_anchors).map(|i| self.live_bytes_at(i)).max().unwrap_or(0)
+        self.live_bytes_profile().into_iter().max().unwrap_or(0)
     }
 
     /// Inclusive range of segment indices a buffer occupies.
@@ -282,7 +320,7 @@ impl SramAllocation {
         if self.num_anchors == 0 {
             return 0.0;
         }
-        let total: u64 = (0..self.num_anchors).map(|i| self.live_bytes_at(i)).sum();
+        let total: u64 = self.live_bytes_profile().into_iter().sum();
         total as f64 / (self.num_anchors as f64 * self.geometry.total_bytes() as f64)
     }
 }
@@ -462,6 +500,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn live_bytes_profile_matches_point_queries() {
+        // The sweep must reproduce the per-anchor point query bit for bit,
+        // both on a compiled graph and on a synthetic layout with aliased
+        // addresses and out-of-order lifetimes.
+        let alloc = allocate(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode),
+            ParallelismConfig::single(),
+        );
+        let profile = alloc.live_bytes_profile();
+        assert_eq!(profile.len(), alloc.num_anchors());
+        for (i, &bytes) in profile.iter().enumerate() {
+            assert_eq!(bytes, alloc.live_bytes_at(i), "anchor {i}");
+        }
+        let g = SramGeometry::new(64 * 1024, 4096);
+        let synthetic = SramAllocation::from_buffers(
+            g,
+            vec![
+                buffer(0, 0, 8192, 2, 5),
+                buffer(1, 4096, 8192, 0, 3),
+                buffer(2, 32 * 1024, 4096, 1, 1),
+                buffer(3, 0, 4096, 5, 6),
+            ],
+            7,
+        );
+        let profile = synthetic.live_bytes_profile();
+        for (i, &bytes) in profile.iter().enumerate() {
+            assert_eq!(bytes, synthetic.live_bytes_at(i), "anchor {i}");
+        }
+        assert_eq!(synthetic.peak_bytes(), *profile.iter().max().unwrap());
     }
 
     #[test]

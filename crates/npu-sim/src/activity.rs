@@ -81,13 +81,26 @@ impl ComponentActivity {
         self.total_cycles.saturating_sub(self.busy_cycles(kind))
     }
 
+    /// Floating-point slack tolerated before a clamped utilization is
+    /// considered an accounting bug rather than rounding noise.
+    const UTILIZATION_EPSILON: f64 = 1e-9;
+
     /// Temporal utilization of one component kind (Figures 4, 6, 8, 9).
     #[must_use]
     pub fn temporal_utilization(&self, kind: ComponentKind) -> f64 {
         if self.total_cycles == 0 {
             return 0.0;
         }
-        (self.busy_cycles(kind) as f64 / self.total_cycles as f64).min(1.0)
+        let fraction = self.busy_cycles(kind) as f64 / self.total_cycles as f64;
+        // A busy fraction above 1 means a component was credited more busy
+        // cycles than the clock has — an interval-merging or double-count
+        // bug the clamp below would silently hide (the pattern that hid
+        // the PR-4 SRAM capacity bug).
+        debug_assert!(
+            fraction <= 1.0 + Self::UTILIZATION_EPSILON,
+            "{kind:?}: busy fraction {fraction} exceeds 1.0 — busy cycles were double counted"
+        );
+        fraction.min(1.0)
     }
 
     /// Average SA spatial utilization over SA-active cycles (Figure 5).
@@ -97,7 +110,16 @@ impl ComponentActivity {
         if active == 0 {
             return 0.0;
         }
-        (self.sa_weighted_spatial / active as f64).min(1.0)
+        let fraction = self.sa_weighted_spatial / active as f64;
+        // Weighted spatial utilization is a per-operator convex combination
+        // of values in [0, 1] over at most `active` cycles; above 1 the
+        // weights are wrong (or active cycles were lost), not the clamp's
+        // problem to paper over.
+        debug_assert!(
+            fraction <= 1.0 + Self::UTILIZATION_EPSILON,
+            "SA spatial utilization {fraction} exceeds 1.0 — weights exceed the active cycles"
+        );
+        fraction.min(1.0)
     }
 }
 
@@ -168,6 +190,53 @@ mod tests {
             ComponentActivity::from_timings(&[timing(100, 0, 0, 90, 90), timing(50, 0, 0, 10, 20)]);
         assert_eq!(b.busy_cycles(ComponentKind::Dma), 130);
         assert!(b.busy_cycles(ComponentKind::Dma) <= b.total_cycles());
+    }
+
+    #[test]
+    fn utilization_at_exactly_one_is_the_boundary_not_a_bug() {
+        // A fully busy component and a fully utilized SA sit exactly on
+        // the clamp boundary: both must return 1.0 without tripping the
+        // debug assertion (the assertion fires only *above* 1 + ε).
+        let full = ComponentActivity {
+            busy_cycles: BTreeMap::from([(ComponentKind::Sa, 100)]),
+            sa_weighted_spatial: 100.0,
+            total_cycles: 100,
+        };
+        assert_eq!(full.temporal_utilization(ComponentKind::Sa), 1.0);
+        assert_eq!(full.sa_spatial_utilization(), 1.0);
+        // Rounding noise within ε of 1.0 is clamped, not rejected.
+        let noisy = ComponentActivity {
+            busy_cycles: BTreeMap::from([(ComponentKind::Sa, 100)]),
+            sa_weighted_spatial: 100.0 * (1.0 + 1e-12),
+            total_cycles: 100,
+        };
+        assert_eq!(noisy.sa_spatial_utilization(), 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "busy fraction")]
+    fn overfull_busy_fraction_is_caught_in_debug() {
+        // More busy cycles than the clock has is an accounting bug the
+        // clamp used to hide silently.
+        let broken = ComponentActivity {
+            busy_cycles: BTreeMap::from([(ComponentKind::Hbm, 150)]),
+            sa_weighted_spatial: 0.0,
+            total_cycles: 100,
+        };
+        let _ = broken.temporal_utilization(ComponentKind::Hbm);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SA spatial utilization")]
+    fn overfull_spatial_weights_are_caught_in_debug() {
+        let broken = ComponentActivity {
+            busy_cycles: BTreeMap::from([(ComponentKind::Sa, 10)]),
+            sa_weighted_spatial: 20.0,
+            total_cycles: 100,
+        };
+        let _ = broken.sa_spatial_utilization();
     }
 
     #[test]

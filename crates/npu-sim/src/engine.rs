@@ -18,12 +18,14 @@
 use serde::{Deserialize, Serialize};
 
 use npu_arch::{ChipConfig, ComponentKind, PodTopology};
-use npu_compiler::{CompiledGraph, CompiledOp, SramAllocation};
+use npu_compiler::{CompiledGraph, CompiledOp, SegmentLifetime, SramAllocation};
 use npu_models::{CollectiveKind, ExecutionUnit, OpKind};
 
 use crate::activity::ComponentActivity;
 use crate::segments::SegmentTimeline;
-use crate::timeline::{BusyTimeline, IdleHistogram, OpPhases, Resource, TimelineEngine};
+use crate::timeline::{
+    BusyTimeline, EngineScratch, IdleHistogram, OpPhases, Resource, TimelineEngine,
+};
 use crate::timing::OpTiming;
 
 /// Fixed per-operator dispatch overhead in cycles (instruction fetch,
@@ -112,28 +114,34 @@ impl Simulator {
             op_releases.len(),
             graph.len()
         );
-        // Release of each fusion group, indexed by the anchor's op id: the
-        // group runs as one unit, so it is ready only when every member's
-        // request has arrived (in practice all members share one batch).
-        let mut group_release = vec![0u64; graph.len()];
-        for (id, op) in graph.ops().iter().enumerate() {
-            let anchor = op.folded_into.unwrap_or(id);
-            let release = op_releases.get(id).copied().unwrap_or(0);
-            group_release[anchor] = group_release[anchor].max(release);
-        }
+        self.prepare(graph).run_with_releases(op_releases)
+    }
 
+    /// Profiles, allocates, and builds the timeline engine for a compiled
+    /// graph **once**, returning a [`PreparedSimulator`] that can replay
+    /// the graph against many release vectors. Per replay only the event
+    /// loop, the span-to-clock segment mapping, and the timing fill-in run
+    /// — the per-anchor profiling, SRAM allocation sweep, and dependency
+    /// flattening are all paid here. This is the compile-once/run-many
+    /// path the serving layer's graph cache builds on.
+    #[must_use]
+    pub fn prepare(&self, graph: &CompiledGraph) -> PreparedSimulator {
         let spec = self.chip.spec();
         let allocation = SramAllocation::allocate(graph, spec.sram_geometry());
+        // One sweep over the buffer list instead of a per-anchor
+        // `live_bytes_at` point query (which is O(buffers) per anchor and
+        // dominated the whole simulation on big graphs).
+        let live_profile = allocation.live_bytes_profile();
 
         let anchor_producers = graph.anchor_producers();
         let num_anchors = graph.num_anchors();
         let mut phases = Vec::with_capacity(num_anchors);
         let mut timings = Vec::with_capacity(num_anchors);
-        let mut releases = Vec::with_capacity(num_anchors);
+        let mut anchor_ids = Vec::with_capacity(num_anchors);
         for (anchor_index, op) in graph.anchors().enumerate() {
             let mut profile = self.profile_operator(op);
             profile.timing.op_index = anchor_index;
-            profile.timing.sram_live_bytes = allocation.live_bytes_at(anchor_index);
+            profile.timing.sram_live_bytes = live_profile[anchor_index];
             // Over-capacity live bytes are an allocator bug, not a value
             // downstream consumers may quietly clamp; see
             // `validation::SramCapacityReport` for the release-mode audit.
@@ -144,47 +152,22 @@ impl Simulator {
                 spec.sram_bytes()
             );
             profile.phases.producers = anchor_producers[anchor_index].clone();
-            profile.phases.release_cycle = group_release[op.op.id];
-            releases.push(group_release[op.op.id]);
+            anchor_ids.push(op.op.id);
             phases.push(profile.phases);
             timings.push(profile.timing);
         }
-
-        let schedule = TimelineEngine::new(phases).run();
-        let mut sa_weighted_spatial = 0.0f64;
-        for (timing, scheduled) in timings.iter_mut().zip(schedule.ops.iter()) {
-            timing.start_cycle = scheduled.span_start();
-            timing.compute_start_cycle = scheduled.main_start;
-            timing.duration_cycles = scheduled.span_cycles();
-            sa_weighted_spatial += timing.sa_spatial_utilization * timing.sa_active_cycles as f64;
-        }
-        // Per-segment SRAM liveness on the global clock: the allocator's
-        // anchor-granularity lifetimes mapped through the scheduled spans.
-        // The SRAM's busy track is the union of live segment intervals —
-        // replacing the engine's former blanket `[0, makespan)` record,
-        // which hid every dead-segment interval from the gating model.
-        let segments = SegmentTimeline::build_with_releases(
-            &allocation,
-            &schedule.ops,
-            schedule.makespan,
-            &releases,
-        );
-        let mut timeline = schedule.timeline;
-        for iv in segments.live_union() {
-            timeline.record(ComponentKind::Sram, iv.start, iv.end);
-        }
-        timeline.finalize();
-        let activity =
-            ComponentActivity::from_timeline(&timeline, schedule.makespan, sa_weighted_spatial);
-        SimulationResult {
+        let fold_anchor =
+            graph.ops().iter().enumerate().map(|(id, op)| op.folded_into.unwrap_or(id)).collect();
+        PreparedSimulator {
             chip: self.chip.clone(),
+            engine: TimelineEngine::new(phases),
             timings,
             anchor_producers,
-            releases,
-            activity,
-            timeline,
-            segments,
-            makespan_cycles: schedule.makespan,
+            fold_anchor,
+            anchor_ids,
+            lifetimes: allocation.segment_lifetimes(),
+            segment_bytes: allocation.geometry().segment_bytes(),
+            num_segments: allocation.geometry().num_segments(),
         }
     }
 
@@ -332,6 +315,131 @@ impl Simulator {
     }
 }
 
+/// A compiled graph profiled, allocated, and dependency-flattened for
+/// repeated simulation — see [`Simulator::prepare`].
+///
+/// All release-independent work lives here: per-anchor phase durations and
+/// timing templates, the SRAM allocation's live-bytes profile and segment
+/// lifetimes, and the timeline engine's CSR topology. Replaying against a
+/// new release vector ([`PreparedSimulator::run_with_scratch`]) pays only
+/// the event loop and the clock mapping, which is what makes a serving
+/// sweep over repeated batch shapes cheap.
+#[derive(Debug)]
+pub struct PreparedSimulator {
+    chip: ChipConfig,
+    engine: TimelineEngine,
+    /// Timing templates: everything but the schedule-dependent
+    /// start/duration fields, filled per replay.
+    timings: Vec<OpTiming>,
+    anchor_producers: Vec<Vec<usize>>,
+    /// Op id → op id of its fusion-group anchor (identity when unfused).
+    fold_anchor: Vec<usize>,
+    /// Anchor index → op id.
+    anchor_ids: Vec<usize>,
+    lifetimes: Vec<SegmentLifetime>,
+    segment_bytes: u64,
+    num_segments: usize,
+}
+
+impl PreparedSimulator {
+    /// The chip configuration being simulated.
+    #[must_use]
+    pub fn chip(&self) -> &ChipConfig {
+        &self.chip
+    }
+
+    /// Number of compiled operators (anchors plus folded members) the
+    /// release vector must cover.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.fold_anchor.len()
+    }
+
+    /// Replays the prepared graph under a release vector with one-shot
+    /// scratch buffers. Semantics match [`Simulator::run_with_releases`]
+    /// on the same graph, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_releases` is neither empty nor exactly one entry per
+    /// compiled operator.
+    #[must_use]
+    pub fn run_with_releases(&self, op_releases: &[u64]) -> SimulationResult {
+        self.run_with_scratch(op_releases, &mut EngineScratch::default())
+    }
+
+    /// Replays the prepared graph under a release vector, reusing the
+    /// caller's [`EngineScratch`] across runs so the event loop allocates
+    /// nothing per replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_releases` is neither empty nor exactly one entry per
+    /// compiled operator.
+    #[must_use]
+    pub fn run_with_scratch(
+        &self,
+        op_releases: &[u64],
+        scratch: &mut EngineScratch,
+    ) -> SimulationResult {
+        assert!(
+            op_releases.is_empty() || op_releases.len() == self.fold_anchor.len(),
+            "release vector covers {} operators but the graph has {}",
+            op_releases.len(),
+            self.fold_anchor.len()
+        );
+        // Release of each fusion group, indexed by the anchor's op id: the
+        // group runs as one unit, so it is ready only when every member's
+        // request has arrived (in practice all members share one batch).
+        let mut group_release = vec![0u64; self.fold_anchor.len()];
+        for (id, &anchor) in self.fold_anchor.iter().enumerate() {
+            let release = op_releases.get(id).copied().unwrap_or(0);
+            group_release[anchor] = group_release[anchor].max(release);
+        }
+        let releases: Vec<u64> = self.anchor_ids.iter().map(|&id| group_release[id]).collect();
+
+        let schedule = self.engine.run_with_scratch(&releases, scratch);
+        let mut timings = self.timings.clone();
+        let mut sa_weighted_spatial = 0.0f64;
+        for (timing, scheduled) in timings.iter_mut().zip(schedule.ops.iter()) {
+            timing.start_cycle = scheduled.span_start();
+            timing.compute_start_cycle = scheduled.main_start;
+            timing.duration_cycles = scheduled.span_cycles();
+            sa_weighted_spatial += timing.sa_spatial_utilization * timing.sa_active_cycles as f64;
+        }
+        // Per-segment SRAM liveness on the global clock: the allocator's
+        // anchor-granularity lifetimes mapped through the scheduled spans.
+        // The SRAM's busy track is the union of live segment intervals —
+        // replacing the engine's former blanket `[0, makespan)` record,
+        // which hid every dead-segment interval from the gating model.
+        let segments = SegmentTimeline::from_lifetimes(
+            &self.lifetimes,
+            self.segment_bytes,
+            self.num_segments,
+            &schedule.ops,
+            schedule.makespan,
+            &releases,
+        );
+        let mut timeline = schedule.timeline;
+        for iv in segments.live_union() {
+            timeline.record(ComponentKind::Sram, iv.start, iv.end);
+        }
+        timeline.finalize();
+        let activity =
+            ComponentActivity::from_timeline(&timeline, schedule.makespan, sa_weighted_spatial);
+        SimulationResult {
+            chip: self.chip.clone(),
+            timings,
+            anchor_producers: self.anchor_producers.clone(),
+            releases,
+            activity,
+            timeline,
+            segments,
+            makespan_cycles: schedule.makespan,
+        }
+    }
+}
+
 /// Result of simulating one compiled graph on one chip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationResult {
@@ -359,6 +467,15 @@ impl SimulationResult {
     #[must_use]
     pub fn timings(&self) -> &[OpTiming] {
         &self.timings
+    }
+
+    /// The last-issued timing whose operator name starts with `prefix`,
+    /// or `None` if no operator matches — a gather-only DLRM slice has no
+    /// `bottom_mlp` stack, for example, and callers must handle that
+    /// rather than indexing on faith.
+    #[must_use]
+    pub fn last_timing_with_prefix(&self, prefix: &str) -> Option<&OpTiming> {
+        self.timings.iter().rfind(|t| t.name.starts_with(prefix))
     }
 
     /// Anchor indices whose completion operator `index` waited on — the
@@ -761,7 +878,9 @@ mod tests {
             .find(|t| t.name.ends_with(".lookup"))
             .expect("DLRM has gather anchors");
         assert_eq!(first_gather.compute_start_cycle, 0, "gathers are DAG sources");
-        let mlp_tail = result.timings().iter().rfind(|t| t.name.starts_with("bottom_mlp")).unwrap();
+        let mlp_tail = result
+            .last_timing_with_prefix("bottom_mlp")
+            .expect("DLRM lowers a bottom_mlp stack; a gather-only graph would return None");
         assert!(
             first_gather.compute_start_cycle < mlp_tail.start_cycle + mlp_tail.duration_cycles,
             "gathers serialized behind the bottom MLP"
@@ -818,6 +937,105 @@ mod tests {
                 && t.compute_start_cycle < a2a_finish),
             "no later gather overlapped the first request's all-to-all"
         );
+    }
+
+    #[test]
+    fn timing_prefix_lookup_is_none_on_gather_only_graphs() {
+        // Regression: the DLRM overlap test used to `.unwrap()` the
+        // bottom_mlp lookup, which panics on any DLRM-shaped graph that
+        // lowers only embedding gathers (e.g. a sparse-side slice).
+        use npu_models::{DataType, OpKind, Operator, OperatorGraph};
+        let mut graph = OperatorGraph::new("gather-only");
+        for t in 0..4 {
+            graph.push_source(Operator::new(
+                format!("table.{t}.lookup"),
+                OpKind::EmbeddingLookup { lookups: 1024, dim: 128, table_bytes: 1 << 20 },
+                DataType::Bf16,
+            ));
+        }
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let result = Simulator::new(chip).run(&compiled);
+        assert!(result.last_timing_with_prefix("bottom_mlp").is_none());
+        assert!(result.last_timing_with_prefix("table.").is_some());
+        // And on a full DLRM graph the lookup finds the *last* MLP op.
+        let full = simulate(Workload::dlrm(DlrmSize::Small), 1);
+        let tail = full.last_timing_with_prefix("bottom_mlp").expect("full DLRM has a bottom MLP");
+        let last_index =
+            full.timings().iter().rposition(|t| t.name.starts_with("bottom_mlp")).unwrap();
+        assert_eq!(tail.op_index, last_index);
+    }
+
+    #[test]
+    fn prepared_simulator_replays_bit_for_bit() {
+        // The prepare-once/run-many path must agree with the one-shot
+        // engine exactly — timings, timeline, segments, activity — for
+        // uniform-zero, empty, and staggered release vectors.
+        let wl = Workload::dlrm(DlrmSize::Small).with_batch(64);
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let graph = wl.build_graph(&ParallelismConfig::single());
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let sim = Simulator::new(chip);
+        let prepared = sim.prepare(&compiled);
+        assert_eq!(prepared.num_ops(), compiled.len());
+        let mut scratch = crate::timeline::EngineScratch::default();
+        let staggered: Vec<u64> = (0..compiled.len() as u64).map(|i| i * 37 % 5000).collect();
+        for releases in [&[] as &[u64], &vec![0; compiled.len()][..], &staggered[..]] {
+            let fresh = sim.run_with_releases(&compiled, releases);
+            let replayed = prepared.run_with_scratch(releases, &mut scratch);
+            assert_eq!(fresh, replayed, "prepared replay diverged from the one-shot engine");
+        }
+    }
+
+    // ---- sram_demand_percentile_mib boundary semantics ----
+    //
+    // The percentile is execution-time weighted: sort demands ascending,
+    // then walk until the accumulated cycles reach
+    // `ceil(p/100 * total_cycles)`. These tests pin the edges.
+
+    /// A result whose demand profile is exactly two operators of 50 cycles
+    /// each: demands 1 MiB and 3 MiB.
+    fn two_bucket_result() -> SimulationResult {
+        let result = simulate(Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1);
+        let mut doctored = result;
+        doctored.timings.truncate(2);
+        let mib = 1024 * 1024;
+        doctored.timings[0].sram_demand_bytes = mib;
+        doctored.timings[0].duration_cycles = 50;
+        doctored.timings[1].sram_demand_bytes = 3 * mib;
+        doctored.timings[1].duration_cycles = 50;
+        doctored
+    }
+
+    #[test]
+    fn percentile_zero_returns_the_smallest_demand() {
+        // p = 0 → target = ceil(0) = 0, satisfied by the first bucket:
+        // the 0th percentile is the minimum demand, never 0.0-by-fiat.
+        let result = two_bucket_result();
+        assert_eq!(result.sram_demand_percentile_mib(0.0), 1.0);
+        // Out-of-range percentiles clamp, not extrapolate.
+        assert_eq!(result.sram_demand_percentile_mib(-10.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_hundred_returns_the_largest_demand() {
+        // p = 100 → target = total; only the full walk reaches it, so the
+        // answer is the maximum demand even though `acc >= target` fires
+        // exactly at the last bucket's edge.
+        let result = two_bucket_result();
+        assert_eq!(result.sram_demand_percentile_mib(100.0), 3.0);
+        assert_eq!(result.sram_demand_percentile_mib(250.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_landing_exactly_on_a_bucket_edge_stays_in_that_bucket() {
+        // p = 50 over 100 total cycles → target = 50 exactly — the edge of
+        // the first bucket. `acc >= target` must include the boundary, so
+        // the median of {1 MiB × 50cy, 3 MiB × 50cy} is 1 MiB, and any
+        // nudge past the edge (ceil rounds up) tips into the next bucket.
+        let result = two_bucket_result();
+        assert_eq!(result.sram_demand_percentile_mib(50.0), 1.0);
+        assert_eq!(result.sram_demand_percentile_mib(50.0001), 3.0);
     }
 
     #[test]

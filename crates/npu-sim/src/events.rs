@@ -91,6 +91,23 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// Creates an empty queue at cycle 0 that reuses `buffer` as the
+    /// heap's backing storage (its contents are discarded, its capacity
+    /// kept) — pair with [`EventQueue::into_buffer`] to run many
+    /// simulations without reallocating the heap.
+    #[must_use]
+    pub fn with_buffer(mut buffer: Vec<ScheduledEvent>) -> Self {
+        buffer.clear();
+        EventQueue { heap: BinaryHeap::from(buffer), next_seq: 0, now: 0 }
+    }
+
+    /// Consumes the queue and returns the heap's backing storage for
+    /// reuse by a later [`EventQueue::with_buffer`].
+    #[must_use]
+    pub fn into_buffer(self) -> Vec<ScheduledEvent> {
+        self.heap.into_vec()
+    }
+
     /// The current simulation time (the firing time of the last popped
     /// event).
     #[must_use]

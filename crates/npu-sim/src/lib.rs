@@ -55,10 +55,12 @@ pub mod timing;
 pub mod validation;
 
 pub use activity::ComponentActivity;
-pub use engine::{SimulationResult, Simulator};
+pub use engine::{PreparedSimulator, SimulationResult, Simulator};
 pub use rng::SplitMix64;
 pub use segments::{SegmentBand, SegmentTimeline};
-pub use timeline::{BusyTimeline, CycleInterval, IdleBucket, IdleHistogram, Schedule};
+pub use timeline::{
+    BusyTimeline, CycleInterval, EngineScratch, IdleBucket, IdleHistogram, Schedule,
+};
 pub use timing::OpTiming;
 pub use validation::{
     correlation_r2, SramCapacityReport, SramCapacityViolation, ValidationPoint, ValidationReport,

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use npu_compiler::SramAllocation;
+use npu_compiler::{SegmentLifetime, SramAllocation};
 
 use crate::timeline::{complement_intervals, merge_intervals, CycleInterval, ScheduledOp};
 
@@ -114,6 +114,31 @@ impl SegmentTimeline {
             allocation.num_anchors(),
             ops.len()
         );
+        Self::from_lifetimes(
+            &allocation.segment_lifetimes(),
+            allocation.geometry().segment_bytes(),
+            allocation.geometry().num_segments(),
+            ops,
+            makespan,
+            releases,
+        )
+    }
+
+    /// Maps precomputed segment lifetimes through the scheduled spans —
+    /// the run-many path: [`npu_compiler::SramAllocation::segment_lifetimes`]
+    /// is a sweep over every buffer, so a prepared simulator computes the
+    /// lifetime list once and replays it against each release vector. Same
+    /// semantics (and panics on a bad `releases` length) as
+    /// [`SegmentTimeline::build_with_releases`], which delegates here.
+    #[must_use]
+    pub fn from_lifetimes(
+        lifetimes: &[SegmentLifetime],
+        segment_bytes: u64,
+        num_segments: usize,
+        ops: &[ScheduledOp],
+        makespan: u64,
+        releases: &[u64],
+    ) -> Self {
         assert!(
             releases.is_empty() || releases.len() == ops.len(),
             "release vector covers {} anchors but the schedule has {} operators",
@@ -122,7 +147,7 @@ impl SegmentTimeline {
         );
         let release = |k: usize| releases.get(k).copied().unwrap_or(0);
         let mut bands = Vec::new();
-        for lifetime in allocation.segment_lifetimes() {
+        for lifetime in lifetimes {
             let mut live = Vec::with_capacity(lifetime.anchor_ranges.len());
             for &(a0, a1) in &lifetime.anchor_ranges {
                 // Split the range into maximal runs of equal release and
@@ -151,12 +176,7 @@ impl SegmentTimeline {
                 });
             }
         }
-        SegmentTimeline {
-            segment_bytes: allocation.geometry().segment_bytes(),
-            num_segments: allocation.geometry().num_segments(),
-            makespan,
-            bands,
-        }
+        SegmentTimeline { segment_bytes, num_segments, makespan, bands }
     }
 
     /// An all-dead timeline (no allocation, e.g. an empty graph).

@@ -71,16 +71,31 @@ impl CycleInterval {
 /// Sorts and merges intervals in place into a disjoint, sorted sequence
 /// (overlapping and abutting intervals coalesce). Shared by the
 /// per-component busy tracks and the per-segment SRAM timeline.
+///
+/// Allocation-free: coalescing happens behind a write cursor, and the sort
+/// is skipped entirely when the input is already ordered — which
+/// schedule-order recording guarantees for most tracks (the HBM track can
+/// interleave prefetch-channel and demand-channel records out of order, so
+/// the sortedness check is mandatory, not just an optimization).
 pub(crate) fn merge_intervals(list: &mut Vec<CycleInterval>) {
-    list.sort_by_key(|iv| (iv.start, iv.end));
-    let mut merged: Vec<CycleInterval> = Vec::with_capacity(list.len());
-    for iv in list.drain(..) {
-        match merged.last_mut() {
-            Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
-            _ => merged.push(iv),
+    if list.len() < 2 {
+        return;
+    }
+    let sorted = list.windows(2).all(|w| (w[0].start, w[0].end) <= (w[1].start, w[1].end));
+    if !sorted {
+        list.sort_by_key(|iv| (iv.start, iv.end));
+    }
+    let mut write = 0usize;
+    for read in 1..list.len() {
+        let iv = list[read];
+        if iv.start <= list[write].end {
+            list[write].end = list[write].end.max(iv.end);
+        } else {
+            write += 1;
+            list[write] = iv;
         }
     }
-    *list = merged;
+    list.truncate(write + 1);
 }
 
 /// The idle gaps complementing a disjoint, sorted interval list over
@@ -361,6 +376,16 @@ struct OpState {
     finish: u64,
 }
 
+/// Reusable run-state buffers for [`TimelineEngine::run_with_scratch`]:
+/// the per-operator state arena and the event queue's heap storage.
+/// Holding one scratch across many runs (a serving sweep, a bench loop)
+/// keeps the hot loop free of per-run allocations.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    state: Vec<OpState>,
+    events: Vec<crate::events::ScheduledEvent>,
+}
+
 /// The event-driven timeline engine.
 ///
 /// The phase vector is a topologically ordered operator DAG: every
@@ -368,6 +393,14 @@ struct OpState {
 /// sources), so independent subgraphs — DLRM's per-table gathers feeding
 /// one all-to-all, or a batch of requests sharing a chip — overlap freely
 /// instead of being serialized into a chain.
+///
+/// The engine itself is an immutable topology: the phase vector plus the
+/// reverse producer and buffer edges flattened into CSR index ranges. All
+/// per-run state (operator states, the event heap, the busy timeline)
+/// lives in an [`EngineScratch`], so one engine can be run many times —
+/// with different release vectors — without rebuilding or reallocating
+/// anything, and event completion iterates edge slices instead of cloning
+/// dependent lists.
 ///
 /// Dependency rules, per operator `k` (topological order):
 ///
@@ -392,14 +425,25 @@ struct OpState {
 #[derive(Debug)]
 pub struct TimelineEngine {
     phases: Vec<OpPhases>,
-    state: Vec<OpState>,
-    /// Reverse producer edges: `dependents[k]` are the operators whose
-    /// main phase waits for `k` to finish.
-    dependents: Vec<Vec<usize>>,
+    /// CSR reverse producer edges: the operators whose main phase waits
+    /// for `k` to finish are `dep_edges[dep_starts[k]..dep_starts[k + 1]]`.
+    dep_starts: Vec<usize>,
+    dep_edges: Vec<usize>,
     /// `buffer_dep[k]`: operator whose completion frees `k`'s input buffer.
     buffer_dep: Vec<Option<usize>>,
-    /// Reverse edges of `buffer_dep`.
-    buffer_dependents: Vec<Vec<usize>>,
+    /// CSR reverse edges of `buffer_dep`, laid out like `dep_*`.
+    buf_starts: Vec<usize>,
+    buf_edges: Vec<usize>,
+}
+
+/// Mutable state of one engine run, borrowed against the immutable
+/// topology. `releases` (one entry per operator; empty = use the phases'
+/// embedded release cycles) lets a prepared engine serve many release
+/// vectors.
+struct EngineRun<'a> {
+    topo: &'a TimelineEngine,
+    releases: &'a [u64],
+    state: &'a mut [OpState],
     queue: EventQueue,
     timeline: BusyTimeline,
     free_at: BTreeMap<Resource, u64>,
@@ -423,7 +467,10 @@ impl TimelineEngine {
     #[must_use]
     pub fn new(phases: Vec<OpPhases>) -> Self {
         let n = phases.len();
-        let mut dependents = vec![Vec::new(); n];
+        // Reverse producer edges, flattened: count per producer, prefix
+        // sum, then fill in consumer order — the same per-producer edge
+        // order `Vec<Vec<usize>>` adjacency produced.
+        let mut dep_starts = vec![0usize; n + 1];
         for (k, p) in phases.iter().enumerate() {
             for &producer in &p.producers {
                 assert!(
@@ -431,74 +478,119 @@ impl TimelineEngine {
                     "operator {k}: producer {producer} does not precede it (not a topological \
                      order)"
                 );
-                dependents[producer].push(k);
+                dep_starts[producer + 1] += 1;
             }
         }
-        let mut buffer_dep = vec![None; n];
-        let mut buffer_dependents = vec![Vec::new(); n];
+        for i in 0..n {
+            dep_starts[i + 1] += dep_starts[i];
+        }
+        let mut cursor = dep_starts.clone();
+        let mut dep_edges = vec![0usize; dep_starts[n]];
+        for (k, p) in phases.iter().enumerate() {
+            for &producer in &p.producers {
+                dep_edges[cursor[producer]] = k;
+                cursor[producer] += 1;
+            }
+        }
         // The DMA of the j-th DMA-using operator waits for the
         // (j - DMA_BUFFER_DEPTH)-th DMA-using operator to release its
         // buffer.
+        let mut buffer_dep = vec![None; n];
+        let mut buf_starts = vec![0usize; n + 1];
         let dma_users: Vec<usize> = (0..n).filter(|&k| phases[k].dma_cycles > 0).collect();
         for (j, &k) in dma_users.iter().enumerate() {
             if j >= Self::DMA_BUFFER_DEPTH {
                 let owner = dma_users[j - Self::DMA_BUFFER_DEPTH];
                 buffer_dep[k] = Some(owner);
-                buffer_dependents[owner].push(k);
+                buf_starts[owner + 1] += 1;
             }
         }
-        TimelineEngine {
-            state: vec![OpState::default(); n],
-            dependents,
-            buffer_dep,
-            buffer_dependents,
-            phases,
-            queue: EventQueue::new(),
-            timeline: BusyTimeline::default(),
-            free_at: BTreeMap::new(),
-            prefetch_free: 0,
+        for i in 0..n {
+            buf_starts[i + 1] += buf_starts[i];
         }
+        let mut cursor = buf_starts.clone();
+        let mut buf_edges = vec![0usize; buf_starts[n]];
+        for (k, dep) in buffer_dep.iter().enumerate() {
+            if let Some(owner) = dep {
+                buf_edges[cursor[*owner]] = k;
+                cursor[*owner] += 1;
+            }
+        }
+        TimelineEngine { phases, dep_starts, dep_edges, buffer_dep, buf_starts, buf_edges }
     }
 
     /// Runs the event loop to completion and returns the schedule.
     #[must_use]
-    pub fn run(mut self) -> Schedule {
+    pub fn run(self) -> Schedule {
+        self.run_with_scratch(&[], &mut EngineScratch::default())
+    }
+
+    /// Runs the event loop against reusable scratch buffers, optionally
+    /// overriding every operator's release cycle. The engine is untouched
+    /// and may be run again — the compile-once/run-many path of the
+    /// serving layer. An empty `releases` uses the phases' embedded
+    /// [`OpPhases::release_cycle`] values (identical to
+    /// [`TimelineEngine::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `releases` is neither empty nor exactly one entry per
+    /// operator.
+    #[must_use]
+    pub fn run_with_scratch(&self, releases: &[u64], scratch: &mut EngineScratch) -> Schedule {
         let n = self.phases.len();
+        assert!(
+            releases.is_empty() || releases.len() == n,
+            "release vector covers {} operators but the engine has {n}",
+            releases.len()
+        );
+        scratch.state.clear();
+        scratch.state.resize(n, OpState::default());
+        let queue = EventQueue::with_buffer(std::mem::take(&mut scratch.events));
+        let mut run = EngineRun {
+            topo: self,
+            releases,
+            state: &mut scratch.state,
+            queue,
+            timeline: BusyTimeline::default(),
+            free_at: BTreeMap::new(),
+            prefetch_free: 0,
+        };
         // Seed the queue: buffer-free prefetches, then every source
         // operator (all producers already satisfied).
         for k in 0..n {
-            self.state[k].buffer_ready = self.buffer_dep[k].is_none();
-            self.state[k].pending_producers = self.phases[k].producers.len();
+            run.state[k].buffer_ready = self.buffer_dep[k].is_none();
+            run.state[k].pending_producers = self.phases[k].producers.len();
             if self.phases[k].dma_cycles > 0 {
-                self.try_issue_dma(k, 0);
+                run.try_issue_dma(k, 0);
             }
         }
         for k in 0..n {
-            if self.state[k].pending_producers == 0 {
-                self.try_issue_main(k, 0);
+            if run.state[k].pending_producers == 0 {
+                run.try_issue_main(k, 0);
             }
         }
-        while let Some(ev) = self.queue.pop() {
+        while let Some(ev) = run.queue.pop() {
             let t = ev.at;
             match ev.kind {
-                EventKind::IssueDma { op } => self.issue_dma(op, t),
+                EventKind::IssueDma { op } => run.issue_dma(op, t),
                 EventKind::DmaLeadArrived { op } => {
-                    self.state[op].lead_ready = true;
-                    self.try_issue_main(op, t);
+                    run.state[op].lead_ready = true;
+                    run.try_issue_main(op, t);
                 }
                 EventKind::DmaComplete { op } => {
-                    self.state[op].dma_done = true;
-                    self.check_finish(op, t);
+                    run.state[op].dma_done = true;
+                    run.check_finish(op, t);
                 }
-                EventKind::IssueMain { op } => self.issue_main(op, t),
+                EventKind::IssueMain { op } => run.issue_main(op, t),
                 EventKind::MainComplete { op } => {
-                    self.state[op].main_done = true;
-                    self.check_finish(op, t);
+                    run.state[op].main_done = true;
+                    run.check_finish(op, t);
                 }
             }
         }
-        let makespan = self.state.iter().map(|s| s.finish).max().unwrap_or(0);
-        let ops = self
+        let makespan = run.state.iter().map(|s| s.finish).max().unwrap_or(0);
+        let ops = run
             .state
             .iter()
             .map(|s| ScheduledOp {
@@ -509,7 +601,9 @@ impl TimelineEngine {
                 finish: s.finish,
             })
             .collect();
-        let mut timeline = self.timeline;
+        let mut timeline = run.timeline;
+        // Hand the (drained) event heap back for the next run.
+        scratch.events = run.queue.into_buffer();
         // The SRAM has no blanket busy interval here: the engine layer
         // above maps the allocator's per-segment lifetimes through the
         // scheduled operator spans and records the union of *live* segment
@@ -518,6 +612,16 @@ impl TimelineEngine {
         timeline.record(ComponentKind::Other, 0, makespan);
         timeline.finalize();
         Schedule { ops, makespan, timeline }
+    }
+}
+
+impl EngineRun<'_> {
+    fn release_of(&self, op: usize) -> u64 {
+        if self.releases.is_empty() {
+            self.topo.phases[op].release_cycle
+        } else {
+            self.releases[op]
+        }
     }
 
     fn resource_free(&self, r: Resource) -> u64 {
@@ -531,15 +635,13 @@ impl TimelineEngine {
         self.state[op].dma_issued = true;
         // A prefetch may not run ahead of its operator's release: before
         // the request arrives there is nothing to stream.
-        let at = now.max(self.phases[op].release_cycle);
+        let at = now.max(self.release_of(op));
         self.queue.schedule(at, EventKind::IssueDma { op });
     }
 
     fn issue_dma(&mut self, op: usize, now: u64) {
-        let (dma_cycles, lead_cycles) = {
-            let p = &self.phases[op];
-            (p.dma_cycles, p.dma_lead_cycles.min(p.dma_cycles))
-        };
+        let p = &self.topo.phases[op];
+        let (dma_cycles, lead_cycles) = (p.dma_cycles, p.dma_lead_cycles.min(p.dma_cycles));
         // Prefetches queue on the DMA engine's prefetch channel only:
         // demand traffic (gathers) is never stuck behind speculation.
         let start = now.max(self.prefetch_free);
@@ -555,23 +657,19 @@ impl TimelineEngine {
 
     fn try_issue_main(&mut self, op: usize, now: u64) {
         let s = &self.state[op];
-        let needs_lead = self.phases[op].dma_cycles > 0;
+        let needs_lead = self.topo.phases[op].dma_cycles > 0;
         if s.main_issued || s.pending_producers > 0 || (needs_lead && !s.lead_ready) {
             return;
         }
         self.state[op].main_issued = true;
-        let at = now.max(self.phases[op].release_cycle);
+        let at = now.max(self.release_of(op));
         self.queue.schedule(at, EventKind::IssueMain { op });
     }
 
     fn issue_main(&mut self, op: usize, now: u64) {
-        // Copy the scalar phase durations out so the borrow on
-        // `self.phases` (whose producer list is not needed here) is
-        // released before scheduling.
-        let (unit, main_cycles, fused_vu_cycles, dispatch_cycles, sa_active_cycles) = {
-            let q = &self.phases[op];
-            (q.unit, q.main_cycles, q.fused_vu_cycles, q.dispatch_cycles, q.sa_active_cycles)
-        };
+        let q = &self.topo.phases[op];
+        let (unit, main_cycles, fused_vu_cycles, dispatch_cycles, sa_active_cycles) =
+            (q.unit, q.main_cycles, q.fused_vu_cycles, q.dispatch_cycles, q.sa_active_cycles);
         let start = now.max(self.resource_free(unit));
         let active_start = start + dispatch_cycles;
         let unit_end = active_start + main_cycles;
@@ -617,7 +715,7 @@ impl TimelineEngine {
     }
 
     fn check_finish(&mut self, op: usize, now: u64) {
-        let has_dma = self.phases[op].dma_cycles > 0;
+        let has_dma = self.topo.phases[op].dma_cycles > 0;
         let s = &self.state[op];
         if s.finished || !s.main_done || (has_dma && !s.dma_done) {
             return;
@@ -625,14 +723,19 @@ impl TimelineEngine {
         self.state[op].finished = true;
         self.state[op].finish = now;
         // Producer edges: consumers with no remaining producers may start.
-        for k in self.dependents[op].clone() {
+        // Indexing the CSR slices (one copied edge at a time) keeps the
+        // topology borrow disjoint from the state mutations — no cloned
+        // dependent lists, no per-event allocation.
+        for i in self.topo.dep_starts[op]..self.topo.dep_starts[op + 1] {
+            let k = self.topo.dep_edges[i];
             self.state[k].pending_producers -= 1;
             if self.state[k].pending_producers == 0 {
                 self.try_issue_main(k, now);
             }
         }
         // Buffer edges: release this operator's input buffer.
-        for k in self.buffer_dependents[op].clone() {
+        for i in self.topo.buf_starts[op]..self.topo.buf_starts[op + 1] {
+            let k = self.topo.buf_edges[i];
             self.state[k].buffer_ready = true;
             self.try_issue_dma(k, now);
         }

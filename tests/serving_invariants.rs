@@ -251,6 +251,61 @@ fn saturating_load_reproduces_the_cycle0_batch_run_bit_for_bit() {
 }
 
 #[test]
+fn cached_compile_path_matches_fresh_compile_bit_for_bit() {
+    // The tentpole identity: `ServingSimulator::run` reuses compiled batch
+    // subgraphs and a prepared simulator across repeated batch shapes, and
+    // must reproduce the fresh-compile `run_uncached` schedule exactly —
+    // every phase time and the full idle histogram, pinned through the FNV
+    // digest — across Poisson (two seeds) and bursty arrivals under both
+    // batch policies, plus the request/batch accounting derived from it.
+    let server = dlrm_server();
+    let mut traces: Vec<(String, Vec<u64>)> = Vec::new();
+    for seed in [3u64, 17] {
+        traces.push((
+            format!("poisson-{seed}"),
+            ArrivalProcess::Poisson { mean_interval_cycles: 80_000.0, seed }.arrivals(16),
+        ));
+    }
+    traces.push((
+        "bursty".to_string(),
+        ArrivalProcess::BurstyOnOff {
+            burst_len: 4,
+            intra_burst_cycles: 1_000,
+            off_cycles: 500_000,
+        }
+        .arrivals(16),
+    ));
+    for (name, arrivals) in &traces {
+        for policy in corpus_policies() {
+            let label = format!("{name} / {}", policy.label());
+            let fresh = server.run_uncached(arrivals, &policy);
+            let cached = server.run(arrivals, &policy);
+            assert_eq!(
+                schedule_digest(&cached.simulation),
+                schedule_digest(&fresh.simulation),
+                "{label}: cached-compile schedule diverges from the fresh compile"
+            );
+            assert_eq!(cached.simulation.timings(), fresh.simulation.timings(), "{label}");
+            assert_eq!(cached.batches, fresh.batches, "{label}: batch records diverge");
+            assert_eq!(cached.requests, fresh.requests, "{label}: request records diverge");
+            assert_eq!(
+                cached.compiled.ops(),
+                fresh.compiled.ops(),
+                "{label}: concatenated compiled graphs diverge"
+            );
+            // Re-running the cached path (now a guaranteed cache hit, with
+            // warm scratch buffers) stays deterministic.
+            let replay = server.run(arrivals, &policy);
+            assert_eq!(
+                schedule_digest(&replay.simulation),
+                schedule_digest(&cached.simulation),
+                "{label}: cache-hit replay diverges"
+            );
+        }
+    }
+}
+
+#[test]
 fn low_load_gaps_are_real_idle_intervals_that_the_evaluator_gates() {
     // A slow fixed-rate trace: 8 requests, one every 2M cycles. The
     // inter-request gaps must appear as long idle intervals on the busy
