@@ -7,14 +7,35 @@
 //!
 //! Run with `cargo run --release -p regate_bench --bin evaluation`.
 //! Pass `--full` to use the exact Table 4 chip counts (slower), or
-//! `--quick` for the minimal CI smoke subset.
+//! `--quick` for the minimal CI smoke subset. Every configuration is run
+//! through the static schedule analyzer before simulation; a Deny
+//! diagnostic aborts the run (opt out with `--no-verify`).
 
 use npu_arch::{ChipConfig, NpuGeneration, ParallelismConfig};
 use npu_compiler::Compiler;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
-use npu_sim::{Simulator, ValidationReport};
+use npu_power::GatingParams;
+use npu_sim::{analysis, Simulator, ValidationReport};
 use regate::experiments::{parallel_evaluation_sweep, setpm_rate};
 use regate_bench::{pct, section};
+
+/// Runs the static deployment pass for one workload × chip-count
+/// configuration and aborts on any Deny diagnostic: a graph the analyzer
+/// rejects would produce numbers no figure should trust.
+fn verify_deployment(workload: &Workload, num_chips: usize, label: &str) {
+    let chip = ChipConfig::new(NpuGeneration::D, num_chips);
+    let parallelism = workload
+        .default_parallelism(chip.spec(), num_chips)
+        .unwrap_or(ParallelismConfig::new(num_chips, 1, 1));
+    let compiled = Compiler::new(chip.spec().clone()).compile(&workload.build_graph(&parallelism));
+    let report =
+        analysis::analyze_deployment(&compiled, chip.spec(), Some(&GatingParams::default()));
+    assert!(
+        report.is_schedulable(),
+        "static analysis denied configuration '{label}':\n{}",
+        report.render()
+    );
+}
 
 /// How much of the figure set to regenerate.
 #[derive(Clone, Copy, PartialEq)]
@@ -54,6 +75,19 @@ fn main() {
     } else {
         Scale::Default
     };
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+
+    if verify {
+        section("Static analysis: verifying every configuration before simulation");
+        let configs = eval_set(scale);
+        for config in &configs {
+            verify_deployment(&config.workload, config.num_chips, &config.workload.label());
+        }
+        println!(
+            "{} Table 4 configuration(s) verified: zero Deny diagnostics (skip with --no-verify)",
+            configs.len()
+        );
+    }
 
     section("Figure 16: simulator validation vs. analytical roofline");
     let validation_set: Vec<(Workload, &str)> = if scale == Scale::Quick {
@@ -72,6 +106,18 @@ fn main() {
             workload.default_parallelism(chip.spec(), 8).unwrap_or(ParallelismConfig::new(8, 1, 1));
         let graph = workload.build_graph(&parallelism);
         let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        if verify {
+            let report = analysis::analyze_deployment(
+                &compiled,
+                chip.spec(),
+                Some(&GatingParams::default()),
+            );
+            assert!(
+                report.is_schedulable(),
+                "static analysis denied validation workload '{label}':\n{}",
+                report.render()
+            );
+        }
         let result = Simulator::new(chip.clone()).run(&compiled);
         let report = ValidationReport::for_simulation(&result, chip.spec());
         let hidden = result.serial_cycles().saturating_sub(result.total_cycles());

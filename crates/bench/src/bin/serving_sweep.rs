@@ -4,7 +4,10 @@
 //! *measured* duty cycle against the paper's fleet-average assumption.
 //!
 //! Run with `cargo run --release -p regate_bench --bin serving_sweep`.
-//! Pass `--quick` for the minimal CI smoke subset, and
+//! Every serving outcome is verified by the static schedule analyzer —
+//! DAG rules, trace sanity, and makespan-window containment — before its
+//! numbers are reported; a Deny diagnostic aborts the sweep (opt out with
+//! `--no-verify`). Pass `--quick` for the minimal CI smoke subset, and
 //! `--floor <cycles-per-second>` to fail (exit 1) if the sweep's serving
 //! throughput — simulated cycles scheduled per wall-second, summed over
 //! every `ServingSimulator::run` call — drops below the floor. CI pins a
@@ -22,6 +25,7 @@ use regate_bench::{pct, section};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let verify = !args.iter().any(|a| a == "--no-verify");
     let floor: Option<f64> = args
         .iter()
         .position(|a| a == "--floor")
@@ -32,12 +36,34 @@ fn main() {
     // wall-second, over every timed serving run of the sweep.
     let mut simulated_cycles = 0u64;
     let mut serving_wall = Duration::ZERO;
+    // Static analysis accounting (verification runs outside the serving
+    // wall clock, so the throughput floor measures the event loop alone).
+    let mut verified_outcomes = 0usize;
     let mut timed_run =
         |server: &ServingSimulator, arrivals: &[u64], policy: &BatchPolicy| -> ServingOutcome {
             let start = Instant::now();
             let outcome = server.run(arrivals, policy);
             serving_wall += start.elapsed();
             simulated_cycles += outcome.makespan_cycles();
+            if verify {
+                let report = server.verify(&outcome);
+                assert!(
+                    report.is_schedulable(),
+                    "static analysis denied a serving outcome ({} arrivals, {}):\n{}",
+                    arrivals.len(),
+                    policy.label(),
+                    report.render()
+                );
+                let window = report.makespan_window.expect("verified outcomes carry a window");
+                assert!(
+                    window.contains(outcome.makespan_cycles()),
+                    "measured makespan {} escaped the static window [{}, {}]",
+                    outcome.makespan_cycles(),
+                    window.lower_cycles,
+                    window.upper_cycles
+                );
+                verified_outcomes += 1;
+            }
             outcome
         };
     let designs = [Design::ReGateBase, Design::ReGateHw, Design::ReGateFull];
@@ -122,6 +148,12 @@ fn main() {
         );
     }
 
+    if verify {
+        println!(
+            "\nstatic analysis: {verified_outcomes} serving outcome(s) verified — zero Deny \
+             diagnostics, every makespan inside its window (skip with --no-verify)"
+        );
+    }
     let throughput = simulated_cycles as f64 / serving_wall.as_secs_f64().max(1e-12);
     println!(
         "\nserving throughput: {simulated_cycles} simulated cycles in {:.3} s of serving wall \

@@ -105,6 +105,10 @@ impl ChipConfig {
     }
 
     /// Returns a copy of this configuration with a different chip count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips` is zero.
     #[must_use]
     pub fn with_chips(&self, num_chips: usize) -> Self {
         assert!(num_chips > 0, "need at least one chip");

@@ -115,8 +115,11 @@ impl SramGeometry {
 
     /// Inclusive range of segment indices covering `[start, start + len)`.
     ///
-    /// Returns `None` for an empty range. Panics if the range exceeds the
-    /// scratchpad capacity.
+    /// Returns `None` for an empty range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overflows or exceeds the scratchpad capacity.
     #[must_use]
     pub fn segments_for_range(&self, start: u64, len: u64) -> Option<(usize, usize)> {
         if len == 0 {

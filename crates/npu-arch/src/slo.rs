@@ -33,6 +33,10 @@ impl SloTarget {
 
     /// Returns the target relaxed by `factor` (≥ 1.0): latency limits grow,
     /// throughput floors shrink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is below 1.0 — that would *tighten* the target.
     #[must_use]
     pub fn relaxed(&self, factor: f64) -> SloTarget {
         assert!(factor >= 1.0, "relaxation factor must be >= 1");

@@ -110,6 +110,11 @@ impl PodTopology {
     ///
     /// For a torus, cutting the largest dimension in half severs
     /// `2 * (num_chips / largest_dim)` links (wrap-around counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology shape is empty, which the constructors
+    /// never produce.
     #[must_use]
     pub fn bisection_links(&self) -> usize {
         let largest = *self.shape.iter().max().expect("non-empty shape");
@@ -216,8 +221,7 @@ fn balanced_factor3(n: usize) -> (usize, usize, usize) {
     while x * x * x <= n {
         if n.is_multiple_of(x) {
             let (y, z) = balanced_factor2(n / x);
-            let dims = [x, y, z];
-            let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+            let score = x.max(y).max(z) - x.min(y).min(z);
             if score < best_score {
                 best_score = score;
                 best = (x, y, z);
@@ -247,6 +251,8 @@ mod tests {
         assert_eq!(balanced_factor3(64), (4, 4, 4));
         assert_eq!(balanced_factor3(8), (2, 2, 2));
         assert_eq!(balanced_factor3(16), (2, 2, 4));
+        assert_eq!(balanced_factor3(12), (2, 2, 3));
+        assert_eq!(balanced_factor3(1), (1, 1, 1));
     }
 
     #[test]

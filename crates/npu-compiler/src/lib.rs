@@ -54,5 +54,5 @@ pub use fusion::FusionPlan;
 pub use idleness::{IdleInterval, IdlenessReport};
 pub use instrument::{InstrumentationResult, SetPmPolicy};
 pub use lowering::{CompiledGraph, CompiledOp, Compiler};
-pub use sram_alloc::{BufferLifetime, SegmentLifetime, SramAllocation};
+pub use sram_alloc::{BufferLifetime, SegmentLifetime, SramAllocation, SramPeak};
 pub use tiling::TileChoice;

@@ -82,6 +82,39 @@ impl CompiledGraph {
         CompiledGraph { name: name.into(), ops: Vec::new(), producers: Vec::new() }
     }
 
+    /// Assembles a compiled graph from raw parts *without validating the
+    /// dependency structure*.
+    ///
+    /// [`Compiler::compile`] and [`CompiledGraph::extend_from`] can only
+    /// produce well-formed graphs (forward edges, fusion groups anchored
+    /// on real anchors), so the defects the static analyzer exists to
+    /// catch — cyclic producer edges, dangling ids, producer lists that
+    /// reference fused-away operators — are unconstructible through them.
+    /// This constructor is the deliberate back door: analyzer fixtures
+    /// and external frontends (a deserialized graph from another
+    /// compiler) assemble graphs here and run
+    /// `npu-sim`'s analysis pass to find out whether they are schedulable,
+    /// instead of discovering it as an engine panic mid-simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producers` does not carry exactly one list per operator
+    /// (a malformed *container*, as opposed to malformed *edges*, which
+    /// are exactly what the analyzer is for).
+    #[must_use]
+    pub fn from_parts(
+        name: impl Into<String>,
+        ops: Vec<CompiledOp>,
+        producers: Vec<Vec<usize>>,
+    ) -> Self {
+        assert_eq!(
+            ops.len(),
+            producers.len(),
+            "from_parts: one producer list per compiled operator"
+        );
+        CompiledGraph { name: name.into(), ops, producers }
+    }
+
     /// Appends another compiled graph's operators, remapping operator ids,
     /// fusion-anchor references, and producer edges by this graph's current
     /// length. Returns the id range the appended operators landed on.

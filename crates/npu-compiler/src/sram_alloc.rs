@@ -78,6 +78,17 @@ fn merge_anchor_ranges(mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
     merged
 }
 
+/// The static live-byte peak of an allocation: how many bytes are live at
+/// the busiest anchor, and which anchor that is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramPeak {
+    /// Maximum of the live-byte profile, in bytes.
+    pub peak_bytes: u64,
+    /// First anchor index at which the peak occurs (0 for an empty
+    /// allocation).
+    pub anchor_index: usize,
+}
+
 /// Result of allocating a compiled graph's buffers in the scratchpad.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SramAllocation {
@@ -243,7 +254,30 @@ impl SramAllocation {
         self.live_bytes_profile().into_iter().max().unwrap_or(0)
     }
 
+    /// The static live-byte peak *and where it occurs*: the first anchor
+    /// index at which the allocation's live bytes reach their maximum.
+    /// This is the single number a pre-simulation capacity check compares
+    /// against the target chip's scratchpad — computed in one
+    /// [`SramAllocation::live_bytes_profile`] sweep, with the anchor index
+    /// carried along so a violation can be reported as an operator span
+    /// instead of a bare byte count.
+    #[must_use]
+    pub fn static_peak(&self) -> SramPeak {
+        let mut peak = SramPeak { peak_bytes: 0, anchor_index: 0 };
+        for (index, live) in self.live_bytes_profile().into_iter().enumerate() {
+            if live > peak.peak_bytes {
+                peak = SramPeak { peak_bytes: live, anchor_index: index };
+            }
+        }
+        peak
+    }
+
     /// Inclusive range of segment indices a buffer occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is zero-sized or extends past the scratchpad;
+    /// the allocator never emits such a lifetime.
     #[must_use]
     pub fn buffer_segments(&self, buffer: &BufferLifetime) -> (usize, usize) {
         self.geometry
@@ -364,6 +398,24 @@ mod tests {
             assert!(alloc.live_bytes_at(i) <= cap);
         }
         assert!(alloc.peak_bytes() <= cap);
+    }
+
+    #[test]
+    fn static_peak_matches_profile_argmax() {
+        let alloc = allocate(
+            Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill),
+            ParallelismConfig::single(),
+        );
+        let peak = alloc.static_peak();
+        assert_eq!(peak.peak_bytes, alloc.peak_bytes());
+        let profile = alloc.live_bytes_profile();
+        assert_eq!(profile[peak.anchor_index], peak.peak_bytes);
+        // First argmax: nothing earlier reaches the peak.
+        assert!(profile[..peak.anchor_index].iter().all(|&b| b < peak.peak_bytes));
+        // Degenerate case: an empty allocation peaks at zero bytes, anchor 0.
+        let geometry = NpuSpec::generation(NpuGeneration::D).sram_geometry();
+        let empty = SramAllocation::from_buffers(geometry, Vec::new(), 0);
+        assert_eq!(empty.static_peak(), SramPeak { peak_bytes: 0, anchor_index: 0 });
     }
 
     #[test]

@@ -99,6 +99,11 @@ pub fn encode_setpm(pm: &SetPm) -> Result<EncodedSetPm, DecodeError> {
 /// # Errors
 ///
 /// Returns an error if the variant or functional-unit type field is invalid.
+///
+/// # Panics
+///
+/// Never: the power-mode field is masked to two bits and all four values
+/// decode.
 pub fn decode_setpm(word: EncodedSetPm) -> Result<SetPm, DecodeError> {
     let w = word.0;
     let variant = w & 0b111;

@@ -128,6 +128,11 @@ impl DlrmConfig {
     /// interaction joins the exchanged embeddings with the bottom-MLP
     /// output. This is what lets the timeline engine stream gathers while
     /// the MLP computes instead of serializing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration carries an empty bottom MLP; every
+    /// constructor in this crate builds at least one layer.
     #[must_use]
     pub fn build_graph(&self, parallelism: &ParallelismConfig) -> OperatorGraph {
         let chips = parallelism.num_chips() as u64;

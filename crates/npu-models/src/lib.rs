@@ -33,6 +33,7 @@
 pub mod diffusion;
 pub mod dlrm;
 pub mod dtype;
+pub mod fixtures;
 pub mod graph;
 pub mod llm;
 pub mod op;

@@ -323,6 +323,12 @@ impl Workload {
     /// samples, [`RequestGraphError::NoRequests`] when `releases` is
     /// empty — both the degenerate inputs the infallible path used to
     /// lower into a fabricated one-sample graph.
+    ///
+    /// # Panics
+    ///
+    /// Never for the inputs accepted above; a panic means the internal
+    /// batch-split invariant broke (the large-shard subgraph is always
+    /// materialized when a request receives the extra sample).
     pub fn try_build_request_graph(
         &self,
         parallelism: &ParallelismConfig,

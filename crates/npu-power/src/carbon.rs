@@ -83,6 +83,11 @@ impl CarbonModel {
     ///   improves energy per work each year (e.g. 1.15 = 15% better per
     ///   year). Keeping old chips for `L` years forgoes that improvement
     ///   for the later years of the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `yearly_efficiency_gain` is below 1.0 — new generations
+    /// never regress in this model.
     #[must_use]
     pub fn lifespan_sweep(
         &self,
@@ -123,6 +128,12 @@ impl CarbonModel {
     }
 
     /// The lifespan (in years) minimizing carbon per unit of work.
+    /// Returns 0 for an empty sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point carries a NaN carbon value; the sweep only
+    /// produces finite ones.
     #[must_use]
     pub fn optimal_lifespan(points: &[LifespanPoint]) -> u32 {
         points

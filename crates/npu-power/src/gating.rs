@@ -270,6 +270,191 @@ impl GatingParams {
     }
 }
 
+/// One statically detectable defect in a gating parameterization.
+///
+/// The rules mirror the consistency conditions implicit in Table 3 and
+/// §4.3: a break-even time below the mode's own amortization point makes
+/// gating a net energy *loss* at the threshold the policy gates at, the
+/// drowsy/off retention modes must be ordered (off is the deeper state),
+/// and residual leakage is a fraction of full static power. The queries
+/// are pure data — `npu-sim`'s static analyzer lifts them into
+/// diagnostics, and sensitivity sweeps can call them directly to reject
+/// nonsensical corners before simulating them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatingInconsistency {
+    /// Which consistency rule the parameterization violates.
+    pub rule: GatingRule,
+    /// Component or mode label the violation concerns (`"SA"`,
+    /// `"SRAM sleep"`, …).
+    pub component: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The statically checkable gating-consistency rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatingRule {
+    /// A break-even time at or below the policy's amortization point:
+    /// gating an exactly-break-even interval saves nothing (or loses
+    /// energy), so the declared BET is inconsistent with the declared
+    /// transition delay and leakage.
+    BetBelowAmortization,
+    /// The SRAM retention modes are mis-ordered: powering fully off is the
+    /// deeper state, so its break-even threshold must be at least the
+    /// drowsy threshold and its residual leakage at most the drowsy
+    /// leakage.
+    SramModeOrdering,
+    /// A residual-leakage ratio outside `[0, 1)` — gated circuits cannot
+    /// leak more than powered-on ones.
+    LeakageOutOfRange,
+}
+
+impl GatingParams {
+    /// Every gating-consistency violation in this parameterization, in a
+    /// deterministic order (amortization per component, then mode
+    /// ordering, then leakage ranges). An empty vector means the
+    /// parameters are self-consistent.
+    ///
+    /// The amortization check evaluates
+    /// [`GatingParams::idle_interval_equivalent_cycles`] at an
+    /// exactly-break-even interval under the component's governing policy
+    /// and requires a strict saving — the paper's definition of the
+    /// break-even time as "the minimum interval for which the saved
+    /// leakage amortizes the transition energy".
+    #[must_use]
+    pub fn consistency(&self) -> Vec<GatingInconsistency> {
+        let mut out = Vec::new();
+        // (label, bet, delay, leak, policy): the logic components under
+        // compiler-directed gating (the stricter entry cost, 2×delay,
+        // which ReGate-Full relies on), the per-PE grain under hardware
+        // idle detection, and both SRAM retention modes under their
+        // governing policies.
+        let checks: [(&str, u64, u64, f64, GatePolicy); 8] = [
+            (
+                "SA",
+                self.sa_full_bet,
+                self.sa_full_delay,
+                self.leakage.logic_off,
+                GatePolicy::CompilerDirected,
+            ),
+            (
+                "SA-PE",
+                self.sa_pe_bet,
+                self.sa_pe_delay,
+                self.leakage.logic_off,
+                GatePolicy::IdleDetect,
+            ),
+            (
+                "VU",
+                self.vu_bet,
+                self.vu_delay,
+                self.leakage.logic_off,
+                GatePolicy::CompilerDirected,
+            ),
+            (
+                "HBM",
+                self.hbm_bet,
+                self.hbm_delay,
+                self.leakage.logic_off,
+                GatePolicy::CompilerDirected,
+            ),
+            (
+                "ICI",
+                self.ici_bet,
+                self.ici_delay,
+                self.leakage.logic_off,
+                GatePolicy::CompilerDirected,
+            ),
+            (
+                "SRAM sleep",
+                self.sram_sleep_bet,
+                self.sram_sleep_delay,
+                self.leakage.sram_sleep,
+                GatePolicy::IdleDetect,
+            ),
+            (
+                "SRAM off",
+                self.sram_off_bet,
+                self.sram_off_delay,
+                self.leakage.sram_off,
+                GatePolicy::CompilerDirected,
+            ),
+            (
+                "DMA",
+                self.vu_bet,
+                self.vu_delay,
+                self.leakage.logic_off,
+                GatePolicy::CompilerDirected,
+            ),
+        ];
+        for (label, bet, delay, leak, policy) in checks {
+            let equivalent = Self::idle_interval_equivalent_cycles(bet, bet, delay, leak, policy);
+            if equivalent >= bet as f64 {
+                out.push(GatingInconsistency {
+                    rule: GatingRule::BetBelowAmortization,
+                    component: label.to_string(),
+                    message: format!(
+                        "{label}: gating an exactly-break-even interval of {bet} cycles costs \
+                         {equivalent:.1} equivalent full-power cycles (delay {delay}, leakage \
+                         {leak}) — the declared BET is below the policy's amortization point"
+                    ),
+                });
+            }
+        }
+        if self.sram_off_bet < self.sram_sleep_bet {
+            out.push(GatingInconsistency {
+                rule: GatingRule::SramModeOrdering,
+                component: "SRAM".to_string(),
+                message: format!(
+                    "SRAM off BET ({}) is below the drowsy BET ({}): the deeper retention mode \
+                     must have the higher entry threshold",
+                    self.sram_off_bet, self.sram_sleep_bet
+                ),
+            });
+        }
+        if self.leakage.sram_off > self.leakage.sram_sleep {
+            out.push(GatingInconsistency {
+                rule: GatingRule::SramModeOrdering,
+                component: "SRAM".to_string(),
+                message: format!(
+                    "powered-off SRAM leaks more ({}) than sleeping SRAM ({}): the retention \
+                     modes are mis-ordered",
+                    self.leakage.sram_off, self.leakage.sram_sleep
+                ),
+            });
+        }
+        for (label, ratio) in [
+            ("logic off", self.leakage.logic_off),
+            ("SRAM sleep", self.leakage.sram_sleep),
+            ("SRAM off", self.leakage.sram_off),
+        ] {
+            if !(0.0..1.0).contains(&ratio) || !ratio.is_finite() {
+                out.push(GatingInconsistency {
+                    rule: GatingRule::LeakageOutOfRange,
+                    component: label.to_string(),
+                    message: format!(
+                        "{label} residual leakage {ratio} is outside [0, 1): gated circuits \
+                         cannot leak more than powered-on ones"
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// The largest power-on/off delay of any gateable component — the
+    /// wake-up lead time a compiler-directed `setpm on` must be able to
+    /// hide inside the consumer's dispatch window.
+    #[must_use]
+    pub fn max_component_delay(&self) -> u64 {
+        ComponentKind::GATEABLE
+            .into_iter()
+            .map(|kind| self.component_delay(kind))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Retention mode a dead SRAM segment is gated into (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SramGateMode {
@@ -536,6 +721,72 @@ mod tests {
             GatingParams::idle_interval_equivalent_cycles(10_000, o.bet, o.delay, o.leak, o.policy);
         assert!(off_eq < drowsy_eq, "off ({off_eq}) must beat drowsy ({drowsy_eq})");
         assert!(drowsy_eq < 10_000.0, "both must beat staying fully on");
+    }
+
+    #[test]
+    fn default_parameters_are_self_consistent() {
+        assert!(GatingParams::default().consistency().is_empty());
+        // The sensitivity sweeps stay inside the consistent region too.
+        for leakage in LeakageRatios::sensitivity_sweep() {
+            let p = GatingParams::default().with_leakage(leakage);
+            assert!(p.consistency().is_empty(), "leakage {} breaks consistency", leakage.label());
+        }
+        for scale in [0.25, 0.5, 2.0, 4.0] {
+            let p = GatingParams::default().with_delay_scale(scale);
+            assert!(p.consistency().is_empty(), "delay scale {scale} breaks consistency");
+        }
+    }
+
+    #[test]
+    fn bet_below_amortization_is_detected() {
+        // A BET below twice the transition delay: a compiler-directed
+        // down/up pair cannot amortize inside an exactly-BET interval.
+        let p = GatingParams { vu_bet: 3, vu_delay: 2, ..GatingParams::default() };
+        let violations = p.consistency();
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == GatingRule::BetBelowAmortization && v.component == "VU"));
+        // DMA shares the VU parameters, so it fires too; nothing else does.
+        assert!(violations.iter().all(|v| v.rule == GatingRule::BetBelowAmortization));
+    }
+
+    #[test]
+    fn sram_mode_misordering_is_detected() {
+        let p = GatingParams { sram_off_bet: 10, ..GatingParams::default() };
+        assert!(p.consistency().iter().any(|v| v.rule == GatingRule::SramModeOrdering));
+        let leaky_off = GatingParams::default().with_leakage(LeakageRatios {
+            logic_off: 0.03,
+            sram_sleep: 0.25,
+            sram_off: 0.5,
+        });
+        assert!(leaky_off.consistency().iter().any(|v| v.rule == GatingRule::SramModeOrdering));
+    }
+
+    #[test]
+    fn leakage_out_of_range_is_detected() {
+        let p = GatingParams::default().with_leakage(LeakageRatios {
+            logic_off: 1.5,
+            sram_sleep: 0.25,
+            sram_off: 0.002,
+        });
+        let violations = p.consistency();
+        assert!(violations.iter().any(|v| v.rule == GatingRule::LeakageOutOfRange));
+        let negative = GatingParams::default().with_leakage(LeakageRatios {
+            logic_off: 0.03,
+            sram_sleep: -0.1,
+            sram_off: 0.002,
+        });
+        assert!(negative
+            .consistency()
+            .iter()
+            .any(|v| v.rule == GatingRule::LeakageOutOfRange && v.component == "SRAM sleep"));
+    }
+
+    #[test]
+    fn max_component_delay_spans_the_gateable_set() {
+        let p = GatingParams::default();
+        assert_eq!(p.max_component_delay(), 60, "HBM/ICI are the slowest to wake");
+        assert_eq!(p.with_delay_scale(2.0).max_component_delay(), 120);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod power;
 pub use carbon::{CarbonModel, LifespanPoint};
 pub use energy::{ComponentEnergy, EnergyBreakdown};
 pub use gating::{
-    GatePolicy, GatedIdleSummary, GatingParams, LeakageRatios, SramGateMode, SramGating,
+    GatePolicy, GatedIdleSummary, GatingInconsistency, GatingParams, GatingRule, LeakageRatios,
+    SramGateMode, SramGating,
 };
 pub use power::{PowerModel, DATACENTER_PUE, NPU_DUTY_CYCLE};

@@ -16,12 +16,15 @@
 //! serving schedule reproduces the classic cycle-0 batch run bit for bit:
 //! zero releases are the engine's identity.
 
-use std::collections::HashMap;
+// The caches below are lookup-only (never iterated), so hash order cannot
+// leak into any simulated number.
+use std::collections::HashMap; // lint:allow(hash-iter)
 use std::sync::{Arc, Mutex};
 
 use npu_arch::{ChipConfig, ComponentKind, NpuGeneration, ParallelismConfig};
 use npu_compiler::{CompiledGraph, Compiler};
 use npu_models::{OperatorGraph, Workload};
+use npu_sim::analysis::{self, rules, AnalysisReport, Diagnostic, OpSpan};
 use npu_sim::{EngineScratch, PreparedSimulator, SimulationResult, Simulator};
 use serde::{Deserialize, Serialize};
 
@@ -118,6 +121,141 @@ impl ServingOutcome {
         self.simulation.total_cycles()
     }
 
+    /// Runs the static analyzer over the scheduled trace: the compiled
+    /// graph's DAG rules plus the serving-record sanity checks — batch
+    /// dispatch monotonicity (the admission queue is FIFO), causality
+    /// (no batch dispatches before its requests arrive, nothing completes
+    /// before it dispatches), operator ranges that tile the combined
+    /// graph, and request conservation (every request in exactly one
+    /// batch). Spans of record-level diagnostics are request/batch
+    /// indices. [`ServingSimulator::verify`] adds the makespan-window
+    /// containment check on top.
+    #[must_use]
+    pub fn analyze(&self) -> AnalysisReport {
+        let mut report = AnalysisReport::new();
+        report.extend(analysis::check_compiled_graph(&self.compiled));
+        report.extend(self.trace_diagnostics());
+        report
+    }
+
+    /// The serving-record half of [`ServingOutcome::analyze`].
+    fn trace_diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut previous_dispatch = 0u64;
+        let mut previous_ops_end = 0usize;
+        let mut previous_requests_end = 0usize;
+        for (index, batch) in self.batches.iter().enumerate() {
+            if batch.dispatch_cycle < previous_dispatch {
+                out.push(Diagnostic::deny(
+                    rules::SERVE_RELEASE_REGRESSION,
+                    Some(OpSpan::single(index)),
+                    format!(
+                        "batch {index} dispatches at cycle {}, before batch {}'s dispatch at \
+                         {previous_dispatch} — the FIFO admission order is violated",
+                        batch.dispatch_cycle,
+                        index.wrapping_sub(1)
+                    ),
+                ));
+            }
+            if batch.completion_cycle < batch.dispatch_cycle {
+                out.push(Diagnostic::deny(
+                    rules::SERVE_COMPLETION_BEFORE_DISPATCH,
+                    Some(OpSpan::single(index)),
+                    format!(
+                        "batch {index} completes at cycle {} but dispatched at {}",
+                        batch.completion_cycle, batch.dispatch_cycle
+                    ),
+                ));
+            }
+            if batch.ops.is_empty()
+                || batch.ops.start != previous_ops_end
+                || batch.ops.end > self.compiled.len()
+            {
+                out.push(Diagnostic::deny(
+                    rules::SERVE_SPAN_OUT_OF_RANGE,
+                    Some(OpSpan::single(index)),
+                    format!(
+                        "batch {index} covers ops {}..{} in a {}-op combined graph (previous \
+                         batch ended at {previous_ops_end})",
+                        batch.ops.start,
+                        batch.ops.end,
+                        self.compiled.len()
+                    ),
+                ));
+            }
+            if batch.requests.start != previous_requests_end || batch.requests.is_empty() {
+                out.push(Diagnostic::deny(
+                    rules::SERVE_BATCH_NOT_CONSERVED,
+                    Some(OpSpan::single(index)),
+                    format!(
+                        "batch {index} carries requests {}..{} (previous batch ended at \
+                         {previous_requests_end}) — requests must partition the trace in order",
+                        batch.requests.start, batch.requests.end
+                    ),
+                ));
+            }
+            previous_dispatch = previous_dispatch.max(batch.dispatch_cycle);
+            previous_ops_end = batch.ops.end.max(previous_ops_end);
+            previous_requests_end = batch.requests.end.max(previous_requests_end);
+        }
+        if previous_ops_end != self.compiled.len() {
+            out.push(Diagnostic::deny(
+                rules::SERVE_SPAN_OUT_OF_RANGE,
+                None,
+                format!(
+                    "batch subgraphs cover ops 0..{previous_ops_end} but the combined graph \
+                     has {} operators",
+                    self.compiled.len()
+                ),
+            ));
+        }
+        if previous_requests_end != self.requests.len() {
+            out.push(Diagnostic::deny(
+                rules::SERVE_BATCH_NOT_CONSERVED,
+                None,
+                format!(
+                    "batches carry {previous_requests_end} requests but the trace served {}",
+                    self.requests.len()
+                ),
+            ));
+        }
+        for (index, request) in self.requests.iter().enumerate() {
+            if request.dispatch_cycle < request.arrival_cycle {
+                out.push(Diagnostic::deny(
+                    rules::SERVE_DISPATCH_BEFORE_ARRIVAL,
+                    Some(OpSpan::single(index)),
+                    format!(
+                        "request {index} dispatched at cycle {} but arrived at {}",
+                        request.dispatch_cycle, request.arrival_cycle
+                    ),
+                ));
+            }
+            if request.completion_cycle < request.dispatch_cycle {
+                out.push(Diagnostic::deny(
+                    rules::SERVE_COMPLETION_BEFORE_DISPATCH,
+                    Some(OpSpan::single(index)),
+                    format!(
+                        "request {index} completes at cycle {} but dispatched at {}",
+                        request.completion_cycle, request.dispatch_cycle
+                    ),
+                ));
+            }
+            if request.batch >= self.batches.len()
+                || !self.batches[request.batch].requests.contains(&index)
+            {
+                out.push(Diagnostic::deny(
+                    rules::SERVE_BATCH_NOT_CONSERVED,
+                    Some(OpSpan::single(index)),
+                    format!(
+                        "request {index} claims batch {}, which does not carry it",
+                        request.batch
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
     /// Duty cycle *measured* from the schedule: the fraction of the
     /// makespan during which at least one real component (SA, VU, SRAM,
     /// HBM, ICI, DMA — everything but the always-on peripheral track) is
@@ -166,10 +304,10 @@ pub struct ServingSimulator {
     parallelism: ParallelismConfig,
     workload: Workload,
     compiler: Compiler,
-    /// Request count → compiled batch subgraph.
-    batch_cache: Arc<Mutex<HashMap<usize, Arc<CompiledGraph>>>>,
-    /// Batch-size sequence → prepared trace.
-    trace_cache: Arc<Mutex<HashMap<Vec<usize>, Arc<PreparedTrace>>>>,
+    /// Request count → compiled batch subgraph (keyed lookups only).
+    batch_cache: Arc<Mutex<HashMap<usize, Arc<CompiledGraph>>>>, // lint:allow(hash-iter)
+    /// Batch-size sequence → prepared trace (keyed lookups only).
+    trace_cache: Arc<Mutex<HashMap<Vec<usize>, Arc<PreparedTrace>>>>, // lint:allow(hash-iter)
     /// Reused event-loop buffers for the cached path.
     scratch: Arc<Mutex<EngineScratch>>,
 }
@@ -383,6 +521,28 @@ impl ServingSimulator {
         )
     }
 
+    /// The full static verdict on one serving outcome: the outcome's own
+    /// record checks ([`ServingOutcome::analyze`]) plus the phase-level
+    /// analyzer on the prepared trace — which brackets the *measured*
+    /// makespan inside the static `[critical path, serial sum]` window
+    /// and audits the SRAM allocation — without re-running the schedule.
+    /// Cached trace preparations make this cheap in a sweep.
+    #[must_use]
+    pub fn verify(&self, outcome: &ServingOutcome) -> AnalysisReport {
+        let mut report = outcome.analyze();
+        let shape: Vec<usize> = outcome.batches.iter().map(|b| b.requests.len()).collect();
+        if shape.is_empty() || !report.is_schedulable() {
+            return report;
+        }
+        let trace = self.prepared_trace(&shape, outcome.requests.len());
+        let mut op_releases: Vec<u64> = Vec::with_capacity(trace.positions.len());
+        for (batch, range) in outcome.batches.iter().zip(&trace.op_ranges) {
+            op_releases.resize(range.end, batch.dispatch_cycle);
+        }
+        report.merge(trace.prepared.analyze(&op_releases, Some(outcome.makespan_cycles())));
+        report
+    }
+
     /// Shared post-processing of a scheduled trace: per-batch completion
     /// times and per-request records.
     fn finish(
@@ -430,5 +590,66 @@ impl ServingSimulator {
             batches,
             requests,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchPolicy;
+    use npu_models::{DlrmSize, Workload};
+    use npu_sim::Severity;
+
+    fn outcome_and_simulator() -> (ServingSimulator, ServingOutcome) {
+        let simulator = ServingSimulator::new(
+            NpuGeneration::D,
+            1,
+            Workload::dlrm(DlrmSize::Small).with_batch(8),
+        );
+        let arrivals = [0u64, 1_000, 350_000, 360_000, 900_000];
+        let outcome = simulator.run(&arrivals, &BatchPolicy::Static { batch: 2 });
+        (simulator, outcome)
+    }
+
+    #[test]
+    fn clean_serving_outcome_passes_analysis_and_verification() {
+        let (simulator, outcome) = outcome_and_simulator();
+        let report = outcome.analyze();
+        assert!(report.is_schedulable(), "{}", report.render());
+        let verified = simulator.verify(&outcome);
+        assert!(verified.is_schedulable(), "{}", verified.render());
+        let window = verified.makespan_window.expect("verification brackets the makespan");
+        assert!(window.contains(outcome.makespan_cycles()));
+    }
+
+    #[test]
+    fn corrupted_serving_records_are_denied() {
+        let (_, mut outcome) = outcome_and_simulator();
+
+        // Batch dispatch regression + a request dispatched before arrival.
+        let last = outcome.batches.len() - 1;
+        outcome.batches[last].dispatch_cycle = 0;
+        outcome.requests[0].dispatch_cycle = 0;
+        outcome.requests[0].arrival_cycle = 10;
+        let report = outcome.analyze();
+        assert!(report.denials().any(|d| d.rule_id == rules::SERVE_RELEASE_REGRESSION));
+        assert!(report.denials().any(|d| d.rule_id == rules::SERVE_DISPATCH_BEFORE_ARRIVAL));
+
+        // A batch that completes before it dispatches and ops that no
+        // longer tile the combined graph.
+        let (_, mut outcome) = outcome_and_simulator();
+        outcome.batches[0].completion_cycle = 0;
+        outcome.batches[0].dispatch_cycle = 99;
+        outcome.batches[0].ops.end -= 1;
+        let report = outcome.analyze();
+        assert!(report.denials().any(|d| d.rule_id == rules::SERVE_COMPLETION_BEFORE_DISPATCH));
+        assert!(report.denials().any(|d| d.rule_id == rules::SERVE_SPAN_OUT_OF_RANGE));
+
+        // A request claiming a batch that does not carry it.
+        let (_, mut outcome) = outcome_and_simulator();
+        outcome.requests[0].batch = outcome.batches.len() - 1;
+        let report = outcome.analyze();
+        assert!(report.denials().any(|d| d.rule_id == rules::SERVE_BATCH_NOT_CONSERVED));
+        assert!(report.denials().all(|d| d.severity == Severity::Deny));
     }
 }

@@ -355,6 +355,63 @@ impl PreparedSimulator {
         self.fold_anchor.len()
     }
 
+    /// Maps a per-compiled-operator release vector onto the engine's
+    /// anchor order: the release of a fusion group is the maximum over
+    /// its members, and an empty slice means every operator is released
+    /// at cycle 0. Always returns one entry per anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_releases` is neither empty nor exactly one entry per
+    /// compiled operator.
+    #[must_use]
+    pub fn anchor_releases(&self, op_releases: &[u64]) -> Vec<u64> {
+        assert!(
+            op_releases.is_empty() || op_releases.len() == self.fold_anchor.len(),
+            "release vector covers {} operators but the graph has {}",
+            op_releases.len(),
+            self.fold_anchor.len()
+        );
+        let mut group_release = vec![0u64; self.fold_anchor.len()];
+        for (id, &anchor) in self.fold_anchor.iter().enumerate() {
+            let release = op_releases.get(id).copied().unwrap_or(0);
+            group_release[anchor] = group_release[anchor].max(release);
+        }
+        self.anchor_ids.iter().map(|&id| group_release[id]).collect()
+    }
+
+    /// Runs the static schedule analyzer on the prepared graph: the
+    /// phase-level DAG checks, the `[lower, upper]` makespan window under
+    /// `op_releases`, the containment verdict when a measured makespan is
+    /// supplied, and the static SRAM capacity audit against this chip's
+    /// scratchpad — all without firing a single event. The serving layer
+    /// and the evaluation binaries call this before (or instead of)
+    /// [`PreparedSimulator::run_with_releases`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_releases` is neither empty nor exactly one entry per
+    /// compiled operator (the same contract as the run path).
+    #[must_use]
+    pub fn analyze(
+        &self,
+        op_releases: &[u64],
+        measured_makespan: Option<u64>,
+    ) -> crate::analysis::AnalysisReport {
+        let releases = self.anchor_releases(op_releases);
+        let mut report =
+            crate::analysis::analyze_phases(self.engine.phases(), &releases, measured_makespan);
+        let capacity = self.chip.spec().sram_bytes();
+        let peak = self.timings.iter().map(|t| t.sram_live_bytes).max().unwrap_or(0);
+        let audit = crate::analysis::SramCapacityReport::from_parts(
+            capacity,
+            self.timings.iter().map(|t| t.sram_live_bytes),
+            peak,
+        );
+        report.extend(audit.diagnostics());
+        report
+    }
+
     /// Replays the prepared graph under a release vector with one-shot
     /// scratch buffers. Semantics match [`Simulator::run_with_releases`]
     /// on the same graph, bit for bit.
@@ -382,21 +439,10 @@ impl PreparedSimulator {
         op_releases: &[u64],
         scratch: &mut EngineScratch,
     ) -> SimulationResult {
-        assert!(
-            op_releases.is_empty() || op_releases.len() == self.fold_anchor.len(),
-            "release vector covers {} operators but the graph has {}",
-            op_releases.len(),
-            self.fold_anchor.len()
-        );
-        // Release of each fusion group, indexed by the anchor's op id: the
-        // group runs as one unit, so it is ready only when every member's
-        // request has arrived (in practice all members share one batch).
-        let mut group_release = vec![0u64; self.fold_anchor.len()];
-        for (id, &anchor) in self.fold_anchor.iter().enumerate() {
-            let release = op_releases.get(id).copied().unwrap_or(0);
-            group_release[anchor] = group_release[anchor].max(release);
-        }
-        let releases: Vec<u64> = self.anchor_ids.iter().map(|&id| group_release[id]).collect();
+        // Release of each fusion group: the group runs as one unit, so it
+        // is ready only when every member's request has arrived (in
+        // practice all members share one batch).
+        let releases = self.anchor_releases(op_releases);
 
         let schedule = self.engine.run_with_scratch(&releases, scratch);
         let mut timings = self.timings.clone();
@@ -567,6 +613,11 @@ impl SimulationResult {
 
     /// Execution-time-weighted percentile of SRAM demand in MiB (e.g. the
     /// 50th or 99th percentile of Figure 7).
+    ///
+    /// # Panics
+    ///
+    /// Never: demands are converted from byte counts, so the sort keys
+    /// are always finite.
     #[must_use]
     pub fn sram_demand_percentile_mib(&self, percentile: f64) -> f64 {
         let mut profile = self.sram_demand_profile();

@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod activity;
+pub mod analysis;
 pub mod engine;
 pub mod events;
 pub mod rng;
@@ -55,6 +56,10 @@ pub mod timing;
 pub mod validation;
 
 pub use activity::ComponentActivity;
+pub use analysis::{
+    AnalysisReport, Diagnostic, MakespanWindow, OpSpan, Severity, SramCapacityReport,
+    SramCapacityViolation,
+};
 pub use engine::{PreparedSimulator, SimulationResult, Simulator};
 pub use rng::SplitMix64;
 pub use segments::{SegmentBand, SegmentTimeline};
@@ -62,6 +67,4 @@ pub use timeline::{
     BusyTimeline, CycleInterval, EngineScratch, IdleBucket, IdleHistogram, Schedule,
 };
 pub use timing::OpTiming;
-pub use validation::{
-    correlation_r2, SramCapacityReport, SramCapacityViolation, ValidationPoint, ValidationReport,
-};
+pub use validation::{correlation_r2, ValidationPoint, ValidationReport};

@@ -128,8 +128,13 @@ impl SegmentTimeline {
     /// the run-many path: [`npu_compiler::SramAllocation::segment_lifetimes`]
     /// is a sweep over every buffer, so a prepared simulator computes the
     /// lifetime list once and replays it against each release vector. Same
-    /// semantics (and panics on a bad `releases` length) as
-    /// [`SegmentTimeline::build_with_releases`], which delegates here.
+    /// semantics as [`SegmentTimeline::build_with_releases`], which
+    /// delegates here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `releases` is non-empty but does not cover every
+    /// scheduled operator.
     #[must_use]
     pub fn from_lifetimes(
         lifetimes: &[SegmentLifetime],

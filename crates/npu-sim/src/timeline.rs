@@ -519,6 +519,14 @@ impl TimelineEngine {
         TimelineEngine { phases, dep_starts, dep_edges, buffer_dep, buf_starts, buf_edges }
     }
 
+    /// The per-operator phase durations the engine was built over, in
+    /// topological order — the static view the schedule analyzer consumes
+    /// to bound the makespan without running the event loop.
+    #[must_use]
+    pub fn phases(&self) -> &[OpPhases] {
+        &self.phases
+    }
+
     /// Runs the event loop to completion and returns the schedule.
     #[must_use]
     pub fn run(self) -> Schedule {

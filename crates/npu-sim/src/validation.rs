@@ -71,71 +71,10 @@ impl ValidationReport {
     }
 }
 
-/// One operator whose allocator-reported live SRAM bytes exceed the
-/// scratchpad capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SramCapacityViolation {
-    /// Index of the offending operator.
-    pub op_index: usize,
-    /// Live bytes the allocator reported for it.
-    pub live_bytes: u64,
-}
-
-/// Capacity audit of the SRAM allocation as simulated.
-///
-/// An allocation reporting more live bytes than the scratchpad holds is an
-/// allocator bug that must fail loudly — the energy model consumes these
-/// numbers as-is, and silently clamping them (as the evaluator's old
-/// `live_frac.min(1.0)` did) hides the bug behind a plausible fraction.
-/// The simulator debug-asserts the per-operator bound at construction;
-/// this report is the release-mode equivalent, covering both the
-/// per-operator totals and the instantaneous union of live segments on
-/// the clock.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SramCapacityReport {
-    /// Scratchpad capacity in bytes.
-    pub capacity_bytes: u64,
-    /// Peak instantaneous live bytes on the segment timeline.
-    pub peak_live_bytes: u64,
-    /// Operators whose reported live bytes exceed the capacity.
-    pub violations: Vec<SramCapacityViolation>,
-}
-
-impl SramCapacityReport {
-    /// Audits one simulation.
-    #[must_use]
-    pub fn for_simulation(result: &SimulationResult) -> Self {
-        Self::from_parts(
-            result.chip().spec().sram_bytes(),
-            result.timings().iter().map(|t| t.sram_live_bytes),
-            result.segment_timeline().peak_live_bytes(),
-        )
-    }
-
-    /// Builds the report from raw per-operator live-byte counts and the
-    /// timeline's peak (split out so the violation path is testable
-    /// without forging a whole simulation).
-    #[must_use]
-    pub fn from_parts(
-        capacity_bytes: u64,
-        live_bytes: impl IntoIterator<Item = u64>,
-        peak_live_bytes: u64,
-    ) -> Self {
-        let violations = live_bytes
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, live)| live > capacity_bytes)
-            .map(|(op_index, live_bytes)| SramCapacityViolation { op_index, live_bytes })
-            .collect();
-        SramCapacityReport { capacity_bytes, peak_live_bytes, violations }
-    }
-
-    /// Whether the allocation respects the capacity everywhere.
-    #[must_use]
-    pub fn is_ok(&self) -> bool {
-        self.violations.is_empty() && self.peak_live_bytes <= self.capacity_bytes
-    }
-}
+// The SRAM capacity audit (`SramCapacityReport`, `SramCapacityViolation`)
+// moved into the static analyzer, which subsumes it; re-exported here so
+// existing `npu_sim::validation::SramCapacityReport` paths keep working.
+pub use crate::analysis::{SramCapacityReport, SramCapacityViolation};
 
 /// Pearson correlation coefficient squared between two equally long series.
 ///

@@ -354,6 +354,45 @@ fn corpus_covers_fan_in_fan_out_diamonds_and_all_units() {
 }
 
 #[test]
+fn static_analyzer_accepts_the_corpus_and_brackets_every_makespan() {
+    // The analyzer is an oracle for the engine: every random DAG must
+    // come back schedulable (zero Deny diagnostics), and the static
+    // makespan window it predicts *before any event fires* must contain
+    // the makespan the event loop actually measures.
+    for seed in 0..NUM_DAG_SEEDS {
+        let ops = random_dag(seed);
+        let schedule = TimelineEngine::new(ops.clone()).run();
+        let report = npu_sim::analysis::analyze_phases(&ops, &[], Some(schedule.makespan));
+        assert!(
+            report.is_schedulable(),
+            "seed {seed}: analyzer denied a live schedule:\n{}",
+            report.render()
+        );
+        let window = report.makespan_window.expect("schedulable graphs carry a window");
+        assert!(
+            window.contains(schedule.makespan),
+            "seed {seed}: measured makespan {} outside static window [{}, {}]",
+            schedule.makespan,
+            window.lower_cycles,
+            window.upper_cycles
+        );
+    }
+}
+
+#[test]
+fn static_analyzer_rejects_a_corrupted_corpus_graph() {
+    // Non-vacuity check for the oracle above: corrupting one producer id
+    // in a corpus DAG must flip the verdict.
+    let mut ops = random_dag(0);
+    let dangling = ops.len() + 7;
+    let last = ops.len() - 1;
+    ops[last].producers.push(dangling);
+    let report = npu_sim::analysis::analyze_phases(&ops, &[], None);
+    assert!(!report.is_schedulable(), "dangling producer went undetected");
+    assert!(report.makespan_window.is_none(), "unschedulable graphs must not predict a window");
+}
+
+#[test]
 fn schedules_are_deterministic_across_runs() {
     for seed in [0, 7, 23, 41] {
         let a = TimelineEngine::new(random_dag(seed)).run();

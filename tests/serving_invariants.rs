@@ -142,6 +142,52 @@ fn seeded_corpus_honours_releases_and_accounting() {
 }
 
 #[test]
+fn static_analyzer_verifies_every_corpus_outcome() {
+    // The analyzer is an oracle over the serving pipeline: every corpus
+    // outcome must verify with zero Deny diagnostics, and the static
+    // makespan window computed from the batch release vector must contain
+    // the makespan the event loop measured.
+    let server = dlrm_server();
+    let mut traces: Vec<(String, Vec<u64>)> = Vec::new();
+    for seed in 0..6u64 {
+        traces.push((
+            format!("poisson-{seed}"),
+            ArrivalProcess::Poisson { mean_interval_cycles: 40_000.0 * (seed as f64 + 0.5), seed }
+                .arrivals(10),
+        ));
+    }
+    traces.push((
+        "bursty".to_string(),
+        ArrivalProcess::BurstyOnOff {
+            burst_len: 4,
+            intra_burst_cycles: 1_000,
+            off_cycles: 500_000,
+        }
+        .arrivals(12),
+    ));
+    for (name, arrivals) in &traces {
+        for policy in corpus_policies() {
+            let label = format!("{name} / {}", policy.label());
+            let outcome = server.run(arrivals, &policy);
+            let report = server.verify(&outcome);
+            assert!(
+                report.is_schedulable(),
+                "{label}: analyzer denied a live serving outcome:\n{}",
+                report.render()
+            );
+            let window = report.makespan_window.expect("verified outcomes carry a window");
+            assert!(
+                window.contains(outcome.makespan_cycles()),
+                "{label}: measured makespan {} outside static window [{}, {}]",
+                outcome.makespan_cycles(),
+                window.lower_cycles,
+                window.upper_cycles
+            );
+        }
+    }
+}
+
+#[test]
 fn batch_formation_and_schedule_are_deterministic_per_seed() {
     let server = dlrm_server();
     let process = ArrivalProcess::Poisson { mean_interval_cycles: 60_000.0, seed: 99 };
