@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use npu_arch::NpuGeneration;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
 use npu_serving::{ArrivalProcess, BatchPolicy, ServingOutcome, ServingReport, ServingSimulator};
-use regate::{Design, Evaluator};
+use regate::{Design, Evaluator, PolicyKind};
 use regate_bench::{pct, section};
 
 fn main() {
@@ -39,6 +39,7 @@ fn main() {
     // Static analysis accounting (verification runs outside the serving
     // wall clock, so the throughput floor measures the event loop alone).
     let mut verified_outcomes = 0usize;
+    let mut verified_policies = 0usize;
     let mut timed_run =
         |server: &ServingSimulator, arrivals: &[u64], policy: &BatchPolicy| -> ServingOutcome {
             let start = Instant::now();
@@ -114,15 +115,19 @@ fn main() {
                 let report = ServingReport::evaluate(&outcome, &evaluator);
                 let savings: Vec<String> =
                     designs.iter().map(|&d| pct(report.design(d).savings)).collect();
+                let per_request = report
+                    .design(Design::ReGateFull)
+                    .energy_per_request_j
+                    .map_or_else(|| "n/a".to_string(), |j| format!("{j:.4}"));
                 println!(
-                    "{:<22} {:<14} {:>7} {:>12} {:>12} {:>7} {:>11.4}  {}",
+                    "{:<22} {:<14} {:>7} {:>12} {:>12} {:>7} {:>11}  {}",
                     process.label(),
                     policy.label(),
                     report.num_batches,
                     report.p50_latency_cycles,
                     report.p99_latency_cycles,
                     pct(report.measured_duty_cycle),
-                    report.design(Design::ReGateFull).energy_per_request_j,
+                    per_request,
                     savings.join(" / ")
                 );
             }
@@ -146,12 +151,77 @@ fn main() {
             "queueing vs service split at low load: {:.0} / {:.0} cycles (mean)",
             report.mean_queueing_cycles, report.mean_service_cycles
         );
+
+        // Policy × load matrix: every power-management policy priced on
+        // the *identical* scheduled timeline of each load point (the
+        // prepared-trace cache makes the re-runs replay-only). Presets
+        // first, then the extended policies.
+        let kinds: Vec<PolicyKind> =
+            designs.iter().map(|&d| PolicyKind::Preset(d)).chain(PolicyKind::EXTENDED).collect();
+        if verify {
+            // Analyzer pass over every per-component policy of every
+            // evaluated configuration: the sweep refuses to tabulate a
+            // policy whose parameterization is inconsistent.
+            for &kind in &kinds {
+                let config = kind.config(evaluator.gating(), server.chip().spec());
+                for policy in config.component_policies() {
+                    let diagnostics = npu_sim::analysis::check_power_policy(policy);
+                    assert!(
+                        diagnostics.is_empty(),
+                        "policy {} failed analyzer verification:\n{}",
+                        kind.label(),
+                        diagnostics
+                            .iter()
+                            .map(|d| format!("  [{}] {}", d.rule_id, d.message))
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    );
+                    verified_policies += 1;
+                }
+            }
+        }
+        section(&format!("Policy matrix: {label} on {chips} NPU-D chip(s)"));
+        println!(
+            "{:<16} {}",
+            "policy",
+            processes.iter().map(|p| format!("{:>22}", p.label())).collect::<Vec<_>>().join(" ")
+        );
+        let cells: Vec<regate::PolicySetEvaluation> = processes
+            .iter()
+            .map(|process| {
+                let outcome = timed_run(&server, &process.arrivals(requests), &policies[0]);
+                evaluator.evaluate_policies(
+                    chips,
+                    &outcome.compiled,
+                    &outcome.simulation,
+                    // The trace holds its own idleness (see ServingReport).
+                    1.0,
+                    &kinds,
+                )
+            })
+            .collect();
+        for &kind in &kinds {
+            let row: Vec<String> = cells
+                .iter()
+                .map(|cell| {
+                    let row = cell.row(kind);
+                    format!(
+                        "{:>12} {:>9}",
+                        pct(row.savings),
+                        format!("+{}", pct(row.performance_overhead))
+                    )
+                })
+                .collect();
+            println!("{:<16} {}", kind.label(), row.join(" "));
+        }
+        println!("(per load point: busy-energy savings vs NoPG, execution-time overhead)");
     }
 
     if verify {
         println!(
-            "\nstatic analysis: {verified_outcomes} serving outcome(s) verified — zero Deny \
-             diagnostics, every makespan inside its window (skip with --no-verify)"
+            "\nstatic analysis: {verified_outcomes} serving outcome(s) and {verified_policies} \
+             component policy configuration(s) verified — zero Deny diagnostics, every makespan \
+             inside its window (skip with --no-verify)"
         );
     }
     let throughput = simulated_cycles as f64 / serving_wall.as_secs_f64().max(1e-12);

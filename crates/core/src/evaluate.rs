@@ -23,20 +23,16 @@ use npu_arch::{ChipConfig, ComponentKind, NpuGeneration, ParallelismConfig};
 use npu_compiler::{CompiledGraph, Compiler};
 use npu_models::{ExecutionUnit, Workload};
 use npu_power::energy::ChipUsage;
-use npu_power::{CarbonModel, EnergyBreakdown, GatePolicy, GatingParams, PowerModel, SramGateMode};
+use npu_power::{CarbonModel, EnergyBreakdown, GatingParams, PowerModel};
 use npu_sim::{OpTiming, SimulationResult, Simulator};
 
 use crate::designs::Design;
-use crate::pe_gating::{sa_idle_intervals_cost, SaGatingPlan};
+use crate::pe_gating::SaGatingPlan;
+use crate::policy::{IdleLeakModel, PolicyConfig, PolicyKind, SaActiveMode, SramPolicy};
 
 /// Residual power of a PE in the weight-retaining `W_on` mode, as a
 /// fraction of its fully-on static power.
 const W_ON_RESIDUAL: f64 = 0.10;
-
-/// Number of idle intervals long enough to gate under a break-even time.
-fn gated_count(interval_lens: &[u64], bet: u64) -> u64 {
-    interval_lens.iter().filter(|&&len| GatingParams::gates_interval(bet, len)).count() as u64
-}
 
 /// Evaluation of one design point for one workload deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -146,6 +142,47 @@ impl WorkloadEvaluation {
             out.insert(kind, (before - after) / base_total);
         }
         out
+    }
+}
+
+/// Evaluation of one power-management policy for one workload deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEvaluation {
+    /// The evaluated policy.
+    pub kind: PolicyKind,
+    /// The policy's table label ([`PolicyKind::label`]).
+    pub label: String,
+    /// Per-chip energy breakdown for the simulated trace.
+    pub energy: EnergyBreakdown,
+    /// Execution-time overhead relative to `NoPG` (fraction).
+    pub performance_overhead: f64,
+    /// Peak per-chip power, in watts.
+    pub peak_power_w: f64,
+    /// Busy-time energy savings relative to `NoPG` on the same trace.
+    pub savings: f64,
+}
+
+/// A set of power-management policies evaluated on one identical
+/// timeline (the policy × workload × load matrix rows for one cell of
+/// the workload × load plane).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySetEvaluation {
+    /// Total `NoPG` energy of the trace, in joules (the savings
+    /// denominator shared by every row).
+    pub baseline_total_j: f64,
+    /// One evaluation per requested policy, in request order.
+    pub rows: Vec<PolicyEvaluation>,
+}
+
+impl PolicySetEvaluation {
+    /// The evaluation of one policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy was not part of the evaluated set.
+    #[must_use]
+    pub fn row(&self, kind: PolicyKind) -> &PolicyEvaluation {
+        self.rows.iter().find(|row| row.kind == kind).expect("policy was part of the evaluated set")
     }
 }
 
@@ -262,6 +299,74 @@ impl Evaluator {
         }
     }
 
+    /// Evaluates a *set* of power-management policies over one pre-built
+    /// compiled graph and simulation — every policy prices the identical
+    /// timeline, so the rows are directly comparable (the policy ×
+    /// workload × load matrix). Presets reuse the original design
+    /// arithmetic (bit-identical to [`Self::evaluate_compiled`] rows);
+    /// extended kinds expand into their [`PolicyConfig`] and run the same
+    /// generalized walk.
+    ///
+    /// `duty_cycle` has the same semantics as in
+    /// [`Self::evaluate_compiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation was produced on a different chip
+    /// deployment than this evaluator's `(generation, num_chips)`.
+    #[must_use]
+    pub fn evaluate_policies(
+        &self,
+        num_chips: usize,
+        compiled: &CompiledGraph,
+        simulation: &SimulationResult,
+        duty_cycle: f64,
+        kinds: &[PolicyKind],
+    ) -> PolicySetEvaluation {
+        let chip = ChipConfig::new(self.generation, num_chips);
+        assert_eq!(
+            *simulation.chip(),
+            chip,
+            "simulation ran on a different chip deployment than the evaluator targets"
+        );
+        let model = PowerModel::new(chip.spec());
+        let usage = Self::chip_usage(compiled, simulation);
+        let baseline = EnergyBreakdown::no_power_gating_with_duty(&model, &usage, duty_cycle);
+        let baseline_total_j = baseline.total_j();
+        let rows = kinds
+            .iter()
+            .map(|&kind| {
+                let (energy, performance_overhead, peak_power_w) = match kind {
+                    PolicyKind::Preset(design) => {
+                        let row =
+                            self.evaluate_design(design, compiled, simulation, &model, &baseline);
+                        (row.energy, row.performance_overhead, row.peak_power_w)
+                    }
+                    _ => {
+                        let config = kind.config(&self.gating, chip.spec());
+                        self.evaluate_policy_config(
+                            &config, compiled, simulation, &model, &baseline,
+                        )
+                    }
+                };
+                let savings = if baseline_total_j == 0.0 {
+                    0.0
+                } else {
+                    1.0 - energy.total_j() / baseline_total_j
+                };
+                PolicyEvaluation {
+                    kind,
+                    label: kind.label(),
+                    energy,
+                    performance_overhead,
+                    peak_power_w,
+                    savings,
+                }
+            })
+            .collect();
+        PolicySetEvaluation { baseline_total_j, rows }
+    }
+
     /// Builds the chip-activity counters for the dynamic-energy model.
     fn chip_usage(compiled: &CompiledGraph, sim: &SimulationResult) -> ChipUsage {
         let mut sa_flops = 0.0;
@@ -288,9 +393,9 @@ impl Evaluator {
         }
     }
 
-    /// Evaluates one design point by walking the simulation's real
-    /// per-component idle intervals against the design's gating
-    /// mechanisms.
+    /// Evaluates one design point by expanding it into its preset
+    /// [`PolicyConfig`] and walking the simulation's real per-component
+    /// idle intervals against the configured policies.
     fn evaluate_design(
         &self,
         design: Design,
@@ -308,18 +413,39 @@ impl Evaluator {
                 peak_power_w,
             };
         }
+        let config = PolicyKind::Preset(design).config(&self.gating, model.spec());
+        let (energy, performance_overhead, peak_power_w) =
+            self.evaluate_policy_config(&config, compiled, sim, model, baseline);
+        DesignEvaluation { design, energy, performance_overhead, peak_power_w }
+    }
 
+    /// The generalized evaluation walk: prices one [`PolicyConfig`] over
+    /// the simulated timeline and returns `(energy, performance_overhead,
+    /// peak_power_w)`.
+    ///
+    /// The five design presets route through this same function; their
+    /// configurations reproduce the original hard-coded arithmetic
+    /// bit-for-bit (the per-component [`PowerPolicy`] walks delegate to
+    /// the identical [`GatingParams::walk_idle_intervals`] and the stall
+    /// products are exact in f64 at these magnitudes).
+    fn evaluate_policy_config(
+        &self,
+        config: &PolicyConfig,
+        compiled: &CompiledGraph,
+        sim: &SimulationResult,
+        model: &PowerModel,
+        baseline: &EnergyBreakdown,
+    ) -> (EnergyBreakdown, f64, f64) {
         let spec = model.spec();
         let cycle_s = spec.cycle_seconds();
         let timeline = sim.busy_timeline();
         let total_cycles = sim.total_cycles();
         let anchors: Vec<_> = compiled.anchors().collect();
         let timings = sim.timings();
-        let leak = self.gating.leakage;
 
         // Equivalent full-power cycles per component: busy time at its
-        // design-specific rate, plus the component's *real* idle intervals
-        // walked against the design's break-even times and wake-up
+        // policy-specific rate, plus the component's *real* idle intervals
+        // walked against the policy's break-even times and wake-up
         // latencies.
         let mut equivalent: BTreeMap<ComponentKind, f64> = BTreeMap::new();
         let mut overhead_cycles: f64 = 0.0;
@@ -338,99 +464,51 @@ impl Evaluator {
         };
 
         // --- Systolic arrays: spatially gated while active (per-operator
-        //     shapes), interval-gated while idle. ---
+        //     shapes), policy-walked while idle. ---
         let mut sa_busy_eq = 0.0f64;
         for (op, timing) in anchors.iter().zip(timings.iter()) {
-            sa_busy_eq += self.sa_active_equivalent_cycles(design, op, timing);
+            sa_busy_eq += self.sa_active_equivalent_cycles(config.sa_active, op, timing);
         }
         let (sa_lens, sa_waking) = idle_lens(ComponentKind::Sa);
-        let sa_idle = sa_idle_intervals_cost(design, &self.gating, &sa_lens, &sa_waking);
+        let sa_idle = config.sa_idle.walk_intervals(&sa_lens, &sa_waking);
         equivalent.insert(ComponentKind::Sa, sa_busy_eq + sa_idle.equivalent_cycles);
-        overhead_cycles += sa_idle.wakeup_stall_cycles;
+        overhead_cycles += sa_idle.wake_stall_cycles;
 
-        // --- Vector units: full power while computing, interval-gated
-        //     while idle (hardware detection, or compiler `setpm` for
-        //     ReGate-Full). ---
+        // --- Vector units: full power while computing, policy-walked
+        //     while idle. ---
         let vu_busy = timeline.busy_cycles(ComponentKind::Vu) as f64;
-        let (vu_idle_eq, vu_stall) = if design == Design::Ideal {
-            (0.0, 0.0)
-        } else {
-            let policy = if design == Design::ReGateFull {
-                GatePolicy::CompilerDirected
-            } else {
-                GatePolicy::IdleDetect
-            };
-            let (lens, waking) = idle_lens(ComponentKind::Vu);
-            let walk = GatingParams::walk_idle_intervals(
-                lens.into_iter(),
-                self.gating.vu_bet,
-                self.gating.vu_delay,
-                leak.logic_off,
-                policy,
-            );
-            // Under ReGate-Full, `setpm on` is issued ahead of the next
-            // use, hiding the wake-up behind the preceding instructions.
-            let stall = if design == Design::ReGateFull {
-                0.0
-            } else {
-                (gated_count(&waking, self.gating.vu_bet) * self.gating.vu_delay) as f64
-            };
-            (walk.equivalent_cycles, stall)
-        };
-        equivalent.insert(ComponentKind::Vu, vu_busy + vu_idle_eq);
-        overhead_cycles += vu_stall;
+        let (vu_lens, vu_waking) = idle_lens(ComponentKind::Vu);
+        let vu_walk = config.vu.walk_intervals(&vu_lens, &vu_waking);
+        equivalent.insert(ComponentKind::Vu, vu_busy + vu_walk.equivalent_cycles);
+        overhead_cycles += vu_walk.wake_stall_cycles;
 
-        // --- HBM / ICI controllers and the DMA engine: hardware idle
-        //     detection in every ReGate design; the compiler's prefetch
-        //     knowledge hides part of the wake-up in ReGate-Full. ---
-        let wake_exposure = match design {
-            Design::ReGateBase => 1.0,
-            Design::ReGateHw => 0.5,
-            Design::ReGateFull => 0.25,
-            Design::NoPg | Design::Ideal => 0.0,
-        };
-        for kind in [ComponentKind::Hbm, ComponentKind::Ici, ComponentKind::Dma] {
-            // The DMA engine keeps the memory interface's gating timing (it
-            // wakes with the HBM path it feeds), as in the pre-timeline
-            // model.
-            let (bet, delay) = match kind {
-                ComponentKind::Dma => (self.gating.hbm_bet, self.gating.hbm_delay),
-                _ => (self.gating.component_bet(kind), self.gating.component_delay(kind)),
-            };
+        // --- HBM / ICI controllers and the DMA engine. The DMA engine
+        //     keeps the memory interface's gating timing (it wakes with
+        //     the HBM path it feeds), as in the pre-timeline model. ---
+        for (kind, policy) in [
+            (ComponentKind::Hbm, &config.hbm),
+            (ComponentKind::Ici, &config.ici),
+            (ComponentKind::Dma, &config.dma),
+        ] {
             let busy = timeline.busy_cycles(kind) as f64;
-            let (idle_eq, stall) = if design == Design::Ideal {
-                (0.0, 0.0)
-            } else {
-                let (lens, waking) = idle_lens(kind);
-                let walk = GatingParams::walk_idle_intervals(
-                    lens.into_iter(),
-                    bet,
-                    delay,
-                    leak.logic_off,
-                    GatePolicy::IdleDetect,
-                );
-                (
-                    walk.equivalent_cycles,
-                    gated_count(&waking, bet) as f64 * delay as f64 * wake_exposure,
-                )
-            };
-            equivalent.insert(kind, busy + idle_eq);
-            overhead_cycles += stall;
+            let (lens, waking) = idle_lens(kind);
+            let walk = policy.walk_intervals(&lens, &waking);
+            equivalent.insert(kind, busy + walk.equivalent_cycles);
+            overhead_cycles += walk.wake_stall_cycles;
         }
 
         // --- SRAM: per-segment gating on the event timeline (§4.3). A
         //     4 KiB segment burns full static power while its data is
-        //     live; its *dead* intervals are walked against the retention
-        //     mode's break-even time exactly like any other component's
-        //     idle gaps. ReGate-Base/-HW put dead segments into the
-        //     data-retaining sleep mode via hardware idle detection;
-        //     ReGate-Full powers them off with compiler-issued `setpm`
-        //     (the allocator knows every lifetime statically); Ideal leaks
-        //     nothing while dead. Retention wake-ups are not charged to
-        //     the critical path: the drowsy wake is a few cycles hidden
-        //     under the access pipeline, and `setpm on` is issued ahead of
-        //     the next use.
-        equivalent.insert(ComponentKind::Sram, self.sram_equivalent_cycles(design, sim));
+        //     live; its *dead* intervals are walked by the SRAM policy
+        //     exactly like any other component's idle gaps. The presets:
+        //     ReGate-Base/-HW put dead segments into the data-retaining
+        //     sleep mode via hardware idle detection; ReGate-Full powers
+        //     them off with compiler-issued `setpm` (the allocator knows
+        //     every lifetime statically); Ideal leaks nothing while dead.
+        //     Retention wake-ups are not charged to the critical path:
+        //     the drowsy wake is a few cycles hidden under the access
+        //     pipeline, and `setpm on` is issued ahead of the next use.
+        equivalent.insert(ComponentKind::Sram, self.sram_equivalent_cycles(&config.sram, sim));
 
         // --- Peripheral logic is never gated. ---
         equivalent.insert(ComponentKind::Other, total_cycles as f64);
@@ -440,12 +518,14 @@ impl Evaluator {
 
         let equivalent_seconds: BTreeMap<ComponentKind, f64> =
             equivalent.into_iter().map(|(k, cycles)| (k, cycles * cycle_s)).collect();
-        // Idle (out-of-duty-cycle) leakage: gating designs keep the whole
-        // chip gated while idle; the Ideal roofline leaks nothing.
-        let idle_static_j = match design {
-            Design::NoPg => baseline.idle_static_j,
-            Design::Ideal => 0.0,
-            _ => baseline.idle_static_j * self.idle_off_ratio(design, model),
+        // Idle (out-of-duty-cycle) leakage under the policy's attribution
+        // model.
+        let idle_static_j = match config.idle_leak {
+            IdleLeakModel::Baseline => baseline.idle_static_j,
+            IdleLeakModel::Zero => 0.0,
+            IdleLeakModel::PerComponent { logic, sram } => {
+                baseline.idle_static_j * self.idle_off_ratio(logic, sram, model)
+            }
         };
         let energy = EnergyBreakdown::gated(
             baseline,
@@ -456,87 +536,70 @@ impl Evaluator {
         );
 
         let peak_power_w = self.peak_power(model, timings, &energy, total_cycles);
-        DesignEvaluation { design, energy, performance_overhead, peak_power_w }
+        (energy, performance_overhead, peak_power_w)
     }
 
-    /// Equivalent full-power SRAM cycles of one design, averaged over the
+    /// Equivalent full-power SRAM cycles of one policy, averaged over the
     /// scratchpad's segments: each segment is fully powered during its
-    /// live intervals and its dead intervals are walked against the
-    /// design's retention mode. Segments never touched by any buffer
-    /// share one dead interval spanning the whole execution, so their
-    /// cost is computed once and weighted by their count.
-    fn sram_equivalent_cycles(&self, design: Design, sim: &SimulationResult) -> f64 {
+    /// live intervals and its dead intervals are walked by the SRAM
+    /// policy. Segments never touched by any buffer share one dead
+    /// interval spanning the whole execution, so their cost is computed
+    /// once and weighted by their count.
+    fn sram_equivalent_cycles(&self, policy: &SramPolicy, sim: &SimulationResult) -> f64 {
         let segments = sim.segment_timeline();
         let total_segments = segments.num_segments();
         let total_cycles = sim.total_cycles();
         if total_segments == 0 || total_cycles == 0 {
             return total_cycles as f64;
         }
-        let mode = match design {
-            Design::NoPg => return total_cycles as f64,
-            Design::ReGateBase | Design::ReGateHw => Some(SramGateMode::Drowsy),
-            Design::ReGateFull => Some(SramGateMode::Off),
-            Design::Ideal => None,
+        let walk = match policy {
+            SramPolicy::FullPower => return total_cycles as f64,
+            SramPolicy::Walk(walk) => walk,
         };
-        let dead_equivalent = |lens: &mut dyn Iterator<Item = u64>| -> f64 {
-            match mode {
-                None => 0.0,
-                Some(mode) => {
-                    let g = self.gating.sram_gating(mode);
-                    GatingParams::walk_idle_intervals(lens, g.bet, g.delay, g.leak, g.policy)
-                        .equivalent_cycles
-                }
-            }
-        };
+        // Dead intervals never stall the pipeline (restores are hidden or
+        // scheduled ahead), so only the equivalent cycles matter here.
+        let dead_equivalent =
+            |lens: &[u64]| -> f64 { walk.walk_intervals(lens, &[]).equivalent_cycles };
         let mut eq_sum = 0.0f64;
         for band in segments.bands() {
             let dead = segments.dead_intervals_of(band);
-            let mut lens = dead.iter().map(npu_sim::CycleInterval::len);
-            let per_segment = band.live_cycles() as f64 + dead_equivalent(&mut lens);
+            let lens: Vec<u64> = dead.iter().map(npu_sim::CycleInterval::len).collect();
+            let per_segment = band.live_cycles() as f64 + dead_equivalent(&lens);
             eq_sum += per_segment * band.num_segments as f64;
         }
         let never_live = (total_segments - segments.ever_live_segments()) as f64;
         if never_live > 0.0 {
-            let mut whole_run = std::iter::once(total_cycles);
-            eq_sum += dead_equivalent(&mut whole_run) * never_live;
+            eq_sum += dead_equivalent(&[total_cycles]) * never_live;
         }
         eq_sum / total_segments as f64
     }
 
     /// Chip-wide residual-leakage ratio while the chip sits outside its
     /// duty cycle: each component's share of the static power weighted by
-    /// its *own* off-state leakage — SRAM by the design's retention mode,
-    /// everything else by the gated-logic ratio. (The previous model took
-    /// `logic_off.max(sram_off)` for the whole chip, which let the
-    /// leakiest component's ratio bleed into every other component's
-    /// share.)
-    fn idle_off_ratio(&self, design: Design, model: &PowerModel) -> f64 {
+    /// its *own* off-state residual — the SRAM by `sram`, everything else
+    /// by `logic`. (The previous model took `logic_off.max(sram_off)` for
+    /// the whole chip, which let the leakiest component's ratio bleed
+    /// into every other component's share.)
+    fn idle_off_ratio(&self, logic: f64, sram: f64, model: &PowerModel) -> f64 {
         let total = model.total_static_power_w();
-        let leak = self.gating.leakage;
         if total == 0.0 {
-            return leak.logic_off;
+            return logic;
         }
-        let sram_ratio = match design {
-            // Only compiler-directed `setpm` may destroy segment contents;
-            // the hardware-managed designs retain state in sleep mode.
-            Design::ReGateFull => leak.sram_off,
-            _ => leak.sram_sleep,
-        };
         ComponentKind::ALL
             .iter()
             .map(|&kind| {
-                let ratio = if kind == ComponentKind::Sram { sram_ratio } else { leak.logic_off };
+                let ratio = if kind == ComponentKind::Sram { sram } else { logic };
                 model.static_power_w(kind) / total * ratio
             })
             .sum()
     }
 
     /// Equivalent full-power SA cycles of one operator's *active* period
-    /// under a design (spatial PE gating; the idle periods between active
-    /// bursts are walked separately on the timeline).
+    /// under an active-period mode (spatial PE gating; the idle periods
+    /// between active bursts are walked separately on the timeline).
     fn sa_active_equivalent_cycles(
         &self,
-        design: Design,
+        mode: SaActiveMode,
         op: &npu_compiler::CompiledOp,
         timing: &OpTiming,
     ) -> f64 {
@@ -545,14 +608,14 @@ impl Evaluator {
             return 0.0;
         }
         let leak = self.gating.leakage.logic_off;
-        match design {
-            Design::NoPg | Design::ReGateBase => {
+        match mode {
+            SaActiveMode::FullPower => {
                 // Component-level gating cannot exploit spatial
                 // underutilization: the whole array burns full static power
                 // while any PE computes.
                 active
             }
-            Design::ReGateHw | Design::ReGateFull => {
+            SaActiveMode::Spatial => {
                 // PE-level gating: rows/columns holding padded zero
                 // weights are off, and the diagonal wavefront keeps PEs
                 // in W_on outside the input wave.
@@ -563,7 +626,7 @@ impl Evaluator {
                 let gated_frac = plan.gated_pe_cycle_fraction(tile_m, W_ON_RESIDUAL);
                 active * ((1.0 - gated_frac) + gated_frac * leak)
             }
-            Design::Ideal => active * timing.sa_spatial_utilization,
+            SaActiveMode::Utilization => active * timing.sa_spatial_utilization,
         }
     }
 
@@ -859,6 +922,92 @@ mod tests {
             simulation,
             1.0,
         );
+    }
+
+    #[test]
+    fn preset_policies_reproduce_the_design_rows_bit_for_bit() {
+        // The five design points are now presets of the generalized
+        // policy walk; selecting them through `evaluate_policies` must
+        // reproduce the `evaluate_compiled` rows exactly (not just within
+        // a tolerance — the golden_table4 net relies on the presets being
+        // bit-identical).
+        let evaluator = Evaluator::new(NpuGeneration::D);
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let parallelism = wl
+            .default_parallelism(chip.spec(), 1)
+            .unwrap_or_else(|| ParallelismConfig::new(1, 1, 1));
+        let graph = wl.build_graph(&parallelism);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let simulation = Simulator::new(chip).run(&compiled);
+        let designs = evaluator.evaluate_compiled(
+            &wl,
+            1,
+            parallelism,
+            &compiled,
+            simulation.clone(),
+            npu_power::NPU_DUTY_CYCLE,
+        );
+        let kinds: Vec<PolicyKind> = Design::ALL.iter().map(|&d| PolicyKind::Preset(d)).collect();
+        let policies = evaluator.evaluate_policies(
+            1,
+            &compiled,
+            &simulation,
+            npu_power::NPU_DUTY_CYCLE,
+            &kinds,
+        );
+        for design in Design::ALL {
+            let via_design = designs.design(design);
+            let via_policy = policies.row(PolicyKind::Preset(design));
+            assert_eq!(via_design.energy, via_policy.energy, "{design}");
+            assert_eq!(
+                via_design.performance_overhead, via_policy.performance_overhead,
+                "{design}"
+            );
+            assert_eq!(via_design.peak_power_w, via_policy.peak_power_w, "{design}");
+            assert_eq!(designs.energy_savings(design), via_policy.savings, "{design}");
+        }
+    }
+
+    #[test]
+    fn extended_policies_price_the_same_timeline_sanely() {
+        let evaluator = Evaluator::new(NpuGeneration::D);
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let parallelism = wl
+            .default_parallelism(chip.spec(), 1)
+            .unwrap_or_else(|| ParallelismConfig::new(1, 1, 1));
+        let graph = wl.build_graph(&parallelism);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let simulation = Simulator::new(chip).run(&compiled);
+        let mut kinds = vec![PolicyKind::Preset(Design::NoPg), PolicyKind::Preset(Design::Ideal)];
+        kinds.extend(PolicyKind::EXTENDED);
+        let set = evaluator.evaluate_policies(1, &compiled, &simulation, 1.0, &kinds);
+        let ideal = set.row(PolicyKind::Preset(Design::Ideal)).savings;
+        assert_eq!(set.row(PolicyKind::Preset(Design::NoPg)).savings, 0.0);
+        for kind in PolicyKind::EXTENDED {
+            let row = set.row(kind);
+            // Every extended policy only ever *reduces* idle cost, so the
+            // savings sit between the NoPG floor and the Ideal oracle.
+            assert!(row.savings > 0.0, "{}: savings {}", row.label, row.savings);
+            assert!(row.savings <= ideal + 1e-12, "{}: beats the oracle", row.label);
+            assert!(row.performance_overhead >= 0.0, "{}", row.label);
+            // Zero-transition policies expose no latency at all.
+            if matches!(
+                kind,
+                PolicyKind::ClockGating { .. }
+                    | PolicyKind::Dvfs { .. }
+                    | PolicyKind::DrowsyEverywhere
+            ) {
+                assert_eq!(row.performance_overhead, 0.0, "{}", row.label);
+            }
+        }
+        // Clock gating keeps the SRAM fully powered, so it must save less
+        // than drowsy-everywhere's retention sleep on a decode trace whose
+        // scratchpad is mostly dead.
+        let clock = set.row(PolicyKind::EXTENDED[0]).savings;
+        let drowsy = set.row(PolicyKind::DrowsyEverywhere).savings;
+        assert!(drowsy > clock, "drowsy {drowsy} <= clock gating {clock}");
     }
 
     #[test]

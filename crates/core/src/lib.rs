@@ -19,6 +19,10 @@
 //!   `ReGate-HW`, `ReGate-Full`, and the `Ideal` roofline;
 //! * [`evaluate`] — the end-to-end evaluation engine: workload → compile →
 //!   simulate → per-design energy/power/performance/carbon;
+//! * [`policy`] — pluggable power-management policy selection: the five
+//!   design points as presets of a per-component [`npu_power::PowerPolicy`]
+//!   configuration, plus clock gating, DVFS, drowsy-everywhere,
+//!   tile-grain re-gating, and contents-aware SRAM write-back;
 //! * [`experiments`] — generators for every table and figure of the paper's
 //!   characterization (§3) and evaluation (§6) sections.
 //!
@@ -43,9 +47,13 @@ pub mod designs;
 pub mod evaluate;
 pub mod experiments;
 pub mod pe_gating;
+pub mod policy;
 pub mod power_state;
 
 pub use designs::Design;
-pub use evaluate::{DesignEvaluation, Evaluator, WorkloadEvaluation};
+pub use evaluate::{
+    DesignEvaluation, Evaluator, PolicyEvaluation, PolicySetEvaluation, WorkloadEvaluation,
+};
 pub use pe_gating::{PeMode, SaGatingPlan};
+pub use policy::{IdleLeakModel, PolicyConfig, PolicyKind, SaActiveMode, SramPolicy};
 pub use power_state::{ComponentPowerState, PowerStateManager};

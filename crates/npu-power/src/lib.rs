@@ -35,6 +35,7 @@
 pub mod carbon;
 pub mod energy;
 pub mod gating;
+pub mod policy;
 pub mod power;
 
 pub use carbon::{CarbonModel, LifespanPoint};
@@ -42,5 +43,9 @@ pub use energy::{ComponentEnergy, EnergyBreakdown};
 pub use gating::{
     GatePolicy, GatedIdleSummary, GatingInconsistency, GatingParams, GatingRule, LeakageRatios,
     SramGateMode, SramGating,
+};
+pub use policy::{
+    ClockGating, DvfsScaling, IdealOff, IntervalGating, NoGating, PolicyInconsistency, PolicyRule,
+    PolicyWalk, PowerPolicy, TileGrainRegating, WriteBackGating,
 };
 pub use power::{PowerModel, DATACENTER_PUE, NPU_DUTY_CYCLE};

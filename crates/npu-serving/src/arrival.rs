@@ -72,11 +72,15 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { mean_interval_cycles, seed } => {
                 let mean = mean_interval_cycles.max(0.0);
                 let mut rng = SplitMix64::new(seed);
-                let mut t = 0u64;
+                // Accumulate the arrival time in f64 and round the
+                // *absolute* cycle. Rounding each exponential gap
+                // independently biases the realized rate: for small means
+                // most of the density sits below 0.5 and rounds to zero,
+                // so the trace arrives faster than configured.
+                let mut t = 0.0f64;
                 for _ in 0..count {
-                    out.push(t);
-                    let gap = -mean * rng.unit_open().ln();
-                    t = t.saturating_add(gap.round() as u64);
+                    out.push(t.round() as u64);
+                    t += -mean * rng.unit_open().ln();
                 }
             }
             ArrivalProcess::BurstyOnOff { burst_len, intra_burst_cycles, off_cycles } => {
@@ -149,6 +153,27 @@ mod tests {
         // The empirical mean gap lands near the configured mean.
         let mean = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
         assert!((600.0..1400.0).contains(&mean), "empirical mean gap {mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean_rate_is_unbiased() {
+        // Regression: gaps used to be rounded independently, so for
+        // sub-10-cycle means most gaps rounded to 0 and the realized rate
+        // sat far above the configured one. Accumulating in f64 and
+        // rounding the absolute cycle keeps the empirical mean gap within
+        // 1% of the configured mean even at tiny means.
+        for mean in [2.5, 4.0, 8.0] {
+            let p = ArrivalProcess::Poisson { mean_interval_cycles: mean, seed: 12345 };
+            let a = p.arrivals(40_001);
+            let empirical = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+            let error = (empirical - mean).abs() / mean;
+            assert!(
+                error < 0.01,
+                "mean {mean}: empirical gap {empirical} off by {:.2}%",
+                error * 100.0
+            );
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals must stay non-decreasing");
+        }
     }
 
     #[test]

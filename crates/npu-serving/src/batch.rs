@@ -27,6 +27,8 @@ pub enum BatchPolicy {
     },
     /// Dispatch when `max_batch` requests are queued or when the oldest
     /// queued request has waited `max_wait_cycles`, whichever is first.
+    /// The trailing partial batch flushes at its last arrival (no one can
+    /// join a window after the trace is exhausted).
     DynamicWindow {
         /// Largest batch the window may close with (at least 1).
         max_batch: usize,
@@ -84,10 +86,18 @@ impl BatchPolicy {
                         end += 1;
                     }
                     // A full window closes the instant its last member
-                    // arrives; a window that timed out closes at the
-                    // deadline even if the queue has gone quiet.
-                    let dispatch_cycle =
-                        if end - start == max_batch { arrivals[end - 1] } else { deadline };
+                    // arrives; a window that timed out mid-trace closes at
+                    // the deadline even if the queue has gone quiet. The
+                    // *trailing* window can never be joined by anyone —
+                    // the trace is exhausted — so it flushes at its last
+                    // arrival (matching `Static`'s trailing-flush
+                    // semantics) instead of waiting out a deadline nothing
+                    // can beat.
+                    let dispatch_cycle = if end - start == max_batch || end == n {
+                        arrivals[end - 1]
+                    } else {
+                        deadline
+                    };
                     batches.push(FormedBatch { requests: start..end, dispatch_cycle });
                     start = end;
                 }
@@ -145,23 +155,43 @@ mod tests {
         assert_eq!(batches.len(), 2);
         // The burst fills the window: closes at its 4th arrival, not the deadline.
         assert_eq!(batches[0], FormedBatch { requests: 0..4, dispatch_cycle: 30 });
-        // The straggler times out alone at its own deadline.
-        assert_eq!(batches[1], FormedBatch { requests: 4..5, dispatch_cycle: 15_000 });
+        // The straggler is the trailing window: nothing can join it, so it
+        // flushes at its own arrival instead of waiting out the deadline.
+        assert_eq!(batches[1], FormedBatch { requests: 4..5, dispatch_cycle: 10_000 });
     }
 
     #[test]
     fn window_deadline_bounds_queueing_delay() {
         // Slow trickle: one request per 4,000 cycles, window of 8 with a
-        // 1,000-cycle deadline -> every request ships alone, 1,000 cycles
-        // after it arrived.
+        // 1,000-cycle deadline -> every mid-trace request ships alone,
+        // 1,000 cycles after it arrived; the trailing request flushes
+        // immediately (the trace is exhausted).
         let arrivals: Vec<u64> = (0..5).map(|i| i * 4_000).collect();
         let batches =
             BatchPolicy::DynamicWindow { max_batch: 8, max_wait_cycles: 1_000 }.form(&arrivals);
         assert_eq!(batches.len(), 5);
-        for (i, b) in batches.iter().enumerate() {
+        for (i, b) in batches.iter().enumerate().take(4) {
             assert_eq!(b.len(), 1);
             assert_eq!(b.dispatch_cycle, arrivals[i] + 1_000);
         }
+        assert_eq!(batches[4], FormedBatch { requests: 4..5, dispatch_cycle: 16_000 });
+    }
+
+    #[test]
+    fn trailing_window_flushes_at_trace_exhaustion_but_mid_trace_still_times_out() {
+        // Regression: the trailing partial window used to wait the full
+        // `max_wait_cycles` deadline even though the arrival trace was
+        // exhausted, inflating tail queueing latency on every finite
+        // trace.
+        let arrivals = [0, 4_000, 4_100];
+        let batches =
+            BatchPolicy::DynamicWindow { max_batch: 3, max_wait_cycles: 1_000 }.form(&arrivals);
+        assert_eq!(batches.len(), 2);
+        // Mid-trace window: more arrivals exist beyond the deadline, so
+        // the timeout semantics are unchanged.
+        assert_eq!(batches[0], FormedBatch { requests: 0..1, dispatch_cycle: 1_000 });
+        // Trailing window: flushes at its last arrival, not at 5_000.
+        assert_eq!(batches[1], FormedBatch { requests: 1..3, dispatch_cycle: 4_100 });
     }
 
     #[test]

@@ -23,8 +23,11 @@ pub struct DesignServingRow {
     /// Per-chip energy over the trace (busy energy; the trace's idle gaps
     /// are priced inside it by the interval walk), in joules.
     pub total_j: f64,
-    /// Deployment energy per served request, in joules.
-    pub energy_per_request_j: f64,
+    /// Deployment energy per served request, in joules. `None` when the
+    /// trace served zero requests — the whole-trace energy is not a
+    /// per-request figure, so an empty trace reports no value rather
+    /// than a misleading one.
+    pub energy_per_request_j: Option<f64>,
     /// Energy savings relative to `NoPG` over the same trace.
     pub savings: f64,
 }
@@ -75,8 +78,8 @@ impl ServingReport {
                 design,
                 DesignServingRow {
                     total_j,
-                    energy_per_request_j: total_j * outcome.num_chips as f64
-                        / num_requests.max(1) as f64,
+                    energy_per_request_j: (num_requests > 0)
+                        .then(|| total_j * outcome.num_chips as f64 / num_requests as f64),
                     savings: evaluation.energy_savings(design),
                 },
             );
@@ -143,6 +146,41 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::BatchPolicy;
+    use crate::simulator::ServingSimulator;
+    use npu_arch::NpuGeneration;
+    use npu_models::{DlrmSize, Workload};
+
+    #[test]
+    fn energy_per_request_is_none_when_no_requests_were_served() {
+        let simulator = ServingSimulator::new(
+            NpuGeneration::D,
+            1,
+            Workload::dlrm(DlrmSize::Small).with_batch(8),
+        );
+        let evaluator = Evaluator::new(NpuGeneration::D);
+        let outcome = simulator.run(&[0, 1_000], &BatchPolicy::Static { batch: 2 });
+
+        let report = ServingReport::evaluate(&outcome, &evaluator);
+        for design in Design::ALL {
+            let row = report.design(design);
+            let per_request =
+                row.energy_per_request_j.expect("a served trace has per-request energy");
+            // Two requests, one chip: per-request energy is half the trace.
+            assert!((per_request - row.total_j / 2.0).abs() < 1e-12);
+        }
+
+        // Regression: with zero served requests the row used to report the
+        // whole trace's energy as "per request". It now reports no value.
+        let mut empty = outcome;
+        empty.requests.clear();
+        let report = ServingReport::evaluate(&empty, &evaluator);
+        assert_eq!(report.num_requests, 0);
+        for design in Design::ALL {
+            assert_eq!(report.design(design).energy_per_request_j, None);
+            assert!(report.design(design).total_j >= 0.0);
+        }
+    }
 
     #[test]
     fn percentile_is_nearest_rank() {

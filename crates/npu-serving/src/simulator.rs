@@ -262,15 +262,18 @@ impl ServingOutcome {
     /// busy. At saturating load this approaches 1; at low offered load it
     /// falls toward the paper's fleet average and below, which is the
     /// cross-check for the §3 out-of-duty-cycle leakage term.
+    ///
+    /// A zero-cycle makespan (a degenerate schedule with no timeline at
+    /// all) reports 0.0: an empty makespan has no busy cycles, so it must
+    /// not masquerade as a saturated deployment.
     #[must_use]
     pub fn measured_duty_cycle(&self) -> f64 {
         let total = self.simulation.total_cycles();
         if total == 0 {
-            return 1.0;
+            return 0.0;
         }
-        let kinds: Vec<ComponentKind> =
-            ComponentKind::ALL.iter().copied().filter(|&k| k != ComponentKind::Other).collect();
-        self.simulation.busy_timeline().union_busy_cycles(&kinds) as f64 / total as f64
+        let busy = self.simulation.busy_timeline().union_busy_cycles(&ComponentKind::GATEABLE);
+        busy as f64 / total as f64
     }
 }
 
@@ -609,6 +612,26 @@ mod tests {
         let arrivals = [0u64, 1_000, 350_000, 360_000, 900_000];
         let outcome = simulator.run(&arrivals, &BatchPolicy::Static { batch: 2 });
         (simulator, outcome)
+    }
+
+    #[test]
+    fn measured_duty_cycle_is_a_fraction_and_zero_on_an_empty_makespan() {
+        let (_, outcome) = outcome_and_simulator();
+        let duty = outcome.measured_duty_cycle();
+        assert!(duty > 0.0 && duty <= 1.0, "duty cycle {duty} must be a fraction of the makespan");
+
+        // Regression: a zero-cycle makespan used to report 1.0 — a
+        // schedule with no timeline masqueraded as a saturated one.
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let empty = ServingOutcome {
+            simulation: Simulator::new(chip).run(&CompiledGraph::empty("empty")),
+            compiled: Arc::new(CompiledGraph::empty("empty")),
+            batches: Vec::new(),
+            requests: Vec::new(),
+            ..outcome
+        };
+        assert_eq!(empty.makespan_cycles(), 0);
+        assert_eq!(empty.measured_duty_cycle(), 0.0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use npu_compiler::{CompiledGraph, SramAllocation};
 use npu_models::RequestGraph;
-use npu_power::{GatingParams, GatingRule};
+use npu_power::{GatingParams, GatingRule, PolicyRule, PowerPolicy};
 
 use crate::engine::{SimulationResult, DISPATCH_OVERHEAD_CYCLES};
 use crate::timeline::{OpPhases, Resource};
@@ -137,6 +137,23 @@ pub mod rules {
     /// A batch (or request) completes before it was dispatched (deny).
     /// Emitted by the serving layer's outcome checks.
     pub const SERVE_COMPLETION_BEFORE_DISPATCH: &str = "serve.completion-before-dispatch";
+
+    /// A DVFS scale factor outside `(0, 1]` — a zero or negative scale
+    /// claims free idleness, a scale above 1 makes DVFS worse than doing
+    /// nothing (deny).
+    pub const POLICY_SCALE_OUT_OF_RANGE: &str = "policy.scale-out-of-range";
+    /// A clock-gating residual outside `[0, 1]` — the surviving fraction
+    /// of idle power cannot be negative or exceed the ungated cost
+    /// (deny).
+    pub const POLICY_RESIDUAL_OUT_OF_RANGE: &str = "policy.residual-out-of-range";
+    /// A write-back cost inconsistent with the segment size, streaming
+    /// bandwidth, or break-even time — the policy would claim savings it
+    /// cannot physically deliver (deny).
+    pub const POLICY_WRITEBACK_INCONSISTENT: &str = "policy.writeback-inconsistent";
+    /// A transition-cost configuration contradicting the hardware
+    /// structure it models, e.g. a tile waking slower than the full
+    /// array it is a fraction of (deny).
+    pub const POLICY_TRANSITION_INCONSISTENT: &str = "policy.transition-inconsistent";
 }
 
 /// How many diagnostics one repeating rule may emit before the remainder
@@ -911,6 +928,33 @@ pub fn check_gating_config(params: &GatingParams, duty_cycle: f64) -> Vec<Diagno
         ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Policy pass: power-management-policy consistency
+// ---------------------------------------------------------------------------
+
+/// Checks one power-management policy's parameterization for internal
+/// consistency. The findings come from
+/// [`PowerPolicy::consistency`];
+/// this pass maps them onto the analyzer's `policy.*` rule catalog so
+/// sweeps can gate a policy matrix the same way deployments gate their
+/// gating parameters.
+#[must_use]
+pub fn check_power_policy(policy: &dyn PowerPolicy) -> Vec<Diagnostic> {
+    policy
+        .consistency()
+        .into_iter()
+        .map(|finding| {
+            let rule_id = match finding.rule {
+                PolicyRule::ScaleOutOfRange => rules::POLICY_SCALE_OUT_OF_RANGE,
+                PolicyRule::ResidualOutOfRange => rules::POLICY_RESIDUAL_OUT_OF_RANGE,
+                PolicyRule::WritebackInconsistent => rules::POLICY_WRITEBACK_INCONSISTENT,
+                PolicyRule::TransitionInconsistent => rules::POLICY_TRANSITION_INCONSISTENT,
+            };
+            Diagnostic::deny(rule_id, None, format!("{}: {}", policy.label(), finding.message))
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------

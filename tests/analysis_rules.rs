@@ -13,7 +13,9 @@
 use npu_arch::{ChipConfig, NpuGeneration};
 use npu_compiler::{CompiledGraph, CompiledOp, Compiler, SramAllocation};
 use npu_models::{fixtures, DlrmSize, Workload};
-use npu_power::{GatingParams, LeakageRatios};
+use npu_power::{
+    ClockGating, DvfsScaling, GatingParams, LeakageRatios, TileGrainRegating, WriteBackGating,
+};
 use npu_serving::{BatchPolicy, ServingSimulator};
 use npu_sim::analysis::{self, rules};
 use npu_sim::timeline::{OpPhases, Resource};
@@ -297,6 +299,63 @@ fn gate_duty_cycle_out_of_range_is_denied() {
         assert_rule(&diagnostics, rules::GATE_DUTY_CYCLE_OUT_OF_RANGE, Severity::Deny);
     }
     assert!(analysis::check_gating_config(&GatingParams::default(), 0.5).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Power-management policy rules
+// ---------------------------------------------------------------------
+
+#[test]
+fn policy_scale_out_of_range_is_denied() {
+    for scale in [0.0, -0.5, 1.5] {
+        let diagnostics = analysis::check_power_policy(&DvfsScaling { scale });
+        assert_rule(&diagnostics, rules::POLICY_SCALE_OUT_OF_RANGE, Severity::Deny);
+    }
+    assert!(analysis::check_power_policy(&DvfsScaling { scale: 0.6 }).is_empty());
+}
+
+#[test]
+fn policy_residual_out_of_range_is_denied() {
+    for residual in [-0.1, 1.5] {
+        let diagnostics = analysis::check_power_policy(&ClockGating { residual });
+        assert_rule(&diagnostics, rules::POLICY_RESIDUAL_OUT_OF_RANGE, Severity::Deny);
+    }
+    assert!(analysis::check_power_policy(&ClockGating { residual: 0.55 }).is_empty());
+}
+
+#[test]
+fn policy_writeback_inconsistent_is_denied() {
+    // 4 KiB at 64 B/cycle needs 64 streaming cycles; 10 is understated.
+    let understated = WriteBackGating {
+        bet: 200,
+        delay: 10,
+        leak: 0.002,
+        writeback_cycles: 10,
+        segment_bytes: 4096,
+        bytes_per_cycle: 64.0,
+    };
+    let diagnostics = analysis::check_power_policy(&understated);
+    assert_rule(&diagnostics, rules::POLICY_WRITEBACK_INCONSISTENT, Severity::Deny);
+
+    // A BET that cannot amortize the entry cost (2 x delay + write-back).
+    let unamortized = WriteBackGating { bet: 84, writeback_cycles: 64, ..understated };
+    let diagnostics = analysis::check_power_policy(&unamortized);
+    assert_rule(&diagnostics, rules::POLICY_WRITEBACK_INCONSISTENT, Severity::Deny);
+
+    let clean = WriteBackGating::for_segment(&GatingParams::default(), 4096, 64.0);
+    assert!(analysis::check_power_policy(&clean).is_empty());
+}
+
+#[test]
+fn policy_transition_inconsistent_is_denied() {
+    // A tile is a fraction of the array: its wake cannot be slower than
+    // the full array's.
+    let broken = TileGrainRegating { bet: 469, delay: 10, leak: 0.03, tile_delay: 11 };
+    let diagnostics = analysis::check_power_policy(&broken);
+    assert_rule(&diagnostics, rules::POLICY_TRANSITION_INCONSISTENT, Severity::Deny);
+
+    let clean = TileGrainRegating { tile_delay: 1, ..broken };
+    assert!(analysis::check_power_policy(&clean).is_empty());
 }
 
 // ---------------------------------------------------------------------
