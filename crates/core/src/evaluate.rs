@@ -24,7 +24,7 @@ use npu_compiler::{CompiledGraph, Compiler};
 use npu_models::{ExecutionUnit, Workload};
 use npu_power::energy::ChipUsage;
 use npu_power::{CarbonModel, EnergyBreakdown, GatingParams, PowerModel};
-use npu_sim::{OpTiming, SimulationResult, Simulator};
+use npu_sim::{AnalysisReport, Diagnostic, OpTiming, SimulationResult, Simulator};
 
 use crate::designs::Design;
 use crate::pe_gating::SaGatingPlan;
@@ -220,23 +220,66 @@ impl Evaluator {
     }
 
     /// Evaluates a workload on `num_chips` chips across every design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no valid parallelism configuration exists for the
+    /// requested deployment (use [`Self::try_evaluate`] to handle the
+    /// denial programmatically). The engine used to silently fabricate a
+    /// `ParallelismConfig::new(num_chips, 1, 1)` fallback here, which
+    /// priced a deployment whose weights provably do not fit in HBM.
     #[must_use]
     pub fn evaluate(&self, workload: &Workload, num_chips: usize) -> WorkloadEvaluation {
+        match self.try_evaluate(workload, num_chips) {
+            Ok(eval) => eval,
+            Err(report) => {
+                panic!(
+                    "infeasible deployment of {workload} on {num_chips} chip(s):\n{}",
+                    report.render()
+                )
+            }
+        }
+    }
+
+    /// Evaluates a workload on `num_chips` chips across every design
+    /// point, or reports why the deployment is infeasible.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisReport`] carrying a
+    /// `topo.parallelism-infeasible` denial when no valid parallelism
+    /// configuration exists for the requested (workload, chip count) —
+    /// e.g. model weights that cannot fit the deployment's aggregate HBM.
+    pub fn try_evaluate(
+        &self,
+        workload: &Workload,
+        num_chips: usize,
+    ) -> Result<WorkloadEvaluation, AnalysisReport> {
         let chip = ChipConfig::new(self.generation, num_chips);
-        let parallelism = workload
-            .default_parallelism(chip.spec(), num_chips)
-            .unwrap_or_else(|| ParallelismConfig::new(num_chips, 1, 1));
+        let Some(parallelism) = workload.default_parallelism(chip.spec(), num_chips) else {
+            let mut report = AnalysisReport::new();
+            report.extend([Diagnostic::deny(
+                npu_sim::analysis::rules::TOPO_PARALLELISM_INFEASIBLE,
+                None,
+                format!(
+                    "no valid parallelism configuration for {workload} on {num_chips} chip(s): \
+                     the workload's memory demand exceeds the deployment's aggregate HBM under \
+                     every legal (data, tensor, pipeline) split"
+                ),
+            )]);
+            return Err(report);
+        };
         let graph = workload.build_graph(&parallelism);
         let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
         let simulation = Simulator::new(chip).run(&compiled);
-        self.evaluate_compiled(
+        Ok(self.evaluate_compiled(
             workload,
             num_chips,
             parallelism,
             &compiled,
             simulation,
             npu_power::NPU_DUTY_CYCLE,
-        )
+        ))
     }
 
     /// Evaluates every design point over a *pre-built* compiled graph and
@@ -510,8 +553,34 @@ impl Evaluator {
         //     pipeline, and `setpm on` is issued ahead of the next use.
         equivalent.insert(ComponentKind::Sram, self.sram_equivalent_cycles(&config.sram, sim));
 
-        // --- Peripheral logic is never gated. ---
-        equivalent.insert(ComponentKind::Other, total_cycles as f64);
+        // --- Peripheral logic: per-component gating can never touch it,
+        //     but a chip-level policy walks the *whole-chip* idle
+        //     intervals (every tracked component simultaneously quiet —
+        //     the pipeline-stage bubbles of multi-chip serving) and
+        //     recovers the uncore static power inside them. ---
+        let other_eq = match &config.whole_chip {
+            None => total_cycles as f64,
+            Some(policy) => {
+                let gaps = timeline.union_idle_intervals(
+                    &[
+                        ComponentKind::Sa,
+                        ComponentKind::Vu,
+                        ComponentKind::Hbm,
+                        ComponentKind::Ici,
+                        ComponentKind::Dma,
+                    ],
+                    total_cycles,
+                );
+                let all: Vec<u64> = gaps.iter().map(npu_sim::CycleInterval::len).collect();
+                let waking: Vec<u64> =
+                    gaps.iter().filter(|iv| iv.end < total_cycles).map(|iv| iv.len()).collect();
+                let union_idle: u64 = all.iter().sum();
+                let walk = policy.walk_intervals(&all, &waking);
+                overhead_cycles += walk.wake_stall_cycles;
+                (total_cycles - union_idle) as f64 + walk.equivalent_cycles
+            }
+        };
+        equivalent.insert(ComponentKind::Other, other_eq);
 
         let performance_overhead =
             if total_cycles == 0 { 0.0 } else { overhead_cycles / total_cycles as f64 };
@@ -1008,6 +1077,59 @@ mod tests {
         let clock = set.row(PolicyKind::EXTENDED[0]).savings;
         let drowsy = set.row(PolicyKind::DrowsyEverywhere).savings;
         assert!(drowsy > clock, "drowsy {drowsy} <= clock gating {clock}");
+    }
+
+    #[test]
+    fn infeasible_deployments_are_denied_not_fabricated() {
+        // The engine used to fall back to `ParallelismConfig::new(n, 1, 1)`
+        // when no legal split existed, silently pricing a deployment whose
+        // weights cannot fit in HBM. Now the denial is a diagnostic.
+        let evaluator = Evaluator::new(NpuGeneration::D);
+        for (wl, chips) in [
+            (Workload::llm(LlamaModel::Llama3_70B, LlmPhase::Decode), 1usize),
+            (Workload::llm(LlamaModel::Llama3_405B, LlmPhase::Training), 4),
+            (Workload::dlrm(DlrmSize::Large), 1),
+        ] {
+            let report = evaluator.try_evaluate(&wl, chips).expect_err("deployment cannot fit");
+            assert!(!report.is_schedulable(), "{wl} on {chips} chip(s)");
+            assert!(
+                report
+                    .denials()
+                    .any(|d| d.rule_id == npu_sim::analysis::rules::TOPO_PARALLELISM_INFEASIBLE),
+                "{wl} on {chips} chip(s): missing topo.parallelism-infeasible"
+            );
+        }
+        // Feasible deployments are untouched by the new path.
+        let ok = evaluator
+            .try_evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1)
+            .expect("8B decode fits one chip");
+        assert_eq!(
+            ok,
+            evaluator.evaluate(&Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode), 1)
+        );
+    }
+
+    #[test]
+    fn whole_chip_gating_recovers_uncore_static_on_top_of_full() {
+        let evaluator = Evaluator::new(NpuGeneration::D);
+        let wl = Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Decode);
+        let chip = ChipConfig::new(NpuGeneration::D, 1);
+        let parallelism = wl
+            .default_parallelism(chip.spec(), 1)
+            .unwrap_or_else(|| ParallelismConfig::new(1, 1, 1));
+        let graph = wl.build_graph(&parallelism);
+        let compiled = Compiler::new(chip.spec().clone()).compile(&graph);
+        let simulation = Simulator::new(chip).run(&compiled);
+        let kinds = [PolicyKind::Preset(Design::ReGateFull), PolicyKind::WholeChipFull];
+        let set = evaluator.evaluate_policies(1, &compiled, &simulation, 1.0, &kinds);
+        let full = set.row(kinds[0]);
+        let whole = set.row(PolicyKind::WholeChipFull);
+        // Chip-level gating only ever *adds* recovery on top of Full: the
+        // uncore energy never rises and the savings never fall.
+        let full_other = full.energy.component(ComponentKind::Other).total_j();
+        let whole_other = whole.energy.component(ComponentKind::Other).total_j();
+        assert!(whole_other <= full_other + 1e-12, "{whole_other} > {full_other}");
+        assert!(whole.savings >= full.savings - 1e-12);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod designs;
 pub mod evaluate;
 pub mod experiments;
 pub mod pe_gating;
+pub mod pod;
 pub mod policy;
 pub mod power_state;
 
@@ -55,5 +56,6 @@ pub use evaluate::{
     DesignEvaluation, Evaluator, PolicyEvaluation, PolicySetEvaluation, WorkloadEvaluation,
 };
 pub use pe_gating::{PeMode, SaGatingPlan};
+pub use pod::{pod_static_gating, PodGatingReport};
 pub use policy::{IdleLeakModel, PolicyConfig, PolicyKind, SaActiveMode, SramPolicy};
 pub use power_state::{ComponentPowerState, PowerStateManager};

@@ -57,6 +57,12 @@ pub enum PolicyKind {
     /// dirty segments back to HBM before cutting power, lifting the
     /// "only provably-dead segments" restriction.
     ContentsAwareFull,
+    /// ReGate-Full plus *chip-level* gating: intervals in which every
+    /// tracked component of the chip is simultaneously idle (the
+    /// pipeline-stage bubbles of multi-chip serving) gate the whole chip
+    /// — including the peripheral logic per-component gating can never
+    /// touch — at a conservative chip-level break-even time.
+    WholeChipFull,
 }
 
 impl PolicyKind {
@@ -80,6 +86,7 @@ impl PolicyKind {
             PolicyKind::DrowsyEverywhere => "Drowsy-All".to_string(),
             PolicyKind::TileGrainBase => "TileGrain-Base".to_string(),
             PolicyKind::ContentsAwareFull => "WriteBack-Full".to_string(),
+            PolicyKind::WholeChipFull => "WholeChip-Full".to_string(),
         }
     }
 
@@ -135,6 +142,7 @@ impl PolicyKind {
                 ici: Box::new(NoGating),
                 dma: Box::new(NoGating),
                 sram: SramPolicy::FullPower,
+                whole_chip: None,
                 idle_leak: IdleLeakModel::Baseline,
             },
             PolicyKind::Preset(Design::ReGateBase) => PolicyConfig {
@@ -166,6 +174,7 @@ impl PolicyKind {
                     1.0,
                 )),
                 sram: sram_walk(SramGateMode::Drowsy),
+                whole_chip: None,
                 idle_leak: IdleLeakModel::PerComponent {
                     logic: leak.logic_off,
                     sram: leak.sram_sleep,
@@ -195,6 +204,7 @@ impl PolicyKind {
                     0.5,
                 )),
                 sram: sram_walk(SramGateMode::Drowsy),
+                whole_chip: None,
                 idle_leak: IdleLeakModel::PerComponent {
                     logic: leak.logic_off,
                     sram: leak.sram_sleep,
@@ -231,6 +241,7 @@ impl PolicyKind {
                     0.25,
                 )),
                 sram: sram_walk(SramGateMode::Off),
+                whole_chip: None,
                 idle_leak: IdleLeakModel::PerComponent {
                     logic: leak.logic_off,
                     sram: leak.sram_off,
@@ -245,6 +256,7 @@ impl PolicyKind {
                 ici: Box::new(IdealOff),
                 dma: Box::new(IdealOff),
                 sram: SramPolicy::Walk(Box::new(IdealOff)),
+                whole_chip: None,
                 idle_leak: IdleLeakModel::Zero,
             },
             PolicyKind::ClockGating { residual } => PolicyConfig {
@@ -258,6 +270,7 @@ impl PolicyKind {
                 // Clock gating cannot touch SRAM cell leakage: the
                 // scratchpad stays at full static power.
                 sram: SramPolicy::FullPower,
+                whole_chip: None,
                 idle_leak: IdleLeakModel::PerComponent { logic: residual, sram: 1.0 },
             },
             PolicyKind::Dvfs { scale } => PolicyConfig {
@@ -269,6 +282,7 @@ impl PolicyKind {
                 ici: Box::new(DvfsScaling { scale }),
                 dma: Box::new(DvfsScaling { scale }),
                 sram: SramPolicy::Walk(Box::new(DvfsScaling { scale })),
+                whole_chip: None,
                 idle_leak: IdleLeakModel::PerComponent { logic: scale, sram: scale },
             },
             PolicyKind::DrowsyEverywhere => {
@@ -291,6 +305,7 @@ impl PolicyKind {
                     ici: Box::new(drowsy),
                     dma: Box::new(drowsy),
                     sram: sram_walk(SramGateMode::Drowsy),
+                    whole_chip: None,
                     idle_leak: IdleLeakModel::PerComponent {
                         logic: leak.sram_sleep,
                         sram: leak.sram_sleep,
@@ -326,6 +341,26 @@ impl PolicyKind {
                     spec.sram_geometry().segment_bytes(),
                     spec.hbm_bytes_per_cycle(),
                 )));
+                config
+            }
+            PolicyKind::WholeChipFull => {
+                let mut config = PolicyKind::Preset(Design::ReGateFull).config(gating, spec);
+                config.kind = self;
+                // The uncore has no Table 3 row of its own: gating the
+                // whole chip is priced conservatively at twice the
+                // slowest component's break-even time and wake-up delay.
+                let bet = 2 * gating
+                    .sa_full_bet
+                    .max(gating.vu_bet)
+                    .max(gating.hbm_bet)
+                    .max(gating.ici_bet);
+                let delay = 2 * gating
+                    .sa_full_delay
+                    .max(gating.vu_delay)
+                    .max(gating.hbm_delay)
+                    .max(gating.ici_delay);
+                config.whole_chip =
+                    Some(Box::new(interval(bet, delay, GatePolicy::IdleDetect, 1.0)));
                 config
             }
         }
@@ -392,6 +427,10 @@ pub struct PolicyConfig {
     pub(crate) dma: Box<dyn PowerPolicy>,
     /// SRAM per-segment dead-interval policy.
     pub(crate) sram: SramPolicy,
+    /// Chip-level policy walking *whole-chip* idle intervals (every
+    /// tracked component simultaneously quiet); `None` leaves the
+    /// peripheral logic always on.
+    pub(crate) whole_chip: Option<Box<dyn PowerPolicy>>,
     /// Out-of-duty-cycle leakage attribution.
     pub(crate) idle_leak: IdleLeakModel,
 }
@@ -409,6 +448,9 @@ impl PolicyConfig {
             self.dma.as_ref(),
         ];
         if let SramPolicy::Walk(policy) = &self.sram {
+            out.push(policy.as_ref());
+        }
+        if let Some(policy) = &self.whole_chip {
             out.push(policy.as_ref());
         }
         out
@@ -449,6 +491,20 @@ mod tests {
         assert_eq!(broken.consistency().len(), 6);
         let broken = PolicyKind::ClockGating { residual: -0.2 }.config(&gating, &spec);
         assert_eq!(broken.consistency().len(), 5);
+    }
+
+    #[test]
+    fn whole_chip_full_extends_regate_full_with_a_chip_policy() {
+        let gating = GatingParams::default();
+        let spec = NpuSpec::generation(NpuGeneration::D);
+        let config = PolicyKind::WholeChipFull.config(&gating, &spec);
+        assert!(config.whole_chip.is_some(), "chip-level policy must be armed");
+        assert!(config.consistency().is_empty(), "WholeChip-Full: inconsistent config");
+        // ReGate-Full's six component policies plus the chip-level walk.
+        assert_eq!(config.component_policies().len(), 7);
+        let full = PolicyKind::Preset(Design::ReGateFull).config(&gating, &spec);
+        assert!(full.whole_chip.is_none(), "presets never gate the uncore");
+        assert_eq!(PolicyKind::WholeChipFull.label(), "WholeChip-Full");
     }
 
     #[test]

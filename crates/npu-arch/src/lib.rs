@@ -39,4 +39,4 @@ pub use memory::{HbmKind, SramGeometry};
 pub use parallelism::{ParallelismConfig, ShardingAxis};
 pub use slo::{SloSpec, SloTarget};
 pub use spec::{NpuGeneration, NpuSpec, TechnologyNode};
-pub use topology::{PodTopology, TorusKind};
+pub use topology::{FabricKind, Link, LinkGraph, PodTopology, TorusKind};

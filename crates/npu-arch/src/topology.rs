@@ -200,6 +200,251 @@ impl std::fmt::Display for PodTopology {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Explicit link graph: per-link endpoints + deterministic routing
+// ---------------------------------------------------------------------------
+
+/// One directed ICI link between two nodes of the pod fabric.
+///
+/// Nodes `0..num_chips` are chips; in the switched fat-tree variant the
+/// nodes at `num_chips..num_nodes` are switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Source node (the sender side of the wire).
+    pub src: usize,
+    /// Destination node (the receiver side of the wire).
+    pub dst: usize,
+}
+
+/// The fabric a [`LinkGraph`] was built as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// Torus wiring derived from a [`PodTopology`] (a 1-wide torus
+    /// degenerates to a ring).
+    Torus(TorusKind),
+    /// A two-level switched fat tree (leaf switches + one spine).
+    FatTree,
+}
+
+/// An explicit ICI link graph: every link's endpoints plus a deterministic
+/// all-pairs shortest-path routing table.
+///
+/// Unlike [`PodTopology`] — which is pure geometry feeding the analytic
+/// collective cost model — a `LinkGraph` names each physical link so the
+/// simulator can give it its own busy track (and its own gateable idle
+/// intervals). Links are directed: a torus chip owns one outgoing link per
+/// usable direction per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkGraph {
+    fabric: FabricKind,
+    num_chips: usize,
+    num_nodes: usize,
+    links: Vec<Link>,
+    /// `outgoing[node]`: link indices leaving `node`, ascending by
+    /// destination — the deterministic BFS expansion order.
+    outgoing: Vec<Vec<usize>>,
+    /// Flattened all-pairs routing table: `routes[src * num_chips + dst]`
+    /// is the link-id path from chip `src` to chip `dst` (empty for
+    /// `src == dst`).
+    routes: Vec<Vec<usize>>,
+}
+
+impl LinkGraph {
+    /// Builds the torus link graph of a pod: chips are laid out row-major
+    /// over the pod shape, and every dimension of extent ≥ 2 contributes
+    /// wrap-around neighbour links (one direction for extent 2, where both
+    /// directions reach the same neighbour; both directions otherwise).
+    #[must_use]
+    pub fn torus(pod: &PodTopology) -> Self {
+        let [x, y, z] = pod.shape();
+        let n = pod.num_chips();
+        let coord = |chip: usize| [chip % x, (chip / x) % y, chip / (x * y)];
+        let index = |c: [usize; 3]| (c[2] * y + c[1]) * x + c[0];
+        let mut links = Vec::new();
+        for chip in 0..n {
+            let c = coord(chip);
+            for (dim, &extent) in [x, y, z].iter().enumerate() {
+                if extent < 2 {
+                    continue;
+                }
+                let mut fwd = c;
+                fwd[dim] = (c[dim] + 1) % extent;
+                links.push(Link { src: chip, dst: index(fwd) });
+                if extent > 2 {
+                    let mut bwd = c;
+                    bwd[dim] = (c[dim] + extent - 1) % extent;
+                    links.push(Link { src: chip, dst: index(bwd) });
+                }
+            }
+        }
+        Self::from_links(FabricKind::Torus(pod.kind()), n, n, links)
+    }
+
+    /// Builds a two-level switched fat tree: `radix` chips per leaf
+    /// switch, all leaf switches joined by one spine switch. Every edge is
+    /// a pair of directed links (up and down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips` or `radix` is zero.
+    #[must_use]
+    pub fn fat_tree(num_chips: usize, radix: usize) -> Self {
+        assert!(num_chips > 0, "a fat tree needs at least one chip");
+        assert!(radix > 0, "a fat-tree leaf switch needs a non-zero radix");
+        let num_leaves = num_chips.div_ceil(radix);
+        let leaf = |chip: usize| num_chips + chip / radix;
+        let spine = num_chips + num_leaves;
+        let num_nodes = if num_leaves > 1 { spine + 1 } else { num_chips + num_leaves };
+        let mut links = Vec::new();
+        for chip in 0..num_chips {
+            links.push(Link { src: chip, dst: leaf(chip) });
+        }
+        for l in 0..num_leaves {
+            for chip in 0..num_chips {
+                if leaf(chip) == num_chips + l {
+                    links.push(Link { src: num_chips + l, dst: chip });
+                }
+            }
+            if num_leaves > 1 {
+                links.push(Link { src: num_chips + l, dst: spine });
+                links.push(Link { src: spine, dst: num_chips + l });
+            }
+        }
+        Self::from_links(FabricKind::FatTree, num_chips, num_nodes, links)
+    }
+
+    /// Builds the link graph with the routing table filled in from
+    /// deterministic BFS. This is also the analyzer-fixture back door:
+    /// like `CompiledGraph::from_parts`, it does not validate endpoints —
+    /// malformed link graphs are the `topo.*` rules' subject matter.
+    #[must_use]
+    pub fn from_links(
+        fabric: FabricKind,
+        num_chips: usize,
+        num_nodes: usize,
+        links: Vec<Link>,
+    ) -> Self {
+        let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        for (id, link) in links.iter().enumerate() {
+            if link.src < num_nodes {
+                outgoing[link.src].push(id);
+            }
+        }
+        for out in &mut outgoing {
+            out.sort_by_key(|&id| (links[id].dst, id));
+        }
+        let mut graph = LinkGraph { fabric, num_chips, num_nodes, links, outgoing, routes: vec![] };
+        graph.routes = graph.compute_routes();
+        graph
+    }
+
+    /// Deterministic all-pairs shortest-path routes between chips:
+    /// breadth-first search from each source, expanding neighbours in
+    /// ascending `(destination, link id)` order so ties always break the
+    /// same way. Unreachable pairs get an empty route (the `topo.*`
+    /// analyzer rules flag them; `src == dst` is legitimately empty).
+    fn compute_routes(&self) -> Vec<Vec<usize>> {
+        let mut routes = vec![Vec::new(); self.num_chips * self.num_chips];
+        for src in 0..self.num_chips {
+            // `via[node]` = link that first discovered `node`.
+            let mut via: Vec<Option<usize>> = vec![None; self.num_nodes];
+            let mut frontier = std::collections::VecDeque::new();
+            frontier.push_back(src);
+            while let Some(node) = frontier.pop_front() {
+                for &id in &self.outgoing[node] {
+                    let next = self.links[id].dst;
+                    if next < self.num_nodes && next != src && via[next].is_none() {
+                        via[next] = Some(id);
+                        frontier.push_back(next);
+                    }
+                }
+            }
+            for dst in 0..self.num_chips {
+                if dst == src {
+                    continue;
+                }
+                let mut path = Vec::new();
+                let mut node = dst;
+                while node != src {
+                    match via[node] {
+                        Some(id) => {
+                            path.push(id);
+                            node = self.links[id].src;
+                        }
+                        None => {
+                            path.clear();
+                            break;
+                        }
+                    }
+                }
+                path.reverse();
+                routes[src * self.num_chips + dst] = path;
+            }
+        }
+        routes
+    }
+
+    /// The fabric this graph was built as.
+    #[must_use]
+    pub fn fabric(&self) -> FabricKind {
+        self.fabric
+    }
+
+    /// Number of chips (nodes `0..num_chips`).
+    #[must_use]
+    pub fn num_chips(&self) -> usize {
+        self.num_chips
+    }
+
+    /// Number of nodes including switches.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All links, in construction order (link id = index).
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The shortest-path route from chip `src` to chip `dst` as link ids
+    /// (empty when `src == dst` or no path exists).
+    #[must_use]
+    pub fn route(&self, src: usize, dst: usize) -> &[usize] {
+        self.routes.get(src * self.num_chips + dst).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The deterministic ring embedding used by ring collectives: chip
+    /// `i`'s hop to chip `(i + 1) % n`, as the routed link path of each
+    /// hop. In a torus most hops are single neighbour links; row-crossing
+    /// hops route through the table like any other traffic.
+    #[must_use]
+    pub fn collective_ring(&self) -> Vec<Vec<usize>> {
+        let n = self.num_chips;
+        if n < 2 {
+            return Vec::new();
+        }
+        (0..n).map(|i| self.route(i, (i + 1) % n).to_vec()).collect()
+    }
+}
+
+impl std::fmt::Display for LinkGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fabric = match self.fabric {
+            FabricKind::Torus(kind) => kind.to_string(),
+            FabricKind::FatTree => "Fat Tree".to_string(),
+        };
+        write!(f, "{} fabric: {} chips, {} links", fabric, self.num_chips, self.links.len())
+    }
+}
+
 /// Factors `n` into two dimensions as close to square as possible.
 fn balanced_factor2(n: usize) -> (usize, usize) {
     let mut best = (1, n);
@@ -314,5 +559,117 @@ mod tests {
         let small = PodTopology::for_chips(TorusKind::Torus2D, 4);
         let large = PodTopology::for_chips(TorusKind::Torus2D, 64);
         assert!(large.diameter_hops() > small.diameter_hops());
+    }
+
+    #[test]
+    fn ring_link_graph_has_one_link_per_direction() {
+        // A 1x4 "torus" is a ring: extent 4 > 2 gives both directions.
+        let pod = PodTopology::for_chips(TorusKind::Torus2D, 4);
+        let graph = LinkGraph::torus(&pod);
+        assert_eq!(graph.num_chips(), 4);
+        assert_eq!(graph.num_nodes(), 4);
+        // Shape [2, 2]: each dimension has extent 2, so one link per
+        // dimension per chip: 4 chips x 2 links.
+        assert_eq!(pod.shape(), [2, 2, 1]);
+        assert_eq!(graph.num_links(), 8);
+        for link in graph.links() {
+            assert!(link.src < 4 && link.dst < 4 && link.src != link.dst);
+        }
+    }
+
+    #[test]
+    fn torus_link_count_matches_usable_links() {
+        for (kind, chips) in
+            [(TorusKind::Torus2D, 16), (TorusKind::Torus3D, 8), (TorusKind::Torus3D, 64)]
+        {
+            let pod = PodTopology::for_chips(kind, chips);
+            let graph = LinkGraph::torus(&pod);
+            assert_eq!(
+                graph.num_links(),
+                chips * pod.usable_links_per_chip(),
+                "{pod}: every chip owns one outgoing link per usable direction"
+            );
+        }
+    }
+
+    #[test]
+    fn routes_cover_all_pairs_and_respect_the_diameter() {
+        for (kind, chips) in [(TorusKind::Torus2D, 16), (TorusKind::Torus3D, 16)] {
+            let pod = PodTopology::for_chips(kind, chips);
+            let graph = LinkGraph::torus(&pod);
+            for src in 0..chips {
+                for dst in 0..chips {
+                    let route = graph.route(src, dst);
+                    if src == dst {
+                        assert!(route.is_empty());
+                        continue;
+                    }
+                    assert!(!route.is_empty(), "{pod}: no route {src} -> {dst}");
+                    assert!(route.len() <= pod.diameter_hops(), "{pod}: route over diameter");
+                    // The route is a connected walk from src to dst.
+                    let mut at = src;
+                    for &id in route {
+                        assert_eq!(graph.links()[id].src, at);
+                        at = graph.links()[id].dst;
+                    }
+                    assert_eq!(at, dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let pod = PodTopology::for_chips(TorusKind::Torus3D, 16);
+        let a = LinkGraph::torus(&pod);
+        let b = LinkGraph::torus(&pod);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collective_ring_visits_every_chip_once() {
+        let pod = PodTopology::for_chips(TorusKind::Torus2D, 8);
+        let graph = LinkGraph::torus(&pod);
+        let ring = graph.collective_ring();
+        assert_eq!(ring.len(), 8);
+        for (i, hop) in ring.iter().enumerate() {
+            assert!(!hop.is_empty(), "hop {i} has no links");
+            let mut at = i;
+            for &id in hop {
+                assert_eq!(graph.links()[id].src, at);
+                at = graph.links()[id].dst;
+            }
+            assert_eq!(at, (i + 1) % 8);
+        }
+    }
+
+    #[test]
+    fn fat_tree_routes_traverse_switches() {
+        let graph = LinkGraph::fat_tree(8, 4);
+        assert_eq!(graph.fabric(), FabricKind::FatTree);
+        assert_eq!(graph.num_chips(), 8);
+        // 8 chips + 2 leaf switches + 1 spine.
+        assert_eq!(graph.num_nodes(), 11);
+        // Same-leaf chips route chip -> leaf -> chip (2 links).
+        assert_eq!(graph.route(0, 1).len(), 2);
+        // Cross-leaf chips route chip -> leaf -> spine -> leaf -> chip.
+        assert_eq!(graph.route(0, 7).len(), 4);
+        for src in 0..8 {
+            for dst in 0..8 {
+                if src != dst {
+                    assert!(!graph.route(src, dst).is_empty());
+                }
+            }
+        }
+        // A single-leaf tree has no spine.
+        let small = LinkGraph::fat_tree(3, 4);
+        assert_eq!(small.num_nodes(), 4);
+        assert_eq!(small.route(0, 2).len(), 2);
+    }
+
+    #[test]
+    fn display_summarizes_the_fabric() {
+        let pod = PodTopology::for_chips(TorusKind::Torus2D, 4);
+        assert_eq!(LinkGraph::torus(&pod).to_string(), "2D Torus fabric: 4 chips, 8 links");
     }
 }

@@ -1,0 +1,112 @@
+//! Per-hop lowering of ring collectives onto an explicit link graph.
+//!
+//! The analytic model in [`npu_arch::PodTopology`] prices a collective as
+//! one closed-form number — bandwidth-optimal ring cost plus hop latency.
+//! That is the right model for chip selection, but it cannot express
+//! *which links* carry the traffic, so link-level gating and contention
+//! between concurrent collectives are invisible to it. This pass keeps the
+//! analytic total as the oracle and splits it into the per-hop structure a
+//! modeled fabric can execute: `2(n-1)` steps for a ring all-reduce,
+//! `n-1` for reduce-scatter / all-gather, and one bulk step for
+//! all-to-all and point-to-point, each step driving every ring link
+//! concurrently. On an uncongested ring the lowered schedule costs
+//! exactly the analytic total (the remainder of the integer split is
+//! spread over the earliest steps); under contention the links serialize
+//! and the cost honestly exceeds the oracle.
+
+use serde::{Deserialize, Serialize};
+
+use npu_arch::LinkGraph;
+use npu_models::CollectiveKind;
+
+/// A collective lowered onto the links of a [`LinkGraph`]: the link ids it
+/// occupies and the integer cycle cost of each of its steps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectivePlan {
+    /// What collective this is.
+    pub kind: CollectiveKind,
+    /// Fabric link ids (ascending, deduplicated) the collective occupies
+    /// for its whole duration — the union of the ring's routed hops.
+    pub links: Vec<usize>,
+    /// Per-step durations in cycles; the sum equals the analytic total
+    /// the plan was lowered from.
+    pub step_cycles: Vec<u64>,
+}
+
+impl CollectivePlan {
+    /// Number of logical steps a ring collective of this kind takes on
+    /// `num_chips` chips (at least 1, so a degenerate split never loses
+    /// cycles).
+    #[must_use]
+    pub fn num_steps(kind: CollectiveKind, num_chips: usize) -> usize {
+        let n = num_chips.max(1);
+        match kind {
+            CollectiveKind::AllReduce => 2 * (n - 1),
+            CollectiveKind::ReduceScatter | CollectiveKind::AllGather => n - 1,
+            CollectiveKind::AllToAll | CollectiveKind::PointToPoint => 1,
+        }
+        .max(1)
+    }
+
+    /// Lowers a collective of `total_cycles` (the analytic model's cost)
+    /// onto the fabric's deterministic collective ring. The integer split
+    /// spreads the division remainder over the earliest steps, so
+    /// `plan.total_cycles() == total_cycles` exactly and every step is
+    /// within one cycle of `total_cycles / steps`.
+    #[must_use]
+    pub fn lower(kind: CollectiveKind, total_cycles: u64, graph: &LinkGraph) -> CollectivePlan {
+        let steps = Self::num_steps(kind, graph.num_chips());
+        let mut links: Vec<usize> = graph.collective_ring().into_iter().flatten().collect();
+        links.sort_unstable();
+        links.dedup();
+        let base = total_cycles / steps as u64;
+        let remainder = total_cycles % steps as u64;
+        let step_cycles = (0..steps as u64).map(|i| base + u64::from(i < remainder)).collect();
+        CollectivePlan { kind, links, step_cycles }
+    }
+
+    /// Total transfer cycles (sum over steps) — equal to the analytic
+    /// total the plan was lowered from.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.step_cycles.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_arch::{PodTopology, TorusKind};
+
+    #[test]
+    fn step_counts_follow_the_ring_algorithms() {
+        assert_eq!(CollectivePlan::num_steps(CollectiveKind::AllReduce, 8), 14);
+        assert_eq!(CollectivePlan::num_steps(CollectiveKind::ReduceScatter, 8), 7);
+        assert_eq!(CollectivePlan::num_steps(CollectiveKind::AllGather, 8), 7);
+        assert_eq!(CollectivePlan::num_steps(CollectiveKind::AllToAll, 8), 1);
+        assert_eq!(CollectivePlan::num_steps(CollectiveKind::PointToPoint, 8), 1);
+        // Degenerate pods still take one step.
+        assert_eq!(CollectivePlan::num_steps(CollectiveKind::AllReduce, 1), 1);
+    }
+
+    #[test]
+    fn lowering_conserves_the_analytic_total_exactly() {
+        let graph = LinkGraph::torus(&PodTopology::for_chips(TorusKind::Torus2D, 8));
+        for total in [0u64, 1, 13, 14, 15, 1_000_003] {
+            let plan = CollectivePlan::lower(CollectiveKind::AllReduce, total, &graph);
+            assert_eq!(plan.total_cycles(), total);
+            assert_eq!(plan.step_cycles.len(), 14);
+            let base = total / 14;
+            assert!(plan.step_cycles.iter().all(|&s| s == base || s == base + 1));
+        }
+    }
+
+    #[test]
+    fn ring_links_are_sorted_and_deduplicated() {
+        let graph = LinkGraph::torus(&PodTopology::for_chips(TorusKind::Torus2D, 16));
+        let plan = CollectivePlan::lower(CollectiveKind::AllGather, 10_000, &graph);
+        assert!(!plan.links.is_empty());
+        assert!(plan.links.windows(2).all(|w| w[0] < w[1]), "{:?}", plan.links);
+        assert!(plan.links.iter().all(|&l| l < graph.num_links()));
+    }
+}

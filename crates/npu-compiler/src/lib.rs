@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod collective;
 pub mod fusion;
 pub mod idleness;
 pub mod instrument;
@@ -50,6 +51,7 @@ pub mod sram_alloc;
 pub mod tiling;
 pub mod vliw;
 
+pub use collective::CollectivePlan;
 pub use fusion::FusionPlan;
 pub use idleness::{IdleInterval, IdlenessReport};
 pub use instrument::{InstrumentationResult, SetPmPolicy};

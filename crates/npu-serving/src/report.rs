@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use npu_arch::ComponentKind;
 use regate::{Design, Evaluator, WorkloadEvaluation};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,11 @@ pub struct ServingReport {
     pub mean_service_cycles: f64,
     /// Fraction of the makespan with at least one real component busy.
     pub measured_duty_cycle: f64,
+    /// Fraction of the makespan inside whole-chip idle intervals (no
+    /// component busy) at least as long as the chip-level break-even time
+    /// — the share of the trace whole-chip gating could power off
+    /// entirely, uncore included.
+    pub whole_chip_idle_fraction: f64,
     /// Per-design energy rows.
     pub designs: BTreeMap<Design, DesignServingRow>,
     /// The full per-design evaluation the rows were derived from.
@@ -85,6 +91,33 @@ impl ServingReport {
             );
         }
 
+        // Whole-chip gateable share: union-idle windows long enough for
+        // the conservative chip-level break-even time (twice the slowest
+        // component's, as in `regate::PolicyKind::WholeChipFull`).
+        let gating = evaluator.gating();
+        let chip_bet =
+            2 * gating.sa_full_bet.max(gating.vu_bet).max(gating.hbm_bet).max(gating.ici_bet);
+        let total_cycles = outcome.simulation.total_cycles();
+        let gateable: u64 = outcome
+            .simulation
+            .busy_timeline()
+            .union_idle_intervals(
+                &[
+                    ComponentKind::Sa,
+                    ComponentKind::Vu,
+                    ComponentKind::Hbm,
+                    ComponentKind::Ici,
+                    ComponentKind::Dma,
+                ],
+                total_cycles,
+            )
+            .iter()
+            .filter(|iv| iv.len() >= chip_bet)
+            .map(npu_sim::CycleInterval::len)
+            .sum();
+        let whole_chip_idle_fraction =
+            if total_cycles == 0 { 0.0 } else { gateable as f64 / total_cycles as f64 };
+
         let mut latencies: Vec<u64> = outcome.requests.iter().map(|r| r.latency_cycles()).collect();
         latencies.sort_unstable();
         let mean = |values: &mut dyn Iterator<Item = u64>| -> f64 {
@@ -108,6 +141,7 @@ impl ServingReport {
             mean_queueing_cycles: mean(&mut outcome.requests.iter().map(|r| r.queueing_cycles())),
             mean_service_cycles: mean(&mut outcome.requests.iter().map(|r| r.service_cycles())),
             measured_duty_cycle: outcome.measured_duty_cycle(),
+            whole_chip_idle_fraction,
             designs,
             evaluation,
         }
@@ -169,6 +203,15 @@ mod tests {
             // Two requests, one chip: per-request energy is half the trace.
             assert!((per_request - row.total_j / 2.0).abs() < 1e-12);
         }
+        // The whole-chip gateable share is a sub-fraction of the union
+        // idleness the measured duty cycle already excludes.
+        assert!((0.0..=1.0).contains(&report.whole_chip_idle_fraction));
+        assert!(
+            report.whole_chip_idle_fraction <= 1.0 - report.measured_duty_cycle + 1e-9,
+            "gateable {} vs duty {}",
+            report.whole_chip_idle_fraction,
+            report.measured_duty_cycle
+        );
 
         // Regression: with zero served requests the row used to report the
         // whole trace's energy as "per request". It now reports no value.

@@ -42,8 +42,10 @@ use npu_compiler::{CompiledGraph, SramAllocation};
 use npu_models::RequestGraph;
 use npu_power::{GatingParams, GatingRule, PolicyRule, PowerPolicy};
 
+use npu_arch::LinkGraph;
+
 use crate::engine::{SimulationResult, DISPATCH_OVERHEAD_CYCLES};
-use crate::timeline::{OpPhases, Resource};
+use crate::timeline::{OpPhases, Resource, ResourceSet};
 
 /// Stable rule identifiers, grouped by pass family. These strings are a
 /// public contract: tests assert on them, `// lint:allow(...)`-style
@@ -154,6 +156,25 @@ pub mod rules {
     /// structure it models, e.g. a tile waking slower than the full
     /// array it is a fraction of (deny).
     pub const POLICY_TRANSITION_INCONSISTENT: &str = "policy.transition-inconsistent";
+
+    /// A fabric link's endpoint is outside the pod's chip range (deny).
+    pub const TOPO_LINK_ENDPOINT_OUT_OF_RANGE: &str = "topo.link-endpoint-out-of-range";
+    /// The routing table has no route for some ordered chip pair — the
+    /// fabric is disconnected or routing is broken (deny).
+    pub const TOPO_ROUTE_INCOMPLETE: &str = "topo.route-incomplete";
+    /// A pod's resource set disagrees with its link graph (chip count or
+    /// link count), so phase link ids and fabric links cannot correspond
+    /// (deny).
+    pub const TOPO_CHIP_COUNT_MISMATCH: &str = "topo.chip-count-mismatch";
+    /// A lowered collective phase disagrees with the fabric: a link id
+    /// outside the resource set, a link set that is not the collective
+    /// ring the graph routes, or per-hop step cycles that do not sum to
+    /// the phase's transfer (deny).
+    pub const TOPO_COLLECTIVE_LINKS_MISMATCH: &str = "topo.collective-links-mismatch";
+    /// No valid parallelism configuration exists for the requested
+    /// (workload, chip count) — the evaluation would have to fabricate
+    /// one (deny). Emitted by the core evaluation layer.
+    pub const TOPO_PARALLELISM_INFEASIBLE: &str = "topo.parallelism-infeasible";
 }
 
 /// How many diagnostics one repeating rule may emit before the remainder
@@ -703,6 +724,23 @@ pub fn check_phase_graph(phases: &[OpPhases]) -> Vec<Diagnostic> {
 /// first; producer indices `>= k` are ignored here rather than trusted.
 #[must_use]
 pub fn makespan_window(phases: &[OpPhases], releases: &[u64]) -> MakespanWindow {
+    makespan_window_for(phases, releases, &ResourceSet::single_chip())
+}
+
+/// Computes the static makespan window of a phase vector scheduled
+/// against an explicit [`ResourceSet`] — the multi-chip generalization of
+/// [`makespan_window`]. Serial work accumulates per resource *instance*
+/// (each chip's units and each ICI link separately), so the floor of a
+/// pod run reflects the busiest single resource, not the merged kind.
+/// Units or links outside the set are skipped here (the `topo.*` pass
+/// reports them); on the single-chip set the result is identical to the
+/// pre-refactor per-kind accumulation.
+#[must_use]
+pub fn makespan_window_for(
+    phases: &[OpPhases],
+    releases: &[u64],
+    set: &ResourceSet,
+) -> MakespanWindow {
     let n = phases.len();
     let release = |k: usize| -> u64 {
         if releases.is_empty() {
@@ -720,11 +758,8 @@ pub fn makespan_window(phases: &[OpPhases], releases: &[u64]) -> MakespanWindow 
     let mut critical_path = 0u64;
     let mut serial_sum = 0u64;
     let mut max_release = 0u64;
-    let mut work_sa = 0u64;
-    let mut work_vu = 0u64;
-    let mut work_hbm = 0u64;
-    let mut work_ici = 0u64;
-    let mut work_prefetch = 0u64;
+    let mut work = vec![0u64; set.num_resources()];
+    let mut work_prefetch = vec![0u64; set.num_chips()];
     for k in 0..n {
         let p = &phases[k];
         let rel = release(k);
@@ -735,24 +770,36 @@ pub fn makespan_window(phases: &[OpPhases], releases: &[u64]) -> MakespanWindow 
         critical_path = critical_path.max(f);
 
         let occupancy = p.dispatch_cycles + p.main_cycles;
-        match p.unit {
-            Resource::Sa => {
-                work_sa += occupancy;
-                // Fused VU tails of SA anchors queue on the VU gang.
-                work_vu += p.fused_vu_cycles;
+        match &p.collective {
+            Some(c) => {
+                // A collective holds each of its links for its whole
+                // duration, so every link accumulates the occupancy.
+                for link in &c.links {
+                    if let Some(w) = work.get_mut(link.index()) {
+                        *w += occupancy;
+                    }
+                }
             }
-            Resource::Vu => work_vu += occupancy,
-            Resource::HbmDma => work_hbm += occupancy,
-            Resource::Ici => work_ici += occupancy,
+            None => {
+                if let Some(w) = work.get_mut(p.unit.index()) {
+                    *w += occupancy;
+                    if set.kind(p.unit) == Resource::Sa {
+                        // Fused VU tails of SA anchors queue on the same
+                        // chip's VU gang.
+                        let chip = set.chip_of(p.unit).unwrap_or(0);
+                        work[set.unit(chip, Resource::Vu).index()] += p.fused_vu_cycles;
+                    }
+                }
+            }
         }
-        work_prefetch += p.dma_cycles;
+        work_prefetch[set.chip_of(p.unit).unwrap_or(0)] += p.dma_cycles;
 
         serial_sum += p.main_cycles.max(p.dma_cycles).max(p.fused_vu_cycles) + p.dispatch_cycles;
         max_release = max_release.max(rel);
     }
 
-    let lower =
-        critical_path.max(work_sa).max(work_vu).max(work_hbm).max(work_ici).max(work_prefetch);
+    let resource_floor = work.iter().chain(work_prefetch.iter()).copied().max().unwrap_or(0);
+    let lower = critical_path.max(resource_floor);
     MakespanWindow { lower_cycles: lower, upper_cycles: max_release + serial_sum }
 }
 
@@ -783,6 +830,213 @@ pub fn analyze_phases(
         return report;
     }
     let window = makespan_window(phases, releases);
+    if let Some(measured) = measured_makespan {
+        if measured < window.lower_cycles {
+            report.diagnostics.push(Diagnostic::deny(
+                rules::TIME_MAKESPAN_BELOW_FLOOR,
+                None,
+                format!(
+                    "measured makespan {measured} is below the static floor {} (critical path \
+                     / per-resource serial work) — the engine finished impossibly fast",
+                    window.lower_cycles
+                ),
+            ));
+        }
+        if measured > window.upper_cycles {
+            report.diagnostics.push(Diagnostic::deny(
+                rules::TIME_MAKESPAN_ABOVE_CEILING,
+                None,
+                format!(
+                    "measured makespan {measured} exceeds the static ceiling {} (latest \
+                     release + fully serial schedule) — the engine lost time no schedule \
+                     should lose",
+                    window.upper_cycles
+                ),
+            ));
+        }
+    }
+    report.makespan_window = Some(window);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Topo pass: fabric structure, routing coverage, collective lowering
+// ---------------------------------------------------------------------------
+
+/// Structural checks of a pod fabric: every link endpoint must be a real
+/// node and every ordered chip pair must have a route. Spans are link ids
+/// for the endpoint rule and `(src, dst)` chip pairs for the route rule.
+#[must_use]
+pub fn check_link_graph(graph: &LinkGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let nodes = graph.num_nodes();
+    let endpoints: Vec<Diagnostic> = graph
+        .links()
+        .iter()
+        .enumerate()
+        .filter(|&(_, link)| link.src >= nodes || link.dst >= nodes)
+        .map(|(id, link)| {
+            Diagnostic::deny(
+                rules::TOPO_LINK_ENDPOINT_OUT_OF_RANGE,
+                Some(OpSpan::single(id)),
+                format!(
+                    "link {id} ({} -> {}) has an endpoint outside the {nodes}-node fabric",
+                    link.src, link.dst
+                ),
+            )
+        })
+        .collect();
+    push_capped(&mut out, endpoints);
+    let mut unrouted = Vec::new();
+    for src in 0..graph.num_chips() {
+        for dst in 0..graph.num_chips() {
+            if src != dst && graph.route(src, dst).is_empty() {
+                unrouted.push(Diagnostic::deny(
+                    rules::TOPO_ROUTE_INCOMPLETE,
+                    Some(OpSpan::between(src, dst)),
+                    format!(
+                        "no route from chip {src} to chip {dst} — the fabric is disconnected \
+                         or routing failed"
+                    ),
+                ));
+            }
+        }
+    }
+    push_capped(&mut out, unrouted);
+    out
+}
+
+/// Checks that a pod's [`ResourceSet`] and its [`LinkGraph`] describe the
+/// same machine: same chip count, one link resource per fabric link.
+#[must_use]
+pub fn check_pod_consistency(set: &ResourceSet, graph: &LinkGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if set.num_chips() != graph.num_chips() {
+        out.push(Diagnostic::deny(
+            rules::TOPO_CHIP_COUNT_MISMATCH,
+            None,
+            format!(
+                "resource set has {} chips but the fabric wires {}",
+                set.num_chips(),
+                graph.num_chips()
+            ),
+        ));
+    }
+    if set.num_links() != graph.num_links() {
+        out.push(Diagnostic::deny(
+            rules::TOPO_CHIP_COUNT_MISMATCH,
+            None,
+            format!(
+                "resource set has {} link resources but the fabric has {} links",
+                set.num_links(),
+                graph.num_links()
+            ),
+        ));
+    }
+    out
+}
+
+/// Checks every lowered collective phase against the fabric it claims to
+/// run on: link ids must name link resources of the set, the link set
+/// must be exactly the fabric's collective-ring links, and the per-hop
+/// step cycles must sum to the phase's transfer. Spans are phase-vector
+/// positions.
+#[must_use]
+pub fn check_collective_phases(
+    phases: &[OpPhases],
+    set: &ResourceSet,
+    graph: &LinkGraph,
+) -> Vec<Diagnostic> {
+    let mut ring: Vec<usize> = graph.collective_ring().into_iter().flatten().collect();
+    ring.sort_unstable();
+    ring.dedup();
+    let mut findings = Vec::new();
+    for (k, p) in phases.iter().enumerate() {
+        let Some(c) = &p.collective else { continue };
+        let mut used = Vec::with_capacity(c.links.len());
+        let mut in_range = true;
+        for link in &c.links {
+            match set.link_of(*link) {
+                Some(l) => used.push(l),
+                None => {
+                    in_range = false;
+                    findings.push(Diagnostic::deny(
+                        rules::TOPO_COLLECTIVE_LINKS_MISMATCH,
+                        Some(OpSpan::single(k)),
+                        format!(
+                            "phase {k}: collective link id {} is not a link resource of the \
+                             {}-chip / {}-link set",
+                            link.0,
+                            set.num_chips(),
+                            set.num_links()
+                        ),
+                    ));
+                }
+            }
+        }
+        used.sort_unstable();
+        used.dedup();
+        if in_range && used != ring {
+            findings.push(Diagnostic::deny(
+                rules::TOPO_COLLECTIVE_LINKS_MISMATCH,
+                Some(OpSpan::single(k)),
+                format!(
+                    "phase {k}: collective occupies links {used:?} but the fabric's \
+                     collective ring routes over {ring:?}"
+                ),
+            ));
+        }
+        let step_sum: u64 = c.step_cycles.iter().sum();
+        if step_sum != p.main_cycles {
+            findings.push(Diagnostic::deny(
+                rules::TOPO_COLLECTIVE_LINKS_MISMATCH,
+                Some(OpSpan::single(k)),
+                format!(
+                    "phase {k}: per-hop step cycles sum to {step_sum} but the phase transfers \
+                     for {} cycles",
+                    p.main_cycles
+                ),
+            ));
+        }
+    }
+    let mut out = Vec::new();
+    push_capped(&mut out, findings);
+    out
+}
+
+/// The full pod-level pass: fabric structure, set/graph consistency,
+/// collective lowering agreement, phase-graph structure, and the
+/// multi-chip makespan window (with the containment verdict when a
+/// measured makespan is supplied).
+#[must_use]
+pub fn analyze_pod(
+    phases: &[OpPhases],
+    releases: &[u64],
+    set: &ResourceSet,
+    graph: &LinkGraph,
+    measured_makespan: Option<u64>,
+) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    report.extend(check_link_graph(graph));
+    report.extend(check_pod_consistency(set, graph));
+    report.extend(check_collective_phases(phases, set, graph));
+    report.extend(check_phase_graph(phases));
+    if !releases.is_empty() && releases.len() != phases.len() {
+        report.diagnostics.push(Diagnostic::deny(
+            rules::TIME_RELEASE_LENGTH_MISMATCH,
+            None,
+            format!(
+                "release vector covers {} operators but the phase vector has {}",
+                releases.len(),
+                phases.len()
+            ),
+        ));
+        return report;
+    }
+    if phases.is_empty() || !report.is_schedulable() {
+        return report;
+    }
+    let window = makespan_window_for(phases, releases, set);
     if let Some(measured) = measured_makespan {
         if measured < window.lower_cycles {
             report.diagnostics.push(Diagnostic::deny(
@@ -1241,7 +1495,7 @@ mod tests {
     fn release_length_mismatch_is_denied_without_a_window() {
         let phases = OpPhases::chain(vec![
             OpPhases {
-                unit: Resource::Vu,
+                unit: Resource::Vu.into(),
                 main_cycles: 10,
                 dma_cycles: 0,
                 dma_lead_cycles: 0,
@@ -1250,6 +1504,7 @@ mod tests {
                 sa_active_cycles: 0,
                 release_cycle: 0,
                 producers: Vec::new(),
+                collective: None,
             };
             3
         ]);

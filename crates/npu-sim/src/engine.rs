@@ -30,7 +30,7 @@ use crate::timing::OpTiming;
 
 /// Fixed per-operator dispatch overhead in cycles (instruction fetch,
 /// scalar setup, DMA descriptor programming).
-pub(crate) const DISPATCH_OVERHEAD_CYCLES: u64 = 100;
+pub const DISPATCH_OVERHEAD_CYCLES: u64 = 100;
 
 /// Effective HBM bandwidth fraction achieved by random-access embedding
 /// gathers (row-granularity accesses cannot use the full burst bandwidth).
@@ -282,7 +282,7 @@ impl Simulator {
         let serial = main_cycles.max(dma_cycles).max(fused_vu) + DISPATCH_OVERHEAD_CYCLES;
 
         let phases = OpPhases {
-            unit,
+            unit: unit.into(),
             main_cycles,
             dma_cycles,
             dma_lead_cycles: dma_lead,
@@ -291,6 +291,7 @@ impl Simulator {
             sa_active_cycles: sa_active,
             release_cycle: 0,
             producers: Vec::new(),
+            collective: None,
         };
         let timing = OpTiming {
             op_index: 0,

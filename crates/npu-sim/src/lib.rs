@@ -49,6 +49,7 @@ pub mod activity;
 pub mod analysis;
 pub mod engine;
 pub mod events;
+pub mod pod;
 pub mod rng;
 pub mod segments;
 pub mod timeline;
@@ -61,10 +62,12 @@ pub use analysis::{
     SramCapacityViolation,
 };
 pub use engine::{PreparedSimulator, SimulationResult, Simulator};
+pub use pod::PodBuilder;
 pub use rng::SplitMix64;
 pub use segments::{SegmentBand, SegmentTimeline};
 pub use timeline::{
-    BusyTimeline, CycleInterval, EngineScratch, IdleBucket, IdleHistogram, Schedule,
+    BusyTimeline, CollectiveSchedule, CycleInterval, EngineScratch, IdleBucket, IdleHistogram,
+    Resource, ResourceId, ResourceSet, ResourceTimeline, Schedule,
 };
 pub use timing::OpTiming;
 pub use validation::{correlation_r2, ValidationPoint, ValidationReport};

@@ -26,7 +26,10 @@ use npu_arch::ComponentKind;
 
 use crate::events::{EventKind, EventQueue};
 
-/// A schedulable hardware resource with a single in-order issue port.
+/// The *kind* of a schedulable hardware resource with a single in-order
+/// issue port. A [`ResourceSet`] instantiates one resource of each kind
+/// per chip (plus one ICI resource per fabric link); the single-chip set
+/// has exactly one instance of each, with dense ids in this enum's order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Resource {
     /// The systolic arrays (issued as one gang).
@@ -35,8 +38,197 @@ pub enum Resource {
     Vu,
     /// The HBM DMA queue (weight/activation streams and gathers).
     HbmDma,
-    /// The inter-chip interconnect.
+    /// The inter-chip interconnect port of a chip (single-phase analytic
+    /// collectives; per-hop collectives occupy link resources instead).
     Ici,
+}
+
+/// Dense index of one resource *instance* within a [`ResourceSet`] — the
+/// key of the engine's `free_at` vector and per-resource busy tracks.
+/// Replaces direct keying on the fixed [`Resource`] enum so a run can own
+/// N chips' worth of units plus one resource per ICI link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// The id as a dense vector index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<Resource> for ResourceId {
+    /// Single-chip mapping: ids `0..4` in [`Resource`] enum order — chip
+    /// 0's unit of each kind in [`ResourceSet::single_chip`].
+    fn from(kind: Resource) -> Self {
+        ResourceId(kind as u32)
+    }
+}
+
+/// Per-chip resource kinds, in dense-id order within each chip's block.
+const CHIP_UNITS: [Resource; 4] = [Resource::Sa, Resource::Vu, Resource::HbmDma, Resource::Ici];
+
+/// The resource instances one engine run schedules over: `num_chips`
+/// blocks of per-chip units ([`Resource::Sa`], [`Resource::Vu`],
+/// [`Resource::HbmDma`], [`Resource::Ici`] — ids `4c .. 4c+4`), followed
+/// by one ICI resource per fabric link (ids `4 * num_chips + l`). The
+/// layout is fully determined by the two counts, so the set is a tiny
+/// `Copy` descriptor rather than a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSet {
+    num_chips: usize,
+    num_links: usize,
+}
+
+impl ResourceSet {
+    /// The pre-refactor single-chip set: one unit of each [`Resource`]
+    /// kind, ids `0..4` in enum order, no link resources.
+    #[must_use]
+    pub fn single_chip() -> Self {
+        ResourceSet { num_chips: 1, num_links: 0 }
+    }
+
+    /// A pod of `num_chips` chips over a fabric with `num_links` links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips` is zero.
+    #[must_use]
+    pub fn pod(num_chips: usize, num_links: usize) -> Self {
+        assert!(num_chips > 0, "a resource set needs at least one chip");
+        ResourceSet { num_chips, num_links }
+    }
+
+    /// Number of chips in the set.
+    #[must_use]
+    pub fn num_chips(&self) -> usize {
+        self.num_chips
+    }
+
+    /// Number of fabric-link resources in the set.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Total number of resource instances (`4 * chips + links`).
+    #[must_use]
+    pub fn num_resources(&self) -> usize {
+        self.num_chips * CHIP_UNITS.len() + self.num_links
+    }
+
+    /// Whether `id` names a resource of this set.
+    #[must_use]
+    pub fn contains(&self, id: ResourceId) -> bool {
+        id.index() < self.num_resources()
+    }
+
+    /// The id of one chip's unit of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    #[must_use]
+    pub fn unit(&self, chip: usize, kind: Resource) -> ResourceId {
+        assert!(chip < self.num_chips, "chip {chip} out of range ({} chips)", self.num_chips);
+        ResourceId((chip * CHIP_UNITS.len() + kind as usize) as u32)
+    }
+
+    /// The id of one fabric link's resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn link(&self, link: usize) -> ResourceId {
+        assert!(link < self.num_links, "link {link} out of range ({} links)", self.num_links);
+        self.link_unchecked(link)
+    }
+
+    /// The id a fabric link *would* have, without range checking — used
+    /// by fixture builders so the `topo.*` analyzer rules can flag
+    /// out-of-range links instead of panicking during construction.
+    #[must_use]
+    pub fn link_unchecked(&self, link: usize) -> ResourceId {
+        ResourceId((self.num_chips * CHIP_UNITS.len() + link) as u32)
+    }
+
+    /// The kind of a resource instance (link resources are ICI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the set.
+    #[must_use]
+    pub fn kind(&self, id: ResourceId) -> Resource {
+        assert!(self.contains(id), "resource {} out of range ({})", id.0, self.num_resources());
+        let units = self.num_chips * CHIP_UNITS.len();
+        if id.index() < units {
+            CHIP_UNITS[id.index() % CHIP_UNITS.len()]
+        } else {
+            Resource::Ici
+        }
+    }
+
+    /// The chip owning a resource instance, or `None` for fabric links
+    /// (which belong to the inter-chip fabric, not to either endpoint).
+    #[must_use]
+    pub fn chip_of(&self, id: ResourceId) -> Option<usize> {
+        let units = self.num_chips * CHIP_UNITS.len();
+        if id.index() < units {
+            Some(id.index() / CHIP_UNITS.len())
+        } else {
+            None
+        }
+    }
+
+    /// The link index of a resource instance, or `None` for chip units.
+    #[must_use]
+    pub fn link_of(&self, id: ResourceId) -> Option<usize> {
+        let units = self.num_chips * CHIP_UNITS.len();
+        if (units..self.num_resources()).contains(&id.index()) {
+            Some(id.index() - units)
+        } else {
+            None
+        }
+    }
+
+    /// The per-chip unit ids of one chip, in [`Resource`] enum order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    #[must_use]
+    pub fn chip_units(&self, chip: usize) -> [ResourceId; 4] {
+        [
+            self.unit(chip, Resource::Sa),
+            self.unit(chip, Resource::Vu),
+            self.unit(chip, Resource::HbmDma),
+            self.unit(chip, Resource::Ici),
+        ]
+    }
+}
+
+/// Per-hop schedule of a lowered collective: the fabric-link resources
+/// the collective occupies and the duration of each of its steps. A ring
+/// collective drives *every* ring link concurrently during each step, so
+/// the engine gang-issues the whole link set for `sum(step_cycles)`
+/// cycles (which must equal the phase's `main_cycles`); two collectives
+/// sharing any link serialize on it naturally via the link's `free_at`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveSchedule {
+    /// Link resources occupied for the collective's whole duration.
+    pub links: Vec<ResourceId>,
+    /// Per-step (per-hop) durations; their sum is the total transfer.
+    pub step_cycles: Vec<u64>,
+}
+
+impl CollectiveSchedule {
+    /// Total transfer cycles (sum over steps).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.step_cycles.iter().sum()
+    }
 }
 
 /// A half-open busy interval `[start, end)` in cycles on the global clock.
@@ -181,6 +373,131 @@ impl BusyTimeline {
     pub fn union_busy_cycles(&self, kinds: &[ComponentKind]) -> u64 {
         self.union_intervals(kinds).iter().map(CycleInterval::len).sum()
     }
+
+    /// The gaps over `[0, total_cycles)` in which *none* of the given
+    /// components is busy — the whole-chip idle intervals when called
+    /// with every real component. These are the pipeline-bubble windows
+    /// a chip-level power policy can walk just like any per-component
+    /// idle-interval list.
+    #[must_use]
+    pub fn union_idle_intervals(
+        &self,
+        kinds: &[ComponentKind],
+        total_cycles: u64,
+    ) -> Vec<CycleInterval> {
+        complement_intervals(&self.union_intervals(kinds), total_cycles)
+    }
+}
+
+/// Merged, sorted, disjoint busy intervals per resource *instance* — the
+/// per-chip / per-link companion of the kind-level [`BusyTimeline`]. On a
+/// pod schedule the kind tracks merge every chip's activity into one view
+/// (good for fleet-level energy), while these tracks keep each SA, each
+/// DMA queue, and each ICI link separate so link-level gating and
+/// whole-chip idleness can be read off directly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceTimeline {
+    tracks: Vec<Vec<CycleInterval>>,
+}
+
+impl ResourceTimeline {
+    /// An empty timeline with one track per resource of the set.
+    #[must_use]
+    pub fn for_set(set: &ResourceSet) -> Self {
+        ResourceTimeline { tracks: vec![Vec::new(); set.num_resources()] }
+    }
+
+    /// Records a raw (possibly overlapping) busy interval on one track.
+    /// Call [`ResourceTimeline::finalize`] once after recording.
+    pub fn record(&mut self, id: ResourceId, start: u64, end: u64) {
+        if end > start && id.index() < self.tracks.len() {
+            self.tracks[id.index()].push(CycleInterval { start, end });
+        }
+    }
+
+    /// The single-chip tracks, derived from the kind-level timeline
+    /// instead of recorded live. On a [`ResourceSet::single_chip`] run
+    /// every `tracks.record` call pairs with a `timeline.record` of the
+    /// unit's kind (the HBM-DMA unit with [`ComponentKind::Hbm`]), so the
+    /// merged per-resource tracks are *identical* to the component tracks
+    /// — deriving them after the fact keeps the doubled interval
+    /// recording off the single-chip event loop, which is the serving
+    /// replay hot path.
+    #[must_use]
+    pub fn single_chip_view(timeline: &BusyTimeline) -> Self {
+        ResourceTimeline {
+            tracks: [ComponentKind::Sa, ComponentKind::Vu, ComponentKind::Hbm, ComponentKind::Ici]
+                .iter()
+                .map(|&kind| timeline.intervals(kind).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Sorts and merges every track into a disjoint, sorted sequence.
+    pub fn finalize(&mut self) {
+        for track in &mut self.tracks {
+            merge_intervals(track);
+        }
+    }
+
+    /// Number of tracks (resources of the set the schedule ran against).
+    #[must_use]
+    pub fn num_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Merged busy intervals of one resource (empty if never busy or out
+    /// of range).
+    #[must_use]
+    pub fn track(&self, id: ResourceId) -> &[CycleInterval] {
+        self.tracks.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total busy cycles of one resource.
+    #[must_use]
+    pub fn busy_cycles(&self, id: ResourceId) -> u64 {
+        self.track(id).iter().map(CycleInterval::len).sum()
+    }
+
+    /// The idle gaps of one resource over `[0, total_cycles)` — the
+    /// intervals a per-link (or per-unit) power policy walks.
+    #[must_use]
+    pub fn idle_intervals(&self, id: ResourceId, total_cycles: u64) -> Vec<CycleInterval> {
+        complement_intervals(self.track(id), total_cycles)
+    }
+
+    /// Merged union of several resources' busy intervals.
+    #[must_use]
+    pub fn union_intervals(&self, ids: &[ResourceId]) -> Vec<CycleInterval> {
+        let mut all: Vec<CycleInterval> =
+            ids.iter().flat_map(|&id| self.track(id).iter().copied()).collect();
+        merge_intervals(&mut all);
+        all
+    }
+
+    /// The gaps over `[0, total_cycles)` in which none of the given
+    /// resources is busy.
+    #[must_use]
+    pub fn union_idle_intervals(
+        &self,
+        ids: &[ResourceId],
+        total_cycles: u64,
+    ) -> Vec<CycleInterval> {
+        complement_intervals(&self.union_intervals(ids), total_cycles)
+    }
+
+    /// The whole-chip idle intervals of one chip: the gaps in which none
+    /// of the chip's units is busy. Pipeline-parallel stage bubbles show
+    /// up here as long, contiguous, chip-wide gateable windows.
+    #[must_use]
+    pub fn chip_idle_intervals(
+        &self,
+        set: &ResourceSet,
+        chip: usize,
+        total_cycles: u64,
+    ) -> Vec<CycleInterval> {
+        self.union_idle_intervals(&set.chip_units(chip), total_cycles)
+    }
 }
 
 /// One bucket of the idle-interval histogram: intervals with length in
@@ -268,8 +585,11 @@ impl IdleHistogram {
 /// model — the input to the timeline engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpPhases {
-    /// Execution resource of the main phase.
-    pub unit: Resource,
+    /// Execution resource instance of the main phase. Single-chip phase
+    /// vectors use the [`Resource`] enum-order ids (`Resource::Sa.into()`
+    /// etc.); pod phase vectors address per-chip units and link resources
+    /// through their run's [`ResourceSet`].
+    pub unit: ResourceId,
     /// Main-phase duration in cycles (compute for SA/VU operators, the
     /// gather for HBM operators, the collective for ICI operators),
     /// excluding dispatch.
@@ -294,6 +614,13 @@ pub struct OpPhases {
     /// that the gating model prices like any other. `0` (every batch
     /// ready at the start, the pre-serving behaviour) is the identity.
     pub release_cycle: u64,
+    /// Per-hop link occupation of a lowered collective. `None` (every
+    /// single-chip operator, and analytic collectives) issues the main
+    /// phase on `unit` alone; `Some` gang-issues the whole link set for
+    /// `main_cycles` (which must equal the schedule's step sum). Boxed to
+    /// keep the common no-collective `OpPhases` small — the phase vector
+    /// is the engine's hottest working set.
+    pub collective: Option<Box<CollectiveSchedule>>,
     /// Indices of the operators whose completion this operator's main
     /// phase must wait for (an empty set marks a source). Every index must
     /// be smaller than the operator's own position: the phase vector is a
@@ -354,8 +681,14 @@ pub struct Schedule {
     pub ops: Vec<ScheduledOp>,
     /// Completion time of the last phase (total execution length).
     pub makespan: u64,
-    /// Merged per-component busy intervals (finalized).
+    /// Merged per-component busy intervals (finalized). On pod runs every
+    /// chip's activity of a kind merges into the one kind track.
     pub timeline: BusyTimeline,
+    /// The resource set the schedule was produced against.
+    pub resources: ResourceSet,
+    /// Per-resource-instance busy tracks (finalized) — one per chip unit
+    /// and one per ICI link.
+    pub resource_timeline: ResourceTimeline,
 }
 
 /// Scheduling state of one operator inside the engine.
@@ -425,6 +758,8 @@ pub struct EngineScratch {
 #[derive(Debug)]
 pub struct TimelineEngine {
     phases: Vec<OpPhases>,
+    /// The resource instances the phase vector schedules over.
+    resources: ResourceSet,
     /// CSR reverse producer edges: the operators whose main phase waits
     /// for `k` to finish are `dep_edges[dep_starts[k]..dep_starts[k + 1]]`.
     dep_starts: Vec<usize>,
@@ -446,10 +781,13 @@ struct EngineRun<'a> {
     state: &'a mut [OpState],
     queue: EventQueue,
     timeline: BusyTimeline,
-    free_at: BTreeMap<Resource, u64>,
-    /// When the DMA engine's prefetch channel frees up. Demand traffic
-    /// (gather main phases) queues on [`Resource::HbmDma`] in `free_at`.
-    prefetch_free: u64,
+    tracks: ResourceTimeline,
+    /// When each resource instance frees up, indexed by [`ResourceId`].
+    free_at: Vec<u64>,
+    /// When each chip's DMA prefetch channel frees up. Demand traffic
+    /// (gather main phases) queues on the chip's [`Resource::HbmDma`]
+    /// entry in `free_at` instead.
+    prefetch_free: Vec<u64>,
 }
 
 impl TimelineEngine {
@@ -466,6 +804,36 @@ impl TimelineEngine {
     /// graph layer guarantees by construction.
     #[must_use]
     pub fn new(phases: Vec<OpPhases>) -> Self {
+        Self::with_resources(phases, ResourceSet::single_chip())
+    }
+
+    /// Builds the engine over a compiled operator DAG scheduled against
+    /// an explicit resource set — the multi-chip entry point. Phase units
+    /// and collective link ids must all name resources of the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase vector is not a topological order, or if any
+    /// operator addresses a resource outside the set.
+    #[must_use]
+    pub fn with_resources(phases: Vec<OpPhases>, resources: ResourceSet) -> Self {
+        for (k, p) in phases.iter().enumerate() {
+            assert!(
+                resources.contains(p.unit),
+                "operator {k}: unit {} outside the resource set ({} resources)",
+                p.unit.0,
+                resources.num_resources()
+            );
+            if let Some(c) = &p.collective {
+                for link in &c.links {
+                    assert!(
+                        resources.link_of(*link).is_some(),
+                        "operator {k}: collective link {} is not a link resource",
+                        link.0
+                    );
+                }
+            }
+        }
         let n = phases.len();
         // Reverse producer edges, flattened: count per producer, prefix
         // sum, then fill in consumer order — the same per-producer edge
@@ -516,7 +884,21 @@ impl TimelineEngine {
                 cursor[*owner] += 1;
             }
         }
-        TimelineEngine { phases, dep_starts, dep_edges, buffer_dep, buf_starts, buf_edges }
+        TimelineEngine {
+            phases,
+            resources,
+            dep_starts,
+            dep_edges,
+            buffer_dep,
+            buf_starts,
+            buf_edges,
+        }
+    }
+
+    /// The resource set the engine schedules over.
+    #[must_use]
+    pub fn resources(&self) -> ResourceSet {
+        self.resources
     }
 
     /// The per-operator phase durations the engine was built over, in
@@ -561,8 +943,17 @@ impl TimelineEngine {
             state: &mut scratch.state,
             queue,
             timeline: BusyTimeline::default(),
-            free_at: BTreeMap::new(),
-            prefetch_free: 0,
+            // Single-chip per-resource tracks duplicate the kind-level
+            // timeline record for record, so the hot loop skips them (an
+            // empty-track `ResourceTimeline` drops every `record`) and the
+            // view is derived from the merged component tracks below.
+            tracks: if self.resources == ResourceSet::single_chip() {
+                ResourceTimeline::default()
+            } else {
+                ResourceTimeline::for_set(&self.resources)
+            },
+            free_at: vec![0; self.resources.num_resources()],
+            prefetch_free: vec![0; self.resources.num_chips()],
         };
         // Seed the queue: buffer-free prefetches, then every source
         // operator (all producers already satisfied).
@@ -610,6 +1001,7 @@ impl TimelineEngine {
             })
             .collect();
         let mut timeline = run.timeline;
+        let mut resource_timeline = run.tracks;
         // Hand the (drained) event heap back for the next run.
         scratch.events = run.queue.into_buffer();
         // The SRAM has no blanket busy interval here: the engine layer
@@ -619,7 +1011,12 @@ impl TimelineEngine {
         // genuinely always on.
         timeline.record(ComponentKind::Other, 0, makespan);
         timeline.finalize();
-        Schedule { ops, makespan, timeline }
+        if self.resources == ResourceSet::single_chip() {
+            resource_timeline = ResourceTimeline::single_chip_view(&timeline);
+        } else {
+            resource_timeline.finalize();
+        }
+        Schedule { ops, makespan, timeline, resources: self.resources, resource_timeline }
     }
 }
 
@@ -632,8 +1029,14 @@ impl EngineRun<'_> {
         }
     }
 
-    fn resource_free(&self, r: Resource) -> u64 {
-        self.free_at.get(&r).copied().unwrap_or(0)
+    fn resource_free(&self, r: ResourceId) -> u64 {
+        self.free_at[r.index()]
+    }
+
+    /// The chip an operator's phases run on (chip 0 for pure-link
+    /// collective ops, whose DMA/prefetch phases are zero anyway).
+    fn chip_of(&self, op: usize) -> usize {
+        self.topo.resources.chip_of(self.topo.phases[op].unit).unwrap_or(0)
     }
 
     fn try_issue_dma(&mut self, op: usize, now: u64) {
@@ -650,15 +1053,17 @@ impl EngineRun<'_> {
     fn issue_dma(&mut self, op: usize, now: u64) {
         let p = &self.topo.phases[op];
         let (dma_cycles, lead_cycles) = (p.dma_cycles, p.dma_lead_cycles.min(p.dma_cycles));
-        // Prefetches queue on the DMA engine's prefetch channel only:
+        // Prefetches queue on their chip's DMA prefetch channel only:
         // demand traffic (gathers) is never stuck behind speculation.
-        let start = now.max(self.prefetch_free);
+        let chip = self.chip_of(op);
+        let start = now.max(self.prefetch_free[chip]);
         let end = start + dma_cycles;
-        self.prefetch_free = end;
+        self.prefetch_free[chip] = end;
         self.state[op].dma_start = start;
         self.state[op].dma_end = end;
         self.timeline.record(ComponentKind::Hbm, start, end);
         self.timeline.record(ComponentKind::Dma, start, end);
+        self.tracks.record(self.topo.resources.unit(chip, Resource::HbmDma), start, end);
         self.queue.schedule(start + lead_cycles, EventKind::DmaLeadArrived { op });
         self.queue.schedule(end, EventKind::DmaComplete { op });
     }
@@ -676,22 +1081,24 @@ impl EngineRun<'_> {
 
     fn issue_main(&mut self, op: usize, now: u64) {
         let q = &self.topo.phases[op];
+        if q.collective.is_some() {
+            self.issue_collective(op, now);
+            return;
+        }
         let (unit, main_cycles, fused_vu_cycles, dispatch_cycles, sa_active_cycles) =
             (q.unit, q.main_cycles, q.fused_vu_cycles, q.dispatch_cycles, q.sa_active_cycles);
         let start = now.max(self.resource_free(unit));
         let active_start = start + dispatch_cycles;
         let unit_end = active_start + main_cycles;
-        self.free_at.insert(unit, unit_end);
+        self.free_at[unit.index()] = unit_end;
         // Fused vector post-processing overlaps the SA drain but can
         // outlast it; the operator is complete only when both are done.
         let mut end = unit_end;
-        match unit {
+        match self.topo.resources.kind(unit) {
             Resource::Sa => {
-                self.timeline.record(
-                    ComponentKind::Sa,
-                    active_start,
-                    active_start + sa_active_cycles.min(main_cycles),
-                );
+                let sa_end = active_start + sa_active_cycles.min(main_cycles);
+                self.timeline.record(ComponentKind::Sa, active_start, sa_end);
+                self.tracks.record(unit, active_start, sa_end);
                 if fused_vu_cycles > 0 {
                     // Fused post-processing runs on the vector units,
                     // overlapped with the SA dataflow. It does not delay
@@ -700,23 +1107,56 @@ impl EngineRun<'_> {
                     // already be in flight, and one gang cannot run both
                     // at once (in a chain the producer edge guarantees the
                     // VU is free by now, so this wait never fires there).
-                    let fused_start = active_start.max(self.resource_free(Resource::Vu));
+                    let chip = self.chip_of(op);
+                    let vu = self.topo.resources.unit(chip, Resource::Vu);
+                    let fused_start = active_start.max(self.resource_free(vu));
                     let fused_end = fused_start + fused_vu_cycles;
                     self.timeline.record(ComponentKind::Vu, fused_start, fused_end);
-                    self.free_at.insert(Resource::Vu, fused_end);
+                    self.tracks.record(vu, fused_start, fused_end);
+                    self.free_at[vu.index()] = fused_end;
                     end = end.max(fused_end);
                 }
             }
-            Resource::Vu => self.timeline.record(ComponentKind::Vu, active_start, unit_end),
+            Resource::Vu => {
+                self.timeline.record(ComponentKind::Vu, active_start, unit_end);
+                self.tracks.record(unit, active_start, unit_end);
+            }
             Resource::HbmDma => {
                 self.timeline.record(ComponentKind::Hbm, active_start, unit_end);
                 self.timeline.record(ComponentKind::Dma, active_start, unit_end);
+                self.tracks.record(unit, active_start, unit_end);
             }
             Resource::Ici => {
                 self.timeline.record(ComponentKind::Ici, active_start, unit_end);
                 self.timeline.record(ComponentKind::Dma, active_start, unit_end);
+                self.tracks.record(unit, active_start, unit_end);
             }
         }
+        self.state[op].main_start = start;
+        self.state[op].main_end = end;
+        self.queue.schedule(end, EventKind::MainComplete { op });
+    }
+
+    /// Gang-issues a lowered collective: every link of the plan is held
+    /// for the whole transfer (each step of a ring collective drives each
+    /// ring link concurrently), so the issue waits for the *latest* of
+    /// the links to free up and two collectives sharing any link
+    /// serialize on it.
+    fn issue_collective(&mut self, op: usize, now: u64) {
+        let topo = self.topo;
+        let q = &topo.phases[op];
+        let Some(c) = &q.collective else { return };
+        let mut start = now;
+        for link in &c.links {
+            start = start.max(self.free_at[link.index()]);
+        }
+        let active_start = start + q.dispatch_cycles;
+        let end = active_start + q.main_cycles;
+        for link in &c.links {
+            self.free_at[link.index()] = end;
+            self.tracks.record(*link, active_start, end);
+        }
+        self.timeline.record(ComponentKind::Ici, active_start, end);
         self.state[op].main_start = start;
         self.state[op].main_end = end;
         self.queue.schedule(end, EventKind::MainComplete { op });
@@ -756,7 +1196,7 @@ mod tests {
 
     fn sa_op(main: u64, dma: u64) -> OpPhases {
         OpPhases {
-            unit: Resource::Sa,
+            unit: Resource::Sa.into(),
             main_cycles: main,
             dma_cycles: dma,
             dma_lead_cycles: (dma / 4).max(1).min(dma),
@@ -765,6 +1205,7 @@ mod tests {
             sa_active_cycles: main,
             release_cycle: 0,
             producers: Vec::new(),
+            collective: None,
         }
     }
 
@@ -893,7 +1334,7 @@ mod tests {
 
     fn gather_op(main: u64) -> OpPhases {
         OpPhases {
-            unit: Resource::HbmDma,
+            unit: Resource::HbmDma.into(),
             main_cycles: main,
             dma_cycles: 0,
             dma_lead_cycles: 0,
@@ -902,6 +1343,7 @@ mod tests {
             sa_active_cycles: 0,
             release_cycle: 0,
             producers: Vec::new(),
+            collective: None,
         }
     }
 
@@ -1012,7 +1454,7 @@ mod tests {
         // independent VU op can be in flight at once; the single VU gang
         // must serialize them instead of being double-booked.
         let vu = OpPhases {
-            unit: Resource::Vu,
+            unit: Resource::Vu.into(),
             main_cycles: 10_000,
             dma_cycles: 0,
             dma_lead_cycles: 0,
@@ -1021,6 +1463,7 @@ mod tests {
             sa_active_cycles: 0,
             release_cycle: 0,
             producers: Vec::new(),
+            collective: None,
         };
         let mut sa = sa_op(100, 0);
         sa.fused_vu_cycles = 5000;
@@ -1115,7 +1558,7 @@ mod tests {
     #[test]
     fn ici_op_does_not_prefetch() {
         let ops = vec![OpPhases {
-            unit: Resource::Ici,
+            unit: Resource::Ici.into(),
             main_cycles: 500,
             dma_cycles: 0,
             dma_lead_cycles: 0,
@@ -1124,11 +1567,144 @@ mod tests {
             sa_active_cycles: 0,
             release_cycle: 0,
             producers: Vec::new(),
+            collective: None,
         }];
         let schedule = TimelineEngine::new(ops).run();
         assert_eq!(schedule.makespan, 510);
         assert_eq!(schedule.timeline.busy_cycles(ComponentKind::Ici), 500);
         assert_eq!(schedule.timeline.busy_cycles(ComponentKind::Hbm), 0);
         assert_eq!(schedule.timeline.busy_cycles(ComponentKind::Dma), 500);
+    }
+
+    #[test]
+    fn single_chip_resource_ids_match_enum_order() {
+        let set = ResourceSet::single_chip();
+        assert_eq!(set.num_resources(), 4);
+        for kind in [Resource::Sa, Resource::Vu, Resource::HbmDma, Resource::Ici] {
+            let id = ResourceId::from(kind);
+            assert_eq!(set.unit(0, kind), id);
+            assert_eq!(set.kind(id), kind);
+            assert_eq!(set.chip_of(id), Some(0));
+            assert_eq!(set.link_of(id), None);
+        }
+    }
+
+    #[test]
+    fn pod_layout_places_links_after_chip_units() {
+        let set = ResourceSet::pod(4, 8);
+        assert_eq!(set.num_resources(), 4 * 4 + 8);
+        assert_eq!(set.unit(3, Resource::Ici), ResourceId(15));
+        assert_eq!(set.link(0), ResourceId(16));
+        assert_eq!(set.kind(set.link(7)), Resource::Ici);
+        assert_eq!(set.chip_of(set.link(3)), None);
+        assert_eq!(set.link_of(set.link(3)), Some(3));
+        assert_eq!(set.link_of(set.unit(2, Resource::Vu)), None);
+        assert_eq!(set.chip_of(set.unit(2, Resource::Vu)), Some(2));
+    }
+
+    #[test]
+    fn chips_of_a_pod_compute_concurrently() {
+        // The same two independent SA ops that would serialize on one
+        // chip's array run fully overlapped on two chips.
+        let set = ResourceSet::pod(2, 0);
+        let mut a = sa_op(1000, 0);
+        let mut b = sa_op(1000, 0);
+        a.unit = set.unit(0, Resource::Sa);
+        b.unit = set.unit(1, Resource::Sa);
+        let schedule = TimelineEngine::with_resources(vec![a, b], set).run();
+        assert_eq!(schedule.ops[0].main_start, 0);
+        assert_eq!(schedule.ops[1].main_start, 0, "chip 1's SA is its own resource");
+        assert_eq!(schedule.makespan, 1010);
+        let sa0 = set.unit(0, Resource::Sa);
+        let sa1 = set.unit(1, Resource::Sa);
+        assert_eq!(schedule.resource_timeline.busy_cycles(sa0), 1000);
+        assert_eq!(schedule.resource_timeline.busy_cycles(sa1), 1000);
+    }
+
+    #[test]
+    fn collectives_sharing_a_link_serialize() {
+        // Two independent collectives gang-occupy the same two-link ring:
+        // the engine must serialize them on the shared links instead of
+        // double-booking, and each link's busy track must show both.
+        let set = ResourceSet::pod(2, 2);
+        let links = vec![set.link(0), set.link(1)];
+        let coll = || OpPhases {
+            unit: set.link(0),
+            main_cycles: 1000,
+            dma_cycles: 0,
+            dma_lead_cycles: 0,
+            fused_vu_cycles: 0,
+            dispatch_cycles: 10,
+            sa_active_cycles: 0,
+            release_cycle: 0,
+            producers: Vec::new(),
+            collective: Some(Box::new(CollectiveSchedule {
+                links: links.clone(),
+                step_cycles: vec![500, 500],
+            })),
+        };
+        let schedule = TimelineEngine::with_resources(vec![coll(), coll()], set).run();
+        let [a, b] = [schedule.ops[0], schedule.ops[1]];
+        assert_eq!(a.main_end, 1010);
+        assert!(b.main_start >= a.main_end, "shared links must serialize the collectives");
+        assert_eq!(schedule.makespan, 2020);
+        for &link in &links {
+            assert_eq!(schedule.resource_timeline.busy_cycles(link), 2000);
+        }
+        assert_eq!(schedule.timeline.busy_cycles(ComponentKind::Ici), 2000);
+    }
+
+    #[test]
+    fn single_chip_resource_tracks_mirror_the_component_timeline() {
+        // Single-chip runs derive the per-resource tracks from the
+        // kind-level timeline instead of recording them live (the hot
+        // loop skips the doubled recording); the published equivalence —
+        // unit track == component track — must hold on a schedule that
+        // exercises every unit kind plus a fused VU tail.
+        let mut sa = sa_op(800, 400);
+        sa.fused_vu_cycles = 300;
+        let gather = gather_op(500);
+        let ici = OpPhases {
+            unit: Resource::Ici.into(),
+            main_cycles: 600,
+            dma_cycles: 0,
+            dma_lead_cycles: 0,
+            fused_vu_cycles: 0,
+            dispatch_cycles: 10,
+            sa_active_cycles: 0,
+            release_cycle: 0,
+            producers: Vec::new(),
+            collective: None,
+        };
+        let schedule = TimelineEngine::new(OpPhases::chain(vec![sa, gather, ici])).run();
+        let set = schedule.resources;
+        assert_eq!(set, ResourceSet::single_chip());
+        for (kind, component) in [
+            (Resource::Sa, ComponentKind::Sa),
+            (Resource::Vu, ComponentKind::Vu),
+            (Resource::HbmDma, ComponentKind::Hbm),
+            (Resource::Ici, ComponentKind::Ici),
+        ] {
+            let unit = set.unit(0, kind);
+            assert_eq!(
+                schedule.resource_timeline.track(unit),
+                schedule.timeline.intervals(component),
+                "{kind:?} unit track must equal the {component:?} component track"
+            );
+            assert!(schedule.resource_timeline.busy_cycles(unit) > 0, "{kind:?} was exercised");
+        }
+    }
+
+    #[test]
+    fn chip_idle_intervals_surface_pipeline_bubbles() {
+        // Chip 1 runs one op in the middle of a long chip-0 stream: its
+        // whole-chip idle view is the leading and trailing bubble.
+        let set = ResourceSet::pod(2, 0);
+        let mut ops = OpPhases::chain(vec![sa_op(1000, 0), sa_op(1000, 0), sa_op(1000, 0)]);
+        ops[1].unit = set.unit(1, Resource::Sa);
+        let schedule = TimelineEngine::with_resources(ops, set).run();
+        let bubbles = schedule.resource_timeline.chip_idle_intervals(&set, 1, schedule.makespan);
+        assert_eq!(bubbles.len(), 2, "leading and trailing whole-chip bubbles: {bubbles:?}");
+        assert!(bubbles[0].len() >= 1000 && bubbles[1].len() >= 1000);
     }
 }

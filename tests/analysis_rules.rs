@@ -10,15 +10,16 @@
 //! shapes come from `npu_models::fixtures`; serving-record defects are
 //! injected by mutating real `RequestGraph`s and `ServingOutcome`s.
 
-use npu_arch::{ChipConfig, NpuGeneration};
-use npu_compiler::{CompiledGraph, CompiledOp, Compiler, SramAllocation};
-use npu_models::{fixtures, DlrmSize, Workload};
+use npu_arch::{ChipConfig, FabricKind, Link, LinkGraph, NpuGeneration, PodTopology, TorusKind};
+use npu_compiler::{CollectivePlan, CompiledGraph, CompiledOp, Compiler, SramAllocation};
+use npu_models::{fixtures, CollectiveKind, DlrmSize, Workload};
 use npu_power::{
     ClockGating, DvfsScaling, GatingParams, LeakageRatios, TileGrainRegating, WriteBackGating,
 };
 use npu_serving::{BatchPolicy, ServingSimulator};
 use npu_sim::analysis::{self, rules};
-use npu_sim::timeline::{OpPhases, Resource};
+use npu_sim::pod::PodBuilder;
+use npu_sim::timeline::{OpPhases, Resource, ResourceSet};
 use npu_sim::{Diagnostic, Severity, SramCapacityReport};
 
 fn chip() -> ChipConfig {
@@ -172,7 +173,7 @@ fn dag_redundant_edge_pass_skips_past_the_anchor_budget() {
 
 fn sa_phase(main_cycles: u64, producers: Vec<usize>) -> OpPhases {
     OpPhases {
-        unit: Resource::Sa,
+        unit: Resource::Sa.into(),
         main_cycles,
         dma_cycles: 0,
         dma_lead_cycles: 0,
@@ -181,6 +182,7 @@ fn sa_phase(main_cycles: u64, producers: Vec<usize>) -> OpPhases {
         sa_active_cycles: main_cycles,
         release_cycle: 0,
         producers,
+        collective: None,
     }
 }
 
@@ -422,6 +424,114 @@ fn serve_record_causality_rules_are_denied_on_corrupted_outcomes() {
     broken.batches[2].completion_cycle = broken.batches[2].dispatch_cycle - 1;
     let report = broken.analyze();
     assert_rule(&report.diagnostics, rules::SERVE_COMPLETION_BEFORE_DISPATCH, Severity::Deny);
+}
+
+// ---------------------------------------------------------------------
+// Topo rules (pod fabric / collective lowering)
+// ---------------------------------------------------------------------
+
+fn ring4() -> LinkGraph {
+    LinkGraph::torus(&PodTopology::for_chips(TorusKind::Torus2D, 4))
+}
+
+#[test]
+fn clean_pod_passes_the_topo_rules() {
+    let graph = ring4();
+    let mut builder = PodBuilder::new(&graph);
+    builder.push_unit(0, Resource::Sa, 1_000, 0, vec![]);
+    let plan = CollectivePlan::lower(CollectiveKind::AllReduce, 9_000, &graph);
+    builder.push_collective(&plan, vec![0]);
+    let set = builder.resources();
+    let report = analysis::analyze_pod(builder.phases(), &[], &set, &graph, None);
+    assert!(report.is_schedulable(), "negative control dirtied: {}", report.render());
+    for rule in [
+        rules::TOPO_LINK_ENDPOINT_OUT_OF_RANGE,
+        rules::TOPO_ROUTE_INCOMPLETE,
+        rules::TOPO_CHIP_COUNT_MISMATCH,
+        rules::TOPO_COLLECTIVE_LINKS_MISMATCH,
+    ] {
+        assert_no_rule(&report.diagnostics, rule);
+    }
+}
+
+#[test]
+fn topo_link_endpoint_out_of_range_is_denied() {
+    // The `from_links` back door skips validation exactly so this rule
+    // has something to catch.
+    let graph = LinkGraph::from_links(
+        FabricKind::Torus(TorusKind::Torus2D),
+        2,
+        2,
+        vec![Link { src: 0, dst: 7 }, Link { src: 1, dst: 0 }],
+    );
+    let diagnostics = analysis::check_link_graph(&graph);
+    assert_rule(&diagnostics, rules::TOPO_LINK_ENDPOINT_OUT_OF_RANGE, Severity::Deny);
+}
+
+#[test]
+fn topo_disconnected_fabric_is_denied() {
+    // Two chips wired in one direction only: 1 -> 0 has no route.
+    let graph = LinkGraph::from_links(FabricKind::FatTree, 2, 2, vec![Link { src: 0, dst: 1 }]);
+    let diagnostics = analysis::check_link_graph(&graph);
+    assert_rule(&diagnostics, rules::TOPO_ROUTE_INCOMPLETE, Severity::Deny);
+    assert_no_rule(&diagnostics, rules::TOPO_LINK_ENDPOINT_OUT_OF_RANGE);
+}
+
+#[test]
+fn topo_chip_count_mismatch_is_denied() {
+    let graph = ring4();
+    let fewer_chips = ResourceSet::pod(2, graph.num_links());
+    let diagnostics = analysis::check_pod_consistency(&fewer_chips, &graph);
+    assert_rule(&diagnostics, rules::TOPO_CHIP_COUNT_MISMATCH, Severity::Deny);
+    // Link-count disagreement is the same family: set and fabric no
+    // longer describe one machine.
+    let fewer_links = ResourceSet::pod(graph.num_chips(), 1);
+    let diagnostics = analysis::check_pod_consistency(&fewer_links, &graph);
+    assert_rule(&diagnostics, rules::TOPO_CHIP_COUNT_MISMATCH, Severity::Deny);
+    let clean = ResourceSet::pod(graph.num_chips(), graph.num_links());
+    assert!(analysis::check_pod_consistency(&clean, &graph).is_empty());
+}
+
+#[test]
+fn topo_collective_links_mismatch_is_denied() {
+    let graph = ring4();
+    let mut builder = PodBuilder::new(&graph);
+    let plan = CollectivePlan::lower(CollectiveKind::AllGather, 8_000, &graph);
+    builder.push_collective(&plan, vec![]);
+    let set = builder.resources();
+
+    // (a) A link id outside the set's link range.
+    let mut phases = builder.phases().to_vec();
+    phases[0].collective.as_mut().expect("collective phase").links[0] = set.link_unchecked(99);
+    let diagnostics = analysis::check_collective_phases(&phases, &set, &graph);
+    assert_rule(&diagnostics, rules::TOPO_COLLECTIVE_LINKS_MISMATCH, Severity::Deny);
+
+    // (b) A link set that is not the fabric's collective ring.
+    let mut phases = builder.phases().to_vec();
+    phases[0].collective.as_mut().expect("collective phase").links.pop();
+    let diagnostics = analysis::check_collective_phases(&phases, &set, &graph);
+    assert_rule(&diagnostics, rules::TOPO_COLLECTIVE_LINKS_MISMATCH, Severity::Deny);
+
+    // (c) Per-hop steps that no longer sum to the phase's transfer.
+    let mut phases = builder.phases().to_vec();
+    phases[0].collective.as_mut().expect("collective phase").step_cycles[0] += 1;
+    let diagnostics = analysis::check_collective_phases(&phases, &set, &graph);
+    assert_rule(&diagnostics, rules::TOPO_COLLECTIVE_LINKS_MISMATCH, Severity::Deny);
+
+    // The untouched lowering is clean.
+    let diagnostics = analysis::check_collective_phases(builder.phases(), &set, &graph);
+    assert_no_rule(&diagnostics, rules::TOPO_COLLECTIVE_LINKS_MISMATCH);
+}
+
+#[test]
+fn topo_parallelism_infeasible_is_denied() {
+    // 98 GB of DLRM tables cannot fit one chip: the evaluation layer
+    // denies the deployment instead of fabricating a parallelism config.
+    let evaluator = regate::Evaluator::new(NpuGeneration::D);
+    let report = evaluator
+        .try_evaluate(&Workload::dlrm(DlrmSize::Large), 1)
+        .expect_err("infeasible deployment must be denied");
+    assert_rule(&report.diagnostics, rules::TOPO_PARALLELISM_INFEASIBLE, Severity::Deny);
 }
 
 // ---------------------------------------------------------------------

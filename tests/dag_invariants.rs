@@ -49,7 +49,7 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
             let fused = if rng.range(0, 2) == 0 { rng.range(0, main / 2) } else { 0 };
             let active = rng.range(main / 2, main);
             OpPhases {
-                unit: Resource::Sa,
+                unit: Resource::Sa.into(),
                 main_cycles: main,
                 dma_cycles: dma,
                 dma_lead_cycles: 0,
@@ -58,13 +58,14 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 sa_active_cycles: active,
                 release_cycle: 0,
                 producers: Vec::new(),
+                collective: None,
             }
         }
         5 | 6 => {
             let main = rng.range(100, 3_000);
             let dma = rng.range(0, 2_000);
             OpPhases {
-                unit: Resource::Vu,
+                unit: Resource::Vu.into(),
                 main_cycles: main,
                 dma_cycles: dma,
                 dma_lead_cycles: 0,
@@ -73,12 +74,13 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 sa_active_cycles: 0,
                 release_cycle: 0,
                 producers: Vec::new(),
+                collective: None,
             }
         }
         7 | 8 => {
             let main = rng.range(300, 10_000);
             OpPhases {
-                unit: Resource::HbmDma,
+                unit: Resource::HbmDma.into(),
                 main_cycles: main,
                 dma_cycles: 0,
                 dma_lead_cycles: 0,
@@ -87,12 +89,13 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 sa_active_cycles: 0,
                 release_cycle: 0,
                 producers: Vec::new(),
+                collective: None,
             }
         }
         _ => {
             let main = rng.range(500, 20_000);
             OpPhases {
-                unit: Resource::Ici,
+                unit: Resource::Ici.into(),
                 main_cycles: main,
                 dma_cycles: 0,
                 dma_lead_cycles: 0,
@@ -101,6 +104,7 @@ fn random_phases(rng: &mut Rng) -> OpPhases {
                 sa_active_cycles: 0,
                 release_cycle: 0,
                 producers: Vec::new(),
+                collective: None,
             }
         }
     }
@@ -338,12 +342,8 @@ fn corpus_covers_fan_in_fan_out_diamonds_and_all_units() {
                     }
                 }
             }
-            units[match p.unit {
-                Resource::Sa => 0,
-                Resource::Vu => 1,
-                Resource::HbmDma => 2,
-                Resource::Ici => 3,
-            }] += 1;
+            // Single-chip phase vectors use the enum-order dense ids.
+            units[p.unit.index()] += 1;
         }
         fan_out += consumers.iter().filter(|&&c| c >= 2).count() as u64;
     }

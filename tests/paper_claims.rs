@@ -293,3 +293,45 @@ fn tile_grain_regating_cuts_regate_base_wakeup_overhead_on_bursty_decode() {
         base.savings
     );
 }
+
+#[test]
+fn whole_chip_gating_beats_per_component_gating_on_pipeline_bubbles() {
+    // §7's whole-chip discussion, made executable on the pod timeline:
+    // pipeline-parallel serving leaves off-critical chips in chip-wide
+    // bubbles where per-component gating has already emptied the SA, VU,
+    // and memory interfaces but the uncore keeps leaking. Chip-level
+    // gating of the union-idle intervals must therefore (a) strictly beat
+    // per-component gating even with balanced stages (fill/drain bubbles
+    // alone exceed the chip-level break-even time), and (b) gain *more*
+    // as stage imbalance widens the bubbles.
+    use npu_arch::{LinkGraph, NpuSpec, PodTopology, TorusKind};
+    use npu_power::GatingParams;
+    use npu_sim::pod::pipeline_trace;
+    use regate::pod_static_gating;
+
+    let report = |stage_cycles: &[u64]| {
+        let graph = LinkGraph::torus(&PodTopology::for_chips(TorusKind::Torus2D, 4));
+        let schedule = pipeline_trace(&graph, stage_cycles, 8).engine().run();
+        pod_static_gating(
+            &schedule,
+            &GatingParams::default(),
+            &NpuSpec::generation(NpuGeneration::D),
+        )
+    };
+
+    let balanced = report(&[20_000; 4]);
+    assert!(balanced.per_component_savings() > 0.0);
+    assert!(
+        balanced.whole_chip_gain() > 0.0,
+        "whole-chip gating must add savings on top of per-component gating, got gain {}",
+        balanced.whole_chip_gain()
+    );
+
+    let imbalanced = report(&[20_000, 80_000, 20_000, 20_000]);
+    assert!(
+        imbalanced.whole_chip_gain() > balanced.whole_chip_gain(),
+        "stage imbalance must widen the whole-chip advantage: imbalanced {} vs balanced {}",
+        imbalanced.whole_chip_gain(),
+        balanced.whole_chip_gain()
+    );
+}

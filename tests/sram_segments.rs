@@ -53,7 +53,7 @@ fn random_dag(rng: &mut Rng, n: usize) -> Vec<OpPhases> {
             producers.dedup();
         }
         ops.push(OpPhases {
-            unit,
+            unit: unit.into(),
             main_cycles: main,
             dma_cycles: dma,
             dma_lead_cycles: 0,
@@ -62,6 +62,7 @@ fn random_dag(rng: &mut Rng, n: usize) -> Vec<OpPhases> {
             sa_active_cycles: if unit == Resource::Sa { main } else { 0 },
             release_cycle: 0,
             producers,
+            collective: None,
         });
     }
     ops
@@ -258,7 +259,7 @@ fn decode_leaves_most_segments_dead() {
 
 fn source(unit: Resource, main: u64) -> OpPhases {
     OpPhases {
-        unit,
+        unit: unit.into(),
         main_cycles: main,
         dma_cycles: 0,
         dma_lead_cycles: 0,
@@ -267,6 +268,7 @@ fn source(unit: Resource, main: u64) -> OpPhases {
         sa_active_cycles: if unit == Resource::Sa { main } else { 0 },
         release_cycle: 0,
         producers: Vec::new(),
+        collective: None,
     }
 }
 
