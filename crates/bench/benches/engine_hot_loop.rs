@@ -8,37 +8,25 @@
 //!
 //! Run with `cargo bench -p regate_bench --bench engine_hot_loop`.
 
-use std::time::{Duration, Instant};
-
 use npu_arch::{ChipConfig, NpuGeneration, ParallelismConfig};
 use npu_compiler::Compiler;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
 use npu_sim::{EngineScratch, Simulator};
-
-struct Measured {
-    mean_s: f64,
-    min_s: f64,
-}
-
-/// One warm-up call, then `samples` timed calls; reports mean and min.
-fn measure(samples: usize, mut routine: impl FnMut()) -> Measured {
-    routine();
-    let mut times = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        routine();
-        times.push(start.elapsed());
-    }
-    let total: Duration = times.iter().sum();
-    Measured {
-        mean_s: total.as_secs_f64() / samples as f64,
-        min_s: times.iter().min().expect("samples >= 1").as_secs_f64(),
-    }
-}
+use regate_bench::{measure, BenchReport};
 
 fn main() {
     let samples = 10usize;
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new(
+        "engine_hot_loop",
+        "cargo bench -p regate_bench --bench engine_hot_loop",
+        "workloads",
+    );
+    report.header_raw("samples_per_measurement", samples);
+    report.header_str(
+        "note",
+        "replay = PreparedSimulator::run_with_scratch on a prepared graph (the event-loop hot \
+         path); one_shot = Simulator::run_with_releases including profiling/allocation/flattening",
+    );
     for (name, workload, requests) in [
         ("llama3_8b_prefill", Workload::llm(LlamaModel::Llama3_8B, LlmPhase::Prefill), 1u64),
         (
@@ -84,7 +72,7 @@ fn main() {
             cycles_per_wall_second,
             one_shot.mean_s * 1e3,
         );
-        entries.push(format!(
+        report.push_row(format!(
             r#"    {{
       "name": "{name}",
       "anchors": {anchors},
@@ -99,20 +87,6 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        r#"{{
-  "bench": "engine_hot_loop",
-  "command": "cargo bench -p regate_bench --bench engine_hot_loop",
-  "samples_per_measurement": {samples},
-  "note": "replay = PreparedSimulator::run_with_scratch on a prepared graph (the event-loop hot path); one_shot = Simulator::run_with_releases including profiling/allocation/flattening",
-  "workloads": [
-{}
-  ]
-}}
-"#,
-        entries.join(",\n")
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, json).expect("write BENCH_engine.json");
+    let path = report.write_to_repo_root("BENCH_engine.json");
     println!("wrote {path}");
 }

@@ -8,11 +8,10 @@
 //!
 //! Run with `cargo bench -p regate_bench --bench serving_cache`.
 
-use std::time::{Duration, Instant};
-
 use npu_arch::NpuGeneration;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
 use npu_serving::{ArrivalProcess, BatchPolicy, ServingSimulator};
+use regate_bench::{measure, BenchReport};
 
 /// Wall time per serving run of the pre-PR `ServingSimulator::run` (which
 /// re-lowered and recompiled every batch and paid a per-anchor
@@ -22,29 +21,24 @@ use npu_serving::{ArrivalProcess, BatchPolicy, ServingSimulator};
 const PRE_PR_BASELINE_S: [(&str, f64); 2] =
     [("dlrm_s_x32_64req_static4", 13.77e-3), ("llama3_8b_decode_x2_64req_static4", 146.4e-3)];
 
-struct Measured {
-    mean_s: f64,
-    min_s: f64,
-}
-
-/// One warm-up call, then `samples` timed calls; reports mean and min.
-fn measure(samples: usize, mut routine: impl FnMut()) -> Measured {
-    routine();
-    let mut times = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        routine();
-        times.push(start.elapsed());
-    }
-    let total: Duration = times.iter().sum();
-    Measured {
-        mean_s: total.as_secs_f64() / samples as f64,
-        min_s: times.iter().min().expect("samples >= 1").as_secs_f64(),
-    }
-}
-
 fn main() {
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new(
+        "serving_cache",
+        "cargo bench -p regate_bench --bench serving_cache",
+        "runs",
+    );
+    report.header_str(
+        "trace",
+        "64 Poisson arrivals (mean interval 100k cycles, seed 11), \
+         BatchPolicy::Static { batch: 4 }",
+    );
+    report.header_str(
+        "note",
+        "cached = ServingSimulator::run (compile-once per batch shape, prepared replay); \
+         uncached = run_uncached (per-batch re-lowering + recompilation on the current engine); \
+         the pre-PR baseline is the seed commit's per-batch-recompile run() wall time on this \
+         machine",
+    );
     for (name, workload, uncached_samples, cached_samples) in [
         (
             "dlrm_s_x32_64req_static4",
@@ -93,7 +87,7 @@ fn main() {
             baseline_s * 1e3,
             cycles_per_wall_second,
         );
-        entries.push(format!(
+        report.push_row(format!(
             r#"    {{
       "name": "{name}",
       "simulated_cycles": {simulated_cycles},
@@ -109,20 +103,6 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        r#"{{
-  "bench": "serving_cache",
-  "command": "cargo bench -p regate_bench --bench serving_cache",
-  "trace": "64 Poisson arrivals (mean interval 100k cycles, seed 11), BatchPolicy::Static {{ batch: 4 }}",
-  "note": "cached = ServingSimulator::run (compile-once per batch shape, prepared replay); uncached = run_uncached (per-batch re-lowering + recompilation on the current engine); the pre-PR baseline is the seed commit's per-batch-recompile run() wall time on this machine",
-  "runs": [
-{}
-  ]
-}}
-"#,
-        entries.join(",\n")
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
-    std::fs::write(path, json).expect("write BENCH_serving.json");
+    let path = report.write_to_repo_root("BENCH_serving.json");
     println!("wrote {path}");
 }

@@ -12,7 +12,9 @@
 //! throughput — simulated cycles scheduled per wall-second, summed over
 //! every `ServingSimulator::run` call — drops below the floor. CI pins a
 //! conservative floor so a hot-path regression fails the build instead of
-//! silently slowing every future sweep.
+//! silently slowing every future sweep. Pass `--json <path>` to also
+//! emit the policy × workload × load matrix as a machine-readable JSON
+//! document (schema-versioned, one entry per deployment).
 
 use std::time::{Duration, Instant};
 
@@ -20,6 +22,7 @@ use npu_arch::NpuGeneration;
 use npu_models::{DlrmSize, LlamaModel, LlmPhase, Workload};
 use npu_serving::{ArrivalProcess, BatchPolicy, ServingOutcome, ServingReport, ServingSimulator};
 use regate::{Design, Evaluator, PolicyKind};
+use regate_bench::report::{json_string, BENCH_SCHEMA_VERSION};
 use regate_bench::{pct, section};
 
 fn main() {
@@ -31,7 +34,13 @@ fn main() {
         .position(|a| a == "--floor")
         .map(|i| args[i + 1..].first().expect("--floor takes a value"))
         .map(|v| v.parse().expect("--floor takes cycles-per-wall-second"));
+    let json_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args[i + 1..].first().expect("--json takes a path").clone());
     let requests = if quick { 8 } else { 24 };
+    // Rendered per-deployment objects for the `--json` matrix export.
+    let mut json_deployments: Vec<String> = Vec::new();
     // Serving throughput accounting: simulated cycles scheduled per
     // wall-second, over every timed serving run of the sweep.
     let mut simulated_cycles = 0u64;
@@ -215,6 +224,51 @@ fn main() {
             println!("{:<16} {}", kind.label(), row.join(" "));
         }
         println!("(per load point: busy-energy savings vs NoPG, execution-time overhead)");
+
+        if json_path.is_some() {
+            let policy_rows: Vec<String> = kinds
+                .iter()
+                .map(|&kind| {
+                    let cell_rows: Vec<String> = processes
+                        .iter()
+                        .zip(&cells)
+                        .map(|(process, cell)| {
+                            let row = cell.row(kind);
+                            format!(
+                                "{{ \"load\": {}, \"savings\": {:.6}, \
+                                 \"performance_overhead\": {:.6} }}",
+                                json_string(&process.label()),
+                                row.savings,
+                                row.performance_overhead
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "        {{ \"policy\": {}, \"cells\": [{}] }}",
+                        json_string(&kind.label()),
+                        cell_rows.join(", ")
+                    )
+                })
+                .collect();
+            json_deployments.push(format!(
+                "    {{\n      \"label\": {},\n      \"chips\": {chips},\n      \"loads\": \
+                 [{}],\n      \"policies\": [\n{}\n      ]\n    }}",
+                json_string(label),
+                processes.iter().map(|p| json_string(&p.label())).collect::<Vec<_>>().join(", "),
+                policy_rows.join(",\n")
+            ));
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let json = format!(
+            "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"tool\": \
+             \"serving_sweep\",\n  \"requests_per_load_point\": {requests},\n  \"deployments\": \
+             [\n{}\n  ]\n}}\n",
+            json_deployments.join(",\n")
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote policy matrix JSON to {path}");
     }
 
     if verify {

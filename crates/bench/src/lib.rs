@@ -8,6 +8,10 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
+pub use report::{measure, BenchReport, Measured, BENCH_SCHEMA_VERSION};
+
 /// Formats a fraction as a percentage with one decimal place.
 #[must_use]
 pub fn pct(x: f64) -> String {

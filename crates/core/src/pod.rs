@@ -9,8 +9,7 @@
 //! units, and memory interfaces inside those bubbles, but the peripheral
 //! (uncore) logic has no per-component policy — only a chip-level walk
 //! over the union-idle intervals can recover its static power. This
-//! module prices exactly that delta on a multi-chip
-//! [`Schedule`](npu_sim::Schedule).
+//! module prices exactly that delta on a multi-chip [`Schedule`].
 
 use npu_arch::{ComponentKind, NpuSpec};
 use npu_power::{GatePolicy, GatingParams, IntervalGating, PowerModel, PowerPolicy};

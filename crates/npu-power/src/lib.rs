@@ -37,6 +37,7 @@ pub mod energy;
 pub mod gating;
 pub mod policy;
 pub mod power;
+pub mod telemetry;
 
 pub use carbon::{CarbonModel, LifespanPoint};
 pub use energy::{ComponentEnergy, EnergyBreakdown};
@@ -49,3 +50,4 @@ pub use policy::{
     PolicyWalk, PowerPolicy, TileGrainRegating, WriteBackGating,
 };
 pub use power::{PowerModel, DATACENTER_PUE, NPU_DUTY_CYCLE};
+pub use telemetry::{ComponentGating, ComponentWaveform, PowerStep, PowerTimeline};

@@ -59,4 +59,6 @@ pub mod simulator;
 pub use arrival::ArrivalProcess;
 pub use batch::{BatchPolicy, FormedBatch};
 pub use report::{DesignServingRow, ServingReport};
-pub use simulator::{BatchRecord, RequestRecord, ServingOutcome, ServingSimulator};
+pub use simulator::{
+    BatchRecord, RequestRecord, ServingCacheCounters, ServingOutcome, ServingSimulator,
+};

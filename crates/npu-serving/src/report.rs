@@ -13,10 +13,11 @@
 use std::collections::BTreeMap;
 
 use npu_arch::ComponentKind;
+use npu_sim::RunCounters;
 use regate::{Design, Evaluator, WorkloadEvaluation};
 use serde::{Deserialize, Serialize};
 
-use crate::simulator::ServingOutcome;
+use crate::simulator::{ServingCacheCounters, ServingOutcome};
 
 /// Energy accounting of one design over the whole serving trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,6 +60,11 @@ pub struct ServingReport {
     pub whole_chip_idle_fraction: f64,
     /// Per-design energy rows.
     pub designs: BTreeMap<Design, DesignServingRow>,
+    /// Engine run counters of the scheduled trace (events popped, heap
+    /// peak, release-clamp stalls, …).
+    pub engine_counters: RunCounters,
+    /// Compile-cache hit/miss counters snapshot when the run finished.
+    pub cache_counters: ServingCacheCounters,
     /// The full per-design evaluation the rows were derived from.
     pub evaluation: WorkloadEvaluation,
 }
@@ -143,6 +149,8 @@ impl ServingReport {
             measured_duty_cycle: outcome.measured_duty_cycle(),
             whole_chip_idle_fraction,
             designs,
+            engine_counters: outcome.simulation.counters().clone(),
+            cache_counters: outcome.cache,
             evaluation,
         }
     }

@@ -19,13 +19,14 @@
 // The caches below are lookup-only (never iterated), so hash order cannot
 // leak into any simulated number.
 use std::collections::HashMap; // lint:allow(hash-iter)
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use npu_arch::{ChipConfig, ComponentKind, NpuGeneration, ParallelismConfig};
 use npu_compiler::{CompiledGraph, Compiler};
 use npu_models::{OperatorGraph, Workload};
 use npu_sim::analysis::{self, rules, AnalysisReport, Diagnostic, OpSpan};
-use npu_sim::{EngineScratch, PreparedSimulator, SimulationResult, Simulator};
+use npu_sim::{EngineScratch, PreparedSimulator, SimulationResult, Simulator, TraceRecorder};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::BatchPolicy;
@@ -78,6 +79,43 @@ pub struct BatchRecord {
     pub completion_cycle: u64,
 }
 
+/// Hit/miss counters of the serving simulator's two compile caches —
+/// the per-request-count batch templates and the per-batch-shape
+/// prepared traces. A snapshot, monotone over a simulator's (and its
+/// clones') lifetime: subtract two snapshots to count one sweep's work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServingCacheCounters {
+    /// Batch-template lookups served from the cache.
+    pub batch_hits: u64,
+    /// Batch-template lookups that paid lowering + compilation.
+    pub batch_misses: u64,
+    /// Prepared-trace lookups served from the cache.
+    pub trace_hits: u64,
+    /// Prepared-trace lookups that paid concatenation + preparation.
+    pub trace_misses: u64,
+}
+
+/// The live atomic cells behind [`ServingCacheCounters`], shared by
+/// simulator clones exactly like the caches they count.
+#[derive(Debug, Default)]
+struct CacheCounterCells {
+    batch_hits: AtomicU64,
+    batch_misses: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+}
+
+impl CacheCounterCells {
+    fn snapshot(&self) -> ServingCacheCounters {
+        ServingCacheCounters {
+            batch_hits: self.batch_hits.load(Ordering::Relaxed),
+            batch_misses: self.batch_misses.load(Ordering::Relaxed),
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Everything one serving run produced: the scheduled trace plus the
 /// per-request and per-batch accounting derived from it.
 #[derive(Debug, Clone)]
@@ -98,6 +136,8 @@ pub struct ServingOutcome {
     pub batches: Vec<BatchRecord>,
     /// Per-request records, in arrival order.
     pub requests: Vec<RequestRecord>,
+    /// Compile-cache counters snapshot taken when the run finished.
+    pub cache: ServingCacheCounters,
 }
 
 impl ServingOutcome {
@@ -313,6 +353,8 @@ pub struct ServingSimulator {
     trace_cache: Arc<Mutex<HashMap<Vec<usize>, Arc<PreparedTrace>>>>, // lint:allow(hash-iter)
     /// Reused event-loop buffers for the cached path.
     scratch: Arc<Mutex<EngineScratch>>,
+    /// Hit/miss counters of both caches, shared like the caches.
+    cache_counters: Arc<CacheCounterCells>,
 }
 
 impl ServingSimulator {
@@ -357,7 +399,15 @@ impl ServingSimulator {
             batch_cache: Arc::default(),
             trace_cache: Arc::default(),
             scratch: Arc::default(),
+            cache_counters: Arc::default(),
         }
+    }
+
+    /// A snapshot of the compile-cache hit/miss counters, cumulative over
+    /// this simulator and every clone sharing its caches.
+    #[must_use]
+    pub fn cache_counters(&self) -> ServingCacheCounters {
+        self.cache_counters.snapshot()
     }
 
     /// The chip deployment being simulated.
@@ -396,10 +446,64 @@ impl ServingSimulator {
         let formed = policy.form(arrivals);
         let shape: Vec<usize> = formed.iter().map(crate::batch::FormedBatch::len).collect();
         let trace = self.prepared_trace(&shape, arrivals.len());
+        let (op_releases, batches) = Self::release_plan(&formed, &trace);
 
-        // A batch's operators all carry its dispatch cycle: every request
-        // span shares the batch dispatch, and the merge's release is the
-        // maximum over the spans — the same value.
+        let simulation = trace
+            .prepared
+            .run_with_scratch(&op_releases, &mut self.scratch.lock().expect("engine scratch"));
+        self.finish(arrivals, Arc::clone(&trace.compiled), &trace.positions, simulation, batches)
+    }
+
+    /// Like [`ServingSimulator::run`], but observes the replay with a
+    /// [`TraceRecorder`] and returns it alongside the outcome: every
+    /// resource occupancy as a display-track slice plus one flow event
+    /// per dispatched batch. The schedule itself is bit-identical to the
+    /// unobserved [`ServingSimulator::run`] — observers never influence
+    /// the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or not sorted in non-decreasing order
+    /// (the [`BatchPolicy::form`] contract).
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        arrivals: &[u64],
+        policy: &BatchPolicy,
+    ) -> (ServingOutcome, TraceRecorder) {
+        assert!(!arrivals.is_empty(), "an empty arrival trace serves nothing");
+        let formed = policy.form(arrivals);
+        let shape: Vec<usize> = formed.iter().map(crate::batch::FormedBatch::len).collect();
+        let trace = self.prepared_trace(&shape, arrivals.len());
+        let (op_releases, batches) = Self::release_plan(&formed, &trace);
+
+        let mut recorder = TraceRecorder::for_set(&trace.prepared.resources());
+        let simulation = trace.prepared.run_with_scratch_observed(
+            &op_releases,
+            &mut self.scratch.lock().expect("engine scratch"),
+            &mut recorder,
+        );
+        let outcome = self.finish(
+            arrivals,
+            Arc::clone(&trace.compiled),
+            &trace.positions,
+            simulation,
+            batches,
+        );
+        for (index, batch) in outcome.batches.iter().enumerate() {
+            recorder.add_batch_flow(index, batch.dispatch_cycle, batch.completion_cycle);
+        }
+        (outcome, recorder)
+    }
+
+    /// The release vector and batch records of one formed trace against
+    /// its prepared shape. A batch's operators all carry its dispatch
+    /// cycle: every request span shares the batch dispatch, and the
+    /// merge's release is the maximum over the spans — the same value.
+    fn release_plan(
+        formed: &[crate::batch::FormedBatch],
+        trace: &PreparedTrace,
+    ) -> (Vec<u64>, Vec<BatchRecord>) {
         let mut op_releases: Vec<u64> = Vec::with_capacity(trace.positions.len());
         let mut batches: Vec<BatchRecord> = Vec::with_capacity(formed.len());
         for (batch, range) in formed.iter().zip(&trace.op_ranges) {
@@ -412,11 +516,7 @@ impl ServingSimulator {
                 completion_cycle: 0,
             });
         }
-
-        let simulation = trace
-            .prepared
-            .run_with_scratch(&op_releases, &mut self.scratch.lock().expect("engine scratch"));
-        self.finish(arrivals, Arc::clone(&trace.compiled), &trace.positions, simulation, batches)
+        (op_releases, batches)
     }
 
     /// Serves an arrival trace by lowering and compiling every batch from
@@ -475,8 +575,10 @@ impl ServingSimulator {
     /// compilation serves every batch of this size.
     fn batch_template(&self, num_requests: usize) -> Arc<CompiledGraph> {
         if let Some(template) = self.batch_cache.lock().expect("batch cache").get(&num_requests) {
+            self.cache_counters.batch_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(template);
         }
+        self.cache_counters.batch_misses.fetch_add(1, Ordering::Relaxed);
         let samples = self.workload.batch() * num_requests as u64;
         let releases = vec![0u64; num_requests];
         let request_graph = self
@@ -499,8 +601,10 @@ impl ServingSimulator {
     /// test) and prepared for release-vector replay.
     fn prepared_trace(&self, shape: &[usize], num_requests: usize) -> Arc<PreparedTrace> {
         if let Some(trace) = self.trace_cache.lock().expect("trace cache").get(shape) {
+            self.cache_counters.trace_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(trace);
         }
+        self.cache_counters.trace_misses.fetch_add(1, Ordering::Relaxed);
         let mut combined = CompiledGraph::empty(format!(
             "{}-serving-{num_requests}req-{}",
             self.workload.label(),
@@ -592,6 +696,7 @@ impl ServingSimulator {
             simulation,
             batches,
             requests,
+            cache: self.cache_counters.snapshot(),
         }
     }
 }
@@ -643,6 +748,34 @@ mod tests {
         assert!(verified.is_schedulable(), "{}", verified.render());
         let window = verified.makespan_window.expect("verification brackets the makespan");
         assert!(window.contains(outcome.makespan_cycles()));
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_traced_replay_matches_unobserved() {
+        let (simulator, outcome) = outcome_and_simulator();
+        // Shape [2, 2, 1]: the 2-request template misses then hits, the
+        // 1-request template misses, the trace shape misses.
+        assert_eq!(outcome.cache.batch_misses, 2);
+        assert_eq!(outcome.cache.batch_hits, 1);
+        assert_eq!(outcome.cache.trace_misses, 1);
+        assert_eq!(outcome.cache.trace_hits, 0);
+
+        let arrivals = [0u64, 1_000, 350_000, 360_000, 900_000];
+        let (traced, recorder) = simulator.run_traced(&arrivals, &BatchPolicy::Static { batch: 2 });
+        // The same shape again: a pure prepared-trace hit.
+        assert_eq!(traced.cache.trace_hits, 1);
+        assert_eq!(traced.cache.trace_misses, 1);
+
+        // The observer never influences the schedule, and the recorder
+        // carries one flow per dispatched batch.
+        assert_eq!(traced.makespan_cycles(), outcome.makespan_cycles());
+        assert_eq!(traced.simulation.counters(), outcome.simulation.counters());
+        assert!(traced.simulation.counters().events_popped > 0);
+        assert!(recorder.num_slices() > 0);
+        let json = recorder.chrome_json();
+        for index in 0..traced.batches.len() {
+            assert!(json.contains(&format!("\"batch{index}\"")), "missing flow {index}");
+        }
     }
 
     #[test]

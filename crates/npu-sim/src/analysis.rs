@@ -45,7 +45,10 @@ use npu_power::{GatingParams, GatingRule, PolicyRule, PowerPolicy};
 use npu_arch::LinkGraph;
 
 use crate::engine::{SimulationResult, DISPATCH_OVERHEAD_CYCLES};
-use crate::timeline::{OpPhases, Resource, ResourceSet};
+use crate::timeline::{
+    CycleInterval, OpPhases, Resource, ResourceId, ResourceSet, ResourceTimeline,
+};
+use crate::trace::{TraceRecorder, TraceSlice};
 
 /// Stable rule identifiers, grouped by pass family. These strings are a
 /// public contract: tests assert on them, `// lint:allow(...)`-style
@@ -175,6 +178,20 @@ pub mod rules {
     /// (workload, chip count) — the evaluation would have to fabricate
     /// one (deny). Emitted by the core evaluation layer.
     pub const TOPO_PARALLELISM_INFEASIBLE: &str = "topo.parallelism-infeasible";
+
+    /// Two slices of one exported display track overlap — a resource with
+    /// a single in-order issue port cannot run two operators at once, so
+    /// the trace misrepresents the schedule (deny). Abutting slices are
+    /// fine.
+    pub const OBS_TRACK_OVERLAP: &str = "obs.track-overlap";
+    /// An exported trace event extends past the schedule's makespan —
+    /// the trace claims activity after the run ended (deny).
+    pub const OBS_EVENT_OUT_OF_WINDOW: &str = "obs.event-out-of-window";
+    /// The merged busy intervals an exported track implies disagree,
+    /// record for record, with the schedule's own finalized
+    /// `ResourceTimeline` track — the trace and the run it claims to
+    /// depict have diverged (deny).
+    pub const OBS_TIMELINE_MISMATCH: &str = "obs.timeline-mismatch";
 }
 
 /// How many diagnostics one repeating rule may emit before the remainder
@@ -1413,6 +1430,96 @@ impl SramCapacityReport {
         }
         out
     }
+}
+
+/// Validates a [`TraceRecorder`] export against the schedule that
+/// produced it: slices on each display track must not overlap one
+/// another (abutting slices are fine — they are distinct queue grants),
+/// every slice must end inside the measured makespan, and the merged
+/// busy intervals each resource's slices imply must agree record for
+/// record with the schedule's finalized [`ResourceTimeline`] track. Any
+/// disagreement is a hard [`Severity::Deny`]: the trace claims a run
+/// that did not happen.
+#[must_use]
+pub fn check_trace_export(
+    trace: &TraceRecorder,
+    timeline: &ResourceTimeline,
+    makespan: u64,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let mut overlaps = Vec::new();
+    let mut out_of_window = Vec::new();
+    for (name, slices) in trace.display_tracks() {
+        let mut sorted: Vec<&TraceSlice> = slices.iter().collect();
+        sorted.sort_by_key(|s| (s.start, s.end));
+        for pair in sorted.windows(2) {
+            if pair[1].start < pair[0].end {
+                overlaps.push(Diagnostic::deny(
+                    rules::OBS_TRACK_OVERLAP,
+                    Some(OpSpan::between(pair[0].op, pair[1].op)),
+                    format!(
+                        "track {name}: operator {} slice [{}, {}) overlaps operator {} slice [{}, {})",
+                        pair[0].op, pair[0].start, pair[0].end, pair[1].op, pair[1].start, pair[1].end
+                    ),
+                ));
+            }
+        }
+        for s in slices {
+            if s.end > makespan {
+                out_of_window.push(Diagnostic::deny(
+                    rules::OBS_EVENT_OUT_OF_WINDOW,
+                    Some(OpSpan::single(s.op)),
+                    format!(
+                        "track {name}: operator {} slice [{}, {}) ends past the {makespan}-cycle makespan",
+                        s.op, s.start, s.end
+                    ),
+                ));
+            }
+        }
+    }
+    push_capped(&mut out, overlaps);
+    push_capped(&mut out, out_of_window);
+
+    let set = trace.resources();
+    let mut mismatches = Vec::new();
+    for index in 0..set.num_resources() {
+        let id = ResourceId(index as u32);
+        let merged = trace.merged_resource_intervals(id);
+        let finalized = timeline.track(id);
+        if merged != finalized {
+            mismatches.push(Diagnostic::deny(
+                rules::OBS_TIMELINE_MISMATCH,
+                None,
+                format!(
+                    "resource {}: trace implies {} busy interval(s), schedule recorded {}{}",
+                    trace.track_name(id),
+                    merged.len(),
+                    finalized.len(),
+                    first_interval_divergence(&merged, finalized),
+                ),
+            ));
+        }
+    }
+    push_capped(&mut out, mismatches);
+
+    out
+}
+
+/// Locates the first record where a trace-implied interval list diverges
+/// from the schedule's, for the `obs.timeline-mismatch` message. Empty
+/// when one list is a strict prefix of the other (the counts in the
+/// message already tell that story).
+fn first_interval_divergence(merged: &[CycleInterval], finalized: &[CycleInterval]) -> String {
+    for (index, (m, f)) in merged.iter().zip(finalized.iter()).enumerate() {
+        if m != f {
+            return format!(
+                "; first divergence at record {index}: trace [{}, {}) vs schedule [{}, {})",
+                m.start, m.end, f.start, f.end
+            );
+        }
+    }
+    String::new()
 }
 
 #[cfg(test)]

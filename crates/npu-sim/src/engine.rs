@@ -22,9 +22,11 @@ use npu_compiler::{CompiledGraph, CompiledOp, SegmentLifetime, SramAllocation};
 use npu_models::{CollectiveKind, ExecutionUnit, OpKind};
 
 use crate::activity::ComponentActivity;
+use crate::observer::{NullObserver, SimObserver};
 use crate::segments::SegmentTimeline;
 use crate::timeline::{
-    BusyTimeline, EngineScratch, IdleHistogram, OpPhases, Resource, TimelineEngine,
+    BusyTimeline, EngineScratch, IdleHistogram, OpPhases, Resource, ResourceSet, RunCounters,
+    TimelineEngine,
 };
 use crate::timing::OpTiming;
 
@@ -356,6 +358,13 @@ impl PreparedSimulator {
         self.fold_anchor.len()
     }
 
+    /// The engine's resource set — what an observer recording a replay
+    /// (e.g. a [`crate::trace::TraceRecorder`]) must be sized for.
+    #[must_use]
+    pub fn resources(&self) -> ResourceSet {
+        self.engine.resources()
+    }
+
     /// Maps a per-compiled-operator release vector onto the engine's
     /// anchor order: the release of a fusion group is the maximum over
     /// its members, and an empty slice means every operator is released
@@ -440,12 +449,32 @@ impl PreparedSimulator {
         op_releases: &[u64],
         scratch: &mut EngineScratch,
     ) -> SimulationResult {
+        self.run_with_scratch_observed(op_releases, scratch, &mut NullObserver)
+    }
+
+    /// Replays the prepared graph like
+    /// [`PreparedSimulator::run_with_scratch`], reporting every engine
+    /// event to `obs` (see [`crate::observer::SimObserver`]). The
+    /// observer never influences the schedule: observed and unobserved
+    /// replays are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_releases` is neither empty nor exactly one entry per
+    /// compiled operator.
+    #[must_use]
+    pub fn run_with_scratch_observed<O: SimObserver>(
+        &self,
+        op_releases: &[u64],
+        scratch: &mut EngineScratch,
+        obs: &mut O,
+    ) -> SimulationResult {
         // Release of each fusion group: the group runs as one unit, so it
         // is ready only when every member's request has arrived (in
         // practice all members share one batch).
         let releases = self.anchor_releases(op_releases);
 
-        let schedule = self.engine.run_with_scratch(&releases, scratch);
+        let schedule = self.engine.run_with_scratch_observed(&releases, scratch, obs);
         let mut timings = self.timings.clone();
         let mut sa_weighted_spatial = 0.0f64;
         for (timing, scheduled) in timings.iter_mut().zip(schedule.ops.iter()) {
@@ -483,6 +512,7 @@ impl PreparedSimulator {
             timeline,
             segments,
             makespan_cycles: schedule.makespan,
+            counters: schedule.counters,
         }
     }
 }
@@ -501,6 +531,9 @@ pub struct SimulationResult {
     timeline: BusyTimeline,
     segments: SegmentTimeline,
     makespan_cycles: u64,
+    /// Event-loop counters of the run that produced this result.
+    #[serde(default)]
+    counters: RunCounters,
 }
 
 impl SimulationResult {
@@ -549,6 +582,13 @@ impl SimulationResult {
     #[must_use]
     pub fn busy_timeline(&self) -> &BusyTimeline {
         &self.timeline
+    }
+
+    /// Event-loop counters of the run that produced this result: events
+    /// popped, heap peak, release-clamp stalls, collective occupancy.
+    #[must_use]
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
     }
 
     /// Per-segment SRAM live intervals on the global clock — the input to

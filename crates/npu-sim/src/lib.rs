@@ -49,11 +49,13 @@ pub mod activity;
 pub mod analysis;
 pub mod engine;
 pub mod events;
+pub mod observer;
 pub mod pod;
 pub mod rng;
 pub mod segments;
 pub mod timeline;
 pub mod timing;
+pub mod trace;
 pub mod validation;
 
 pub use activity::ComponentActivity;
@@ -62,12 +64,14 @@ pub use analysis::{
     SramCapacityViolation,
 };
 pub use engine::{PreparedSimulator, SimulationResult, Simulator};
+pub use observer::{NullObserver, SimObserver};
 pub use pod::PodBuilder;
 pub use rng::SplitMix64;
 pub use segments::{SegmentBand, SegmentTimeline};
 pub use timeline::{
     BusyTimeline, CollectiveSchedule, CycleInterval, EngineScratch, IdleBucket, IdleHistogram,
-    Resource, ResourceId, ResourceSet, ResourceTimeline, Schedule,
+    Resource, ResourceId, ResourceSet, ResourceTimeline, RunCounters, Schedule,
 };
 pub use timing::OpTiming;
+pub use trace::{TraceRecorder, TraceSlice};
 pub use validation::{correlation_r2, ValidationPoint, ValidationReport};

@@ -1,0 +1,165 @@
+//! Engine observation hooks: a statically dispatched [`SimObserver`]
+//! trait the event loop calls at every semantically meaningful point —
+//! operator issue/retire, resource occupancy, prefetch transfers,
+//! collective gang-issues, release-clamp stalls, and event pops.
+//!
+//! The default observer, [`NullObserver`], is a zero-sized type whose
+//! hooks are empty default methods: the engine's observed run is generic
+//! over `O: SimObserver`, so the `NullObserver` instantiation monomorphizes
+//! every hook away and the unobserved hot path stays bit-identical and
+//! allocation-free (pinned by the digest tests and the `engine_hot_loop`
+//! bench). Real observers — [`crate::trace::TraceRecorder`], ad-hoc test
+//! probes — pay only for what they record.
+//!
+//! Wall-clock profiling is deliberately quarantined behind the
+//! `obs-wallclock` feature: default builds of this crate contain no
+//! `Instant` reads, so the xtask determinism lint keeps holding the
+//! simulation crates to pure-function output.
+
+use crate::timeline::ResourceId;
+
+/// Observer of one engine run. Every hook has an empty default body, so
+/// an observer implements only the events it cares about; hook arguments
+/// are plain scalars (plus borrowed link slices) and never require the
+/// observer to allocate.
+///
+/// Hooks fire in event-loop order, which is deterministic for a given
+/// phase vector and release vector — two observed runs of the same
+/// prepared engine see byte-identical hook sequences.
+pub trait SimObserver {
+    /// An event was popped off the queue at cycle `at`; `pending` events
+    /// remain scheduled.
+    fn event_popped(&mut self, at: u64, pending: usize) {
+        let _ = (at, pending);
+    }
+
+    /// Operator `op`'s main phase was issued at cycle `at` (dispatch
+    /// begins here; for collectives this is the gang-issue point).
+    fn op_issued(&mut self, op: usize, at: u64) {
+        let _ = (op, at);
+    }
+
+    /// Operator `op` retired (all phases complete) at cycle `at`.
+    fn op_retired(&mut self, op: usize, at: u64) {
+        let _ = (op, at);
+    }
+
+    /// A phase of operator `op` was ready at `now` but clamped to its
+    /// release cycle `release > now` — the queueing-delay stall the
+    /// serving layer's admission trace induces.
+    fn release_stall(&mut self, op: usize, now: u64, release: u64) {
+        let _ = (op, now, release);
+    }
+
+    /// Resource `id` is busy on behalf of operator `op` over
+    /// `[start, end)`. Fired at every per-resource occupancy record: SA
+    /// active slices, (fused) VU work, demand gathers, analytic ICI
+    /// phases, and each link of a gang-issued collective.
+    fn resource_busy(&mut self, id: ResourceId, op: usize, start: u64, end: u64) {
+        let _ = (id, op, start, end);
+    }
+
+    /// Operator `op`'s HBM prefetch streamed over `[start, end)` on chip
+    /// `chip`'s DMA prefetch channel (demand gathers surface as
+    /// [`SimObserver::resource_busy`] on the HBM-DMA unit instead).
+    fn dma_transfer(&mut self, op: usize, chip: usize, start: u64, end: u64) {
+        let _ = (op, chip, start, end);
+    }
+
+    /// A lowered collective gang-issued `links` for `[start, end)` (hop
+    /// boundaries within the window are the plan's step cycles).
+    fn collective_start(&mut self, op: usize, links: &[ResourceId], start: u64, end: u64) {
+        let _ = (op, links, start, end);
+    }
+}
+
+/// The zero-cost default observer: a zero-sized type with every hook left
+/// at its empty default, so observed runs instantiated with it compile to
+/// exactly the unobserved event loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Wall-clock profiling observer, available only with the `obs-wallclock`
+/// feature so default builds stay free of ambient-time reads (and the
+/// xtask `wall-clock` lint keeps enforcing that).
+#[cfg(feature = "obs-wallclock")]
+pub mod wallclock {
+    use super::SimObserver;
+
+    /// Measures the wall-clock cost of the observed run: events popped
+    /// and elapsed host time between construction and the last hook.
+    #[derive(Debug)]
+    pub struct WallClockProfiler {
+        started: std::time::Instant, // lint:allow(wall-clock) feature-gated profiling
+        events: u64,
+        last_elapsed: std::time::Duration,
+    }
+
+    impl WallClockProfiler {
+        /// Starts the profiler's clock.
+        #[must_use]
+        pub fn start() -> Self {
+            WallClockProfiler {
+                started: std::time::Instant::now(), // lint:allow(wall-clock) feature-gated profiling
+                events: 0,
+                last_elapsed: std::time::Duration::ZERO,
+            }
+        }
+
+        /// Events popped since construction.
+        #[must_use]
+        pub fn events(&self) -> u64 {
+            self.events
+        }
+
+        /// Host time between construction and the last observed event.
+        #[must_use]
+        pub fn elapsed(&self) -> std::time::Duration {
+            self.last_elapsed
+        }
+
+        /// Events per host second over the observed window (zero before
+        /// any time has elapsed).
+        #[must_use]
+        pub fn events_per_second(&self) -> f64 {
+            let secs = self.last_elapsed.as_secs_f64();
+            if secs > 0.0 {
+                self.events as f64 / secs
+            } else {
+                0.0
+            }
+        }
+    }
+
+    impl SimObserver for WallClockProfiler {
+        fn event_popped(&mut self, _at: u64, _pending: usize) {
+            self.events += 1;
+            self.last_elapsed = self.started.elapsed();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NullObserver>(), 0);
+    }
+
+    #[test]
+    fn default_hooks_are_no_ops() {
+        let mut obs = NullObserver;
+        obs.event_popped(0, 3);
+        obs.op_issued(1, 10);
+        obs.op_retired(1, 20);
+        obs.release_stall(2, 5, 9);
+        obs.resource_busy(ResourceId(0), 1, 0, 10);
+        obs.dma_transfer(1, 0, 0, 4);
+        obs.collective_start(3, &[ResourceId(4)], 7, 9);
+        assert_eq!(obs, NullObserver);
+    }
+}

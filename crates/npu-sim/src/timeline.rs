@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use npu_arch::ComponentKind;
 
 use crate::events::{EventKind, EventQueue};
+use crate::observer::{NullObserver, SimObserver};
 
 /// The *kind* of a schedulable hardware resource with a single in-order
 /// issue port. A [`ResourceSet`] instantiates one resource of each kind
@@ -674,6 +675,49 @@ impl ScheduledOp {
     }
 }
 
+/// Cheap, always-on counters of one engine run — the "how did the event
+/// loop behave" numbers (queue pressure, release-clamp stalls, collective
+/// occupancy) that end-of-run aggregates cannot reconstruct. Counted
+/// inline in the event loop with plain integer arithmetic, so every run —
+/// observed or not — carries them at no measurable cost.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// Events popped off the queue over the whole run.
+    pub events_popped: u64,
+    /// Largest number of scheduled events ever pending at once (sampled
+    /// at every pop, which bounds the heap's true peak: the queue only
+    /// grows between pops).
+    pub heap_peak: u64,
+    /// Operators retired (all phases complete).
+    pub ops_retired: u64,
+    /// Phases that were ready before their operator's release cycle and
+    /// had to be clamped to it.
+    pub release_stalls: u64,
+    /// Total cycles of release clamping across those stalls.
+    pub release_stall_cycles: u64,
+    /// Lowered collectives gang-issued on link resources.
+    pub collectives_issued: u64,
+    /// Total per-hop steps across those collectives.
+    pub collective_hops: u64,
+    /// Busy cycles charged to each fabric link by collectives, indexed by
+    /// link number (empty on single-chip runs, which have no links).
+    pub link_busy_cycles: Vec<u64>,
+}
+
+impl RunCounters {
+    /// A zeroed counter block sized for a resource set's links.
+    #[must_use]
+    pub fn for_set(set: &ResourceSet) -> Self {
+        RunCounters { link_busy_cycles: vec![0; set.num_links()], ..RunCounters::default() }
+    }
+
+    /// Total link-busy cycles across every fabric link.
+    #[must_use]
+    pub fn total_link_busy_cycles(&self) -> u64 {
+        self.link_busy_cycles.iter().sum()
+    }
+}
+
 /// Result of scheduling a compiled operator stream on the timeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Schedule {
@@ -689,6 +733,9 @@ pub struct Schedule {
     /// Per-resource-instance busy tracks (finalized) — one per chip unit
     /// and one per ICI link.
     pub resource_timeline: ResourceTimeline,
+    /// Event-loop counters of the run that produced the schedule.
+    #[serde(default)]
+    pub counters: RunCounters,
 }
 
 /// Scheduling state of one operator inside the engine.
@@ -788,6 +835,8 @@ struct EngineRun<'a> {
     /// (gather main phases) queues on the chip's [`Resource::HbmDma`]
     /// entry in `free_at` instead.
     prefetch_free: Vec<u64>,
+    /// Inline event-loop counters, handed to the schedule at the end.
+    counters: RunCounters,
 }
 
 impl TimelineEngine {
@@ -928,6 +977,29 @@ impl TimelineEngine {
     /// operator.
     #[must_use]
     pub fn run_with_scratch(&self, releases: &[u64], scratch: &mut EngineScratch) -> Schedule {
+        // `NullObserver`'s hooks are empty defaults on a zero-sized type,
+        // so this instantiation monomorphizes to the unobserved loop —
+        // bit-identical schedules, no extra work on the serving hot path.
+        self.run_with_scratch_observed(releases, scratch, &mut NullObserver)
+    }
+
+    /// Runs the event loop like [`TimelineEngine::run_with_scratch`],
+    /// reporting every issue, retirement, occupancy record, prefetch,
+    /// collective gang-issue, and release-clamp stall to `obs`. Observers
+    /// never influence scheduling: an observed run produces the same
+    /// [`Schedule`], byte for byte, as an unobserved one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `releases` is neither empty nor exactly one entry per
+    /// operator.
+    #[must_use]
+    pub fn run_with_scratch_observed<O: SimObserver>(
+        &self,
+        releases: &[u64],
+        scratch: &mut EngineScratch,
+        obs: &mut O,
+    ) -> Schedule {
         let n = self.phases.len();
         assert!(
             releases.is_empty() || releases.len() == n,
@@ -954,6 +1026,7 @@ impl TimelineEngine {
             },
             free_at: vec![0; self.resources.num_resources()],
             prefetch_free: vec![0; self.resources.num_chips()],
+            counters: RunCounters::for_set(&self.resources),
         };
         // Seed the queue: buffer-free prefetches, then every source
         // operator (all producers already satisfied).
@@ -961,30 +1034,36 @@ impl TimelineEngine {
             run.state[k].buffer_ready = self.buffer_dep[k].is_none();
             run.state[k].pending_producers = self.phases[k].producers.len();
             if self.phases[k].dma_cycles > 0 {
-                run.try_issue_dma(k, 0);
+                run.try_issue_dma(k, 0, obs);
             }
         }
         for k in 0..n {
             if run.state[k].pending_producers == 0 {
-                run.try_issue_main(k, 0);
+                run.try_issue_main(k, 0, obs);
             }
         }
-        while let Some(ev) = run.queue.pop() {
+        loop {
+            // Sampling the queue length right before each pop captures the
+            // true heap peak: the queue only grows between two pops.
+            run.counters.heap_peak = run.counters.heap_peak.max(run.queue.len() as u64);
+            let Some(ev) = run.queue.pop() else { break };
+            run.counters.events_popped += 1;
             let t = ev.at;
+            obs.event_popped(t, run.queue.len());
             match ev.kind {
-                EventKind::IssueDma { op } => run.issue_dma(op, t),
+                EventKind::IssueDma { op } => run.issue_dma(op, t, obs),
                 EventKind::DmaLeadArrived { op } => {
                     run.state[op].lead_ready = true;
-                    run.try_issue_main(op, t);
+                    run.try_issue_main(op, t, obs);
                 }
                 EventKind::DmaComplete { op } => {
                     run.state[op].dma_done = true;
-                    run.check_finish(op, t);
+                    run.check_finish(op, t, obs);
                 }
-                EventKind::IssueMain { op } => run.issue_main(op, t),
+                EventKind::IssueMain { op } => run.issue_main(op, t, obs),
                 EventKind::MainComplete { op } => {
                     run.state[op].main_done = true;
-                    run.check_finish(op, t);
+                    run.check_finish(op, t, obs);
                 }
             }
         }
@@ -1016,7 +1095,14 @@ impl TimelineEngine {
         } else {
             resource_timeline.finalize();
         }
-        Schedule { ops, makespan, timeline, resources: self.resources, resource_timeline }
+        Schedule {
+            ops,
+            makespan,
+            timeline,
+            resources: self.resources,
+            resource_timeline,
+            counters: run.counters,
+        }
     }
 }
 
@@ -1039,18 +1125,36 @@ impl EngineRun<'_> {
         self.topo.resources.chip_of(self.topo.phases[op].unit).unwrap_or(0)
     }
 
-    fn try_issue_dma(&mut self, op: usize, now: u64) {
+    /// Counts (and reports) a phase that was ready at `now` but clamped
+    /// to a later release cycle.
+    fn note_release_clamp<O: SimObserver>(
+        &mut self,
+        op: usize,
+        now: u64,
+        release: u64,
+        obs: &mut O,
+    ) {
+        if release > now {
+            self.counters.release_stalls += 1;
+            self.counters.release_stall_cycles += release - now;
+            obs.release_stall(op, now, release);
+        }
+    }
+
+    fn try_issue_dma<O: SimObserver>(&mut self, op: usize, now: u64, obs: &mut O) {
         if self.state[op].dma_issued || !self.state[op].buffer_ready {
             return;
         }
         self.state[op].dma_issued = true;
         // A prefetch may not run ahead of its operator's release: before
         // the request arrives there is nothing to stream.
-        let at = now.max(self.release_of(op));
+        let release = self.release_of(op);
+        self.note_release_clamp(op, now, release, obs);
+        let at = now.max(release);
         self.queue.schedule(at, EventKind::IssueDma { op });
     }
 
-    fn issue_dma(&mut self, op: usize, now: u64) {
+    fn issue_dma<O: SimObserver>(&mut self, op: usize, now: u64, obs: &mut O) {
         let p = &self.topo.phases[op];
         let (dma_cycles, lead_cycles) = (p.dma_cycles, p.dma_lead_cycles.min(p.dma_cycles));
         // Prefetches queue on their chip's DMA prefetch channel only:
@@ -1064,27 +1168,31 @@ impl EngineRun<'_> {
         self.timeline.record(ComponentKind::Hbm, start, end);
         self.timeline.record(ComponentKind::Dma, start, end);
         self.tracks.record(self.topo.resources.unit(chip, Resource::HbmDma), start, end);
+        obs.dma_transfer(op, chip, start, end);
         self.queue.schedule(start + lead_cycles, EventKind::DmaLeadArrived { op });
         self.queue.schedule(end, EventKind::DmaComplete { op });
     }
 
-    fn try_issue_main(&mut self, op: usize, now: u64) {
+    fn try_issue_main<O: SimObserver>(&mut self, op: usize, now: u64, obs: &mut O) {
         let s = &self.state[op];
         let needs_lead = self.topo.phases[op].dma_cycles > 0;
         if s.main_issued || s.pending_producers > 0 || (needs_lead && !s.lead_ready) {
             return;
         }
         self.state[op].main_issued = true;
-        let at = now.max(self.release_of(op));
+        let release = self.release_of(op);
+        self.note_release_clamp(op, now, release, obs);
+        let at = now.max(release);
         self.queue.schedule(at, EventKind::IssueMain { op });
     }
 
-    fn issue_main(&mut self, op: usize, now: u64) {
+    fn issue_main<O: SimObserver>(&mut self, op: usize, now: u64, obs: &mut O) {
         let q = &self.topo.phases[op];
         if q.collective.is_some() {
-            self.issue_collective(op, now);
+            self.issue_collective(op, now, obs);
             return;
         }
+        obs.op_issued(op, now);
         let (unit, main_cycles, fused_vu_cycles, dispatch_cycles, sa_active_cycles) =
             (q.unit, q.main_cycles, q.fused_vu_cycles, q.dispatch_cycles, q.sa_active_cycles);
         let start = now.max(self.resource_free(unit));
@@ -1099,6 +1207,7 @@ impl EngineRun<'_> {
                 let sa_end = active_start + sa_active_cycles.min(main_cycles);
                 self.timeline.record(ComponentKind::Sa, active_start, sa_end);
                 self.tracks.record(unit, active_start, sa_end);
+                obs.resource_busy(unit, op, active_start, sa_end);
                 if fused_vu_cycles > 0 {
                     // Fused post-processing runs on the vector units,
                     // overlapped with the SA dataflow. It does not delay
@@ -1113,6 +1222,7 @@ impl EngineRun<'_> {
                     let fused_end = fused_start + fused_vu_cycles;
                     self.timeline.record(ComponentKind::Vu, fused_start, fused_end);
                     self.tracks.record(vu, fused_start, fused_end);
+                    obs.resource_busy(vu, op, fused_start, fused_end);
                     self.free_at[vu.index()] = fused_end;
                     end = end.max(fused_end);
                 }
@@ -1120,16 +1230,19 @@ impl EngineRun<'_> {
             Resource::Vu => {
                 self.timeline.record(ComponentKind::Vu, active_start, unit_end);
                 self.tracks.record(unit, active_start, unit_end);
+                obs.resource_busy(unit, op, active_start, unit_end);
             }
             Resource::HbmDma => {
                 self.timeline.record(ComponentKind::Hbm, active_start, unit_end);
                 self.timeline.record(ComponentKind::Dma, active_start, unit_end);
                 self.tracks.record(unit, active_start, unit_end);
+                obs.resource_busy(unit, op, active_start, unit_end);
             }
             Resource::Ici => {
                 self.timeline.record(ComponentKind::Ici, active_start, unit_end);
                 self.timeline.record(ComponentKind::Dma, active_start, unit_end);
                 self.tracks.record(unit, active_start, unit_end);
+                obs.resource_busy(unit, op, active_start, unit_end);
             }
         }
         self.state[op].main_start = start;
@@ -1142,27 +1255,35 @@ impl EngineRun<'_> {
     /// ring link concurrently), so the issue waits for the *latest* of
     /// the links to free up and two collectives sharing any link
     /// serialize on it.
-    fn issue_collective(&mut self, op: usize, now: u64) {
+    fn issue_collective<O: SimObserver>(&mut self, op: usize, now: u64, obs: &mut O) {
         let topo = self.topo;
         let q = &topo.phases[op];
         let Some(c) = &q.collective else { return };
+        obs.op_issued(op, now);
         let mut start = now;
         for link in &c.links {
             start = start.max(self.free_at[link.index()]);
         }
         let active_start = start + q.dispatch_cycles;
         let end = active_start + q.main_cycles;
+        self.counters.collectives_issued += 1;
+        self.counters.collective_hops += c.step_cycles.len() as u64;
         for link in &c.links {
             self.free_at[link.index()] = end;
             self.tracks.record(*link, active_start, end);
+            obs.resource_busy(*link, op, active_start, end);
+            if let Some(l) = topo.resources.link_of(*link) {
+                self.counters.link_busy_cycles[l] += end - active_start;
+            }
         }
+        obs.collective_start(op, &c.links, active_start, end);
         self.timeline.record(ComponentKind::Ici, active_start, end);
         self.state[op].main_start = start;
         self.state[op].main_end = end;
         self.queue.schedule(end, EventKind::MainComplete { op });
     }
 
-    fn check_finish(&mut self, op: usize, now: u64) {
+    fn check_finish<O: SimObserver>(&mut self, op: usize, now: u64, obs: &mut O) {
         let has_dma = self.topo.phases[op].dma_cycles > 0;
         let s = &self.state[op];
         if s.finished || !s.main_done || (has_dma && !s.dma_done) {
@@ -1170,6 +1291,8 @@ impl EngineRun<'_> {
         }
         self.state[op].finished = true;
         self.state[op].finish = now;
+        self.counters.ops_retired += 1;
+        obs.op_retired(op, now);
         // Producer edges: consumers with no remaining producers may start.
         // Indexing the CSR slices (one copied edge at a time) keeps the
         // topology borrow disjoint from the state mutations — no cloned
@@ -1178,14 +1301,14 @@ impl EngineRun<'_> {
             let k = self.topo.dep_edges[i];
             self.state[k].pending_producers -= 1;
             if self.state[k].pending_producers == 0 {
-                self.try_issue_main(k, now);
+                self.try_issue_main(k, now, obs);
             }
         }
         // Buffer edges: release this operator's input buffer.
         for i in self.topo.buf_starts[op]..self.topo.buf_starts[op + 1] {
             let k = self.topo.buf_edges[i];
             self.state[k].buffer_ready = true;
-            self.try_issue_dma(k, now);
+            self.try_issue_dma(k, now, obs);
         }
     }
 }

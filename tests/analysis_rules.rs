@@ -19,8 +19,8 @@ use npu_power::{
 use npu_serving::{BatchPolicy, ServingSimulator};
 use npu_sim::analysis::{self, rules};
 use npu_sim::pod::PodBuilder;
-use npu_sim::timeline::{OpPhases, Resource, ResourceSet};
-use npu_sim::{Diagnostic, Severity, SramCapacityReport};
+use npu_sim::timeline::{OpPhases, Resource, ResourceId, ResourceSet, ResourceTimeline};
+use npu_sim::{Diagnostic, Severity, SramCapacityReport, TraceRecorder};
 
 fn chip() -> ChipConfig {
     ChipConfig::new(NpuGeneration::D, 1)
@@ -532,6 +532,91 @@ fn topo_parallelism_infeasible_is_denied() {
         .try_evaluate(&Workload::dlrm(DlrmSize::Large), 1)
         .expect_err("infeasible deployment must be denied");
     assert_rule(&report.diagnostics, rules::TOPO_PARALLELISM_INFEASIBLE, Severity::Deny);
+}
+
+// ---------------------------------------------------------------------
+// Observability rules (trace exports)
+// ---------------------------------------------------------------------
+
+/// A single-chip recorder/timeline pair agreeing on one busy interval per
+/// injected slice — the clean base the obs.* fixtures then corrupt.
+fn trace_fixture(slices: &[(usize, u64, u64)]) -> (TraceRecorder, ResourceTimeline) {
+    let set = ResourceSet::single_chip();
+    let mut recorder = TraceRecorder::for_set(&set);
+    let mut timeline = ResourceTimeline::for_set(&set);
+    let sa = ResourceId(0);
+    for &(op, start, end) in slices {
+        recorder.record_raw_slice(sa, op, start, end);
+        timeline.record(sa, start, end);
+    }
+    timeline.finalize();
+    (recorder, timeline)
+}
+
+#[test]
+fn obs_clean_observed_pod_run_exports_clean() {
+    // The real path: a pod pipeline run observed by a recorder agrees
+    // with the schedule's own resource timeline on every track.
+    let trace = npu_sim::pod::pipeline_trace(&ring4(), &[2_000, 5_000, 3_000, 1_000], 4);
+    let engine = trace.engine();
+    let mut recorder = TraceRecorder::for_set(&engine.resources());
+    let schedule = engine.run_with_scratch_observed(
+        &[],
+        &mut npu_sim::EngineScratch::default(),
+        &mut recorder,
+    );
+    let diagnostics =
+        analysis::check_trace_export(&recorder, &schedule.resource_timeline, schedule.makespan);
+    assert!(diagnostics.is_empty(), "negative control dirtied: {diagnostics:?}");
+}
+
+#[test]
+fn obs_track_overlap_is_denied() {
+    // Two slices sharing cycles on one track: a unit cannot run two
+    // operators at once. The timeline merges them, so only the trace's
+    // per-slice view exposes the collision.
+    let (recorder, timeline) = trace_fixture(&[(0, 0, 1_000), (1, 900, 2_000)]);
+    let diagnostics = analysis::check_trace_export(&recorder, &timeline, 2_000);
+    assert_rule(&diagnostics, rules::OBS_TRACK_OVERLAP, Severity::Deny);
+    assert_no_rule(&diagnostics, rules::OBS_EVENT_OUT_OF_WINDOW);
+    assert_no_rule(&diagnostics, rules::OBS_TIMELINE_MISMATCH);
+
+    // Abutting slices are legal: end == next start is not an overlap.
+    let (recorder, timeline) = trace_fixture(&[(0, 0, 1_000), (1, 1_000, 2_000)]);
+    assert!(analysis::check_trace_export(&recorder, &timeline, 2_000).is_empty());
+}
+
+#[test]
+fn obs_event_out_of_window_is_denied() {
+    // A slice past the makespan: the export claims work after the run
+    // ended.
+    let (recorder, timeline) = trace_fixture(&[(0, 0, 1_000), (1, 1_500, 2_500)]);
+    let diagnostics = analysis::check_trace_export(&recorder, &timeline, 2_000);
+    assert_rule(&diagnostics, rules::OBS_EVENT_OUT_OF_WINDOW, Severity::Deny);
+    assert_no_rule(&diagnostics, rules::OBS_TRACK_OVERLAP);
+    assert_no_rule(&diagnostics, rules::OBS_TIMELINE_MISMATCH);
+}
+
+#[test]
+fn obs_timeline_mismatch_is_denied() {
+    // A slice the schedule never recorded: the trace and the resource
+    // timeline must agree record for record after merging.
+    let (mut recorder, timeline) = trace_fixture(&[(0, 0, 1_000)]);
+    recorder.record_raw_slice(ResourceId(0), 1, 1_200, 1_400);
+    let diagnostics = analysis::check_trace_export(&recorder, &timeline, 2_000);
+    assert_rule(&diagnostics, rules::OBS_TIMELINE_MISMATCH, Severity::Deny);
+    assert_no_rule(&diagnostics, rules::OBS_TRACK_OVERLAP);
+    assert_no_rule(&diagnostics, rules::OBS_EVENT_OUT_OF_WINDOW);
+
+    // The converse direction — busy intervals the trace missed — is the
+    // same rule: drop the slice but keep the timeline record.
+    let set = ResourceSet::single_chip();
+    let recorder = TraceRecorder::for_set(&set);
+    let mut missing = ResourceTimeline::for_set(&set);
+    missing.record(ResourceId(0), 0, 1_000);
+    missing.finalize();
+    let diagnostics = analysis::check_trace_export(&recorder, &missing, 2_000);
+    assert_rule(&diagnostics, rules::OBS_TIMELINE_MISMATCH, Severity::Deny);
 }
 
 // ---------------------------------------------------------------------

@@ -28,8 +28,8 @@
 //! regression that quietly degenerates to chains fails the suite.
 
 use npu_arch::ComponentKind;
-use npu_sim::timeline::{OpPhases, Resource, Schedule, TimelineEngine};
-use npu_sim::{IdleHistogram, SplitMix64 as Rng};
+use npu_sim::timeline::{EngineScratch, OpPhases, Resource, Schedule, TimelineEngine};
+use npu_sim::{IdleHistogram, SplitMix64 as Rng, TraceRecorder};
 use regate_bench::Fnv1a as Fnv;
 
 /// Number of random DAG seeds the invariant sweep covers.
@@ -398,6 +398,49 @@ fn schedules_are_deterministic_across_runs() {
         let a = TimelineEngine::new(random_dag(seed)).run();
         let b = TimelineEngine::new(random_dag(seed)).run();
         assert_eq!(a, b, "seed {seed}: two runs over the same DAG diverged");
+    }
+}
+
+#[test]
+fn observed_runs_are_bit_identical_to_unobserved_over_the_corpus() {
+    // The observability contract: attaching a TraceRecorder must not
+    // perturb scheduling. Every field of every `ScheduledOp` — and the
+    // digests the golden tables pin — must match the NullObserver path.
+    for seed in 0..NUM_DAG_SEEDS {
+        let engine = TimelineEngine::new(random_dag(seed));
+        let mut recorder = TraceRecorder::for_set(&engine.resources());
+        let observed =
+            engine.run_with_scratch_observed(&[], &mut EngineScratch::default(), &mut recorder);
+        let unobserved = engine.run();
+        assert_eq!(
+            observed, unobserved,
+            "seed {seed}: an observed run diverged from the unobserved schedule"
+        );
+        assert_eq!(digest_ops(&observed), digest_ops(&unobserved), "seed {seed}");
+        assert_eq!(digest_histogram(&observed), digest_histogram(&unobserved), "seed {seed}");
+    }
+}
+
+#[test]
+fn trace_exports_are_byte_identical_across_same_seed_runs() {
+    // The exported Chrome trace JSON is a pure function of the schedule:
+    // two same-seed runs render the same bytes.
+    for seed in [0, 7, 23, 41] {
+        let export = |seed: u64| {
+            let engine = TimelineEngine::new(random_dag(seed));
+            let mut recorder = TraceRecorder::for_set(&engine.resources());
+            let schedule =
+                engine.run_with_scratch_observed(&[], &mut EngineScratch::default(), &mut recorder);
+            // Exports must also pass the obs.* analyzer rules.
+            let diagnostics = npu_sim::analysis::check_trace_export(
+                &recorder,
+                &schedule.resource_timeline,
+                schedule.makespan,
+            );
+            assert!(diagnostics.is_empty(), "seed {seed}: {diagnostics:?}");
+            recorder.chrome_json()
+        };
+        assert_eq!(export(seed), export(seed), "seed {seed}: trace JSON diverged across runs");
     }
 }
 

@@ -1,6 +1,11 @@
 //! Workspace verification tasks, runnable as `cargo run -p xtask -- <task>`.
 //!
-//! The one task so far is `lint`: a token-level source scan that denies
+//! `check-json <file>...` verifies that hand-rendered JSON artifacts
+//! (exported traces, power waveforms, `BENCH_*` envelopes) parse as
+//! well-formed documents — the workspace vendors no JSON library, so the
+//! exporters render by hand and this gate catches envelope bugs in CI.
+//!
+//! `lint` is a token-level source scan that denies
 //! the constructs this workspace's determinism story cannot tolerate.
 //! Every simulated number in the repo is pinned by bit-for-bit digest
 //! tables, which only works if no code path's behaviour depends on hash
@@ -89,13 +94,275 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("check-json") => run_check_json(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint | check-json <file>...>");
             eprintln!();
             eprintln!("tasks:");
-            eprintln!("  lint    deny hash-iteration, wall-clock, unseeded RNG, and bare");
-            eprintln!("          unwrap/expect in the workspace sources");
+            eprintln!("  lint        deny hash-iteration, wall-clock, unseeded RNG, and bare");
+            eprintln!("              unwrap/expect in the workspace sources");
+            eprintln!("  check-json  verify each file parses as a single well-formed JSON");
+            eprintln!("              document (exported traces, BENCH_* envelopes)");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Verifies each listed file is one well-formed JSON document — the CI
+/// gate over exported traces, power waveforms, and `BENCH_*` envelopes
+/// (all hand-rendered, none produced by a JSON library).
+fn run_check_json(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("check-json: no files given");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("check-json: {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match json::validate(&text) {
+            Ok(()) => println!("check-json: {file}: ok ({} bytes)", text.len()),
+            Err(e) => {
+                eprintln!("check-json: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// A minimal recursive-descent JSON well-formedness checker (RFC 8259
+/// grammar, no value materialization). Kept dependency-free on purpose:
+/// the workspace vendors no JSON library, and the exporters it checks
+/// render their documents by hand.
+mod json {
+    /// Validates that `text` is exactly one JSON value plus whitespace.
+    pub fn validate(text: &str) -> Result<(), String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(at(bytes, pos, "trailing content after the document"));
+        }
+        Ok(())
+    }
+
+    /// Renders an error with its 1-based line and column.
+    fn at(bytes: &[u8], pos: usize, what: &str) -> String {
+        let mut line = 1usize;
+        let mut column = 1usize;
+        for &b in &bytes[..pos.min(bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        format!("line {line}, column {column}: {what}")
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            *pos += 1;
+        }
+    }
+
+    fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        match bytes.get(*pos) {
+            Some(b'{') => object(bytes, pos),
+            Some(b'[') => array(bytes, pos),
+            Some(b'"') => string(bytes, pos),
+            Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+            Some(b't') => literal(bytes, pos, b"true"),
+            Some(b'f') => literal(bytes, pos, b"false"),
+            Some(b'n') => literal(bytes, pos, b"null"),
+            Some(&b) => Err(at(bytes, *pos, &format!("unexpected byte {:?}", b as char))),
+            None => Err(at(bytes, *pos, "unexpected end of input")),
+        }
+    }
+
+    fn literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
+        if bytes[*pos..].starts_with(expected) {
+            *pos += expected.len();
+            Ok(())
+        } else {
+            Err(at(bytes, *pos, &format!("expected `{}`", String::from_utf8_lossy(expected))))
+        }
+    }
+
+    fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // consume `{`
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b'"') {
+                return Err(at(bytes, *pos, "expected a string object key"));
+            }
+            string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return Err(at(bytes, *pos, "expected `:` after object key"));
+            }
+            *pos += 1;
+            skip_ws(bytes, pos);
+            value(bytes, pos)?;
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(at(bytes, *pos, "expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // consume `[`
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(bytes, pos);
+            value(bytes, pos)?;
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(at(bytes, *pos, "expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // consume opening quote
+        loop {
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                        Some(b'u') => {
+                            *pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(
+                                    bytes.get(*pos),
+                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                ) {
+                                    return Err(at(bytes, *pos, "bad \\u escape"));
+                                }
+                                *pos += 1;
+                            }
+                        }
+                        _ => return Err(at(bytes, *pos, "bad escape in string")),
+                    }
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(at(bytes, *pos, "unescaped control character in string"));
+                }
+                Some(_) => *pos += 1,
+                None => return Err(at(bytes, *pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        match bytes.get(*pos) {
+            Some(b'0') => *pos += 1,
+            Some(b'1'..=b'9') => digits(bytes, pos),
+            _ => return Err(at(bytes, *pos, "expected a digit")),
+        }
+        if bytes.get(*pos) == Some(&b'.') {
+            *pos += 1;
+            if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                return Err(at(bytes, *pos, "expected a digit after `.`"));
+            }
+            digits(bytes, pos);
+        }
+        if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+                *pos += 1;
+            }
+            if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                return Err(at(bytes, *pos, "expected a digit in exponent"));
+            }
+            digits(bytes, pos);
+        }
+        Ok(())
+    }
+
+    fn digits(bytes: &[u8], pos: &mut usize) {
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::validate;
+
+        #[test]
+        fn accepts_well_formed_documents() {
+            for ok in [
+                "{}",
+                "[]",
+                "null",
+                "-12.5e-3",
+                r#"{"a": [1, 2, {"b": "c\né"}], "d": true}"#,
+                "{\n  \"schema_version\": 1,\n  \"rows\": [\n    { \"x\": 1.0e9 }\n  ]\n}\n",
+            ] {
+                assert!(validate(ok).is_ok(), "rejected valid JSON: {ok}");
+            }
+        }
+
+        #[test]
+        fn rejects_malformed_documents() {
+            for bad in [
+                "",
+                "{",
+                "[1,]",
+                "{\"a\" 1}",
+                "{'a': 1}",
+                "01",
+                "1.",
+                "\"unterminated",
+                "[1] trailing",
+                "{\"a\": 1,}",
+                "nul",
+            ] {
+                assert!(validate(bad).is_err(), "accepted malformed JSON: {bad}");
+            }
         }
     }
 }
